@@ -1,0 +1,120 @@
+// E1 (Fig. 4.1) — the Bean Inspector / expert system.  Reproduces the
+// paper's claim that hardware settings are made at high level and
+// "calculated by the expert system ... verification of user decisions is
+// provided": for a sweep of requested timer periods and PWM frequencies,
+// the table shows the derived register-level configuration (prescaler,
+// modulo), the achieved value and the relative error, per derivative —
+// including the requests each part must reject.  The microbenchmarks
+// measure how cheap the immediate re-validation on every property edit is.
+#include <cstdio>
+
+#include "beans/adc_bean.hpp"
+#include "beans/bean_project.hpp"
+#include "beans/pwm_bean.hpp"
+#include "beans/solvers.hpp"
+#include "beans/timer_int_bean.hpp"
+#include "bench_util.hpp"
+#include "mcu/derivative.hpp"
+
+using namespace iecd;
+
+namespace {
+
+void print_table() {
+  std::printf("E1: expert-system parameter solving (Bean Inspector)\n\n");
+  std::printf("%-12s %-12s | %-10s %-10s %-14s %-10s\n", "derivative",
+              "request", "prescaler", "modulo", "achieved", "error");
+  bench::print_rule(78);
+
+  const double periods[] = {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0};
+  for (const auto& cpu : mcu::derivative_registry()) {
+    for (double period : periods) {
+      const auto sol = beans::solve_timer_period(cpu, period, 0.001);
+      if (sol) {
+        std::printf("%-12s timer %5.0e | %-10u %-10u %-14.9g %.5f%%\n",
+                    cpu.name.c_str(), period, sol->prescaler, sol->modulo,
+                    sol->achieved_period_s, sol->relative_error * 100);
+      } else {
+        std::printf("%-12s timer %5.0e | %-47s\n", cpu.name.c_str(), period,
+                    "REJECTED (outside prescaler/modulo range)");
+      }
+    }
+  }
+  std::printf("\n%-12s %-12s | %-10s %-10s %-14s %-10s\n", "derivative",
+              "request", "prescaler", "modulo", "achieved", "duty bits");
+  bench::print_rule(78);
+  const double freqs[] = {1e3, 2e4, 1e5, 1e6, 2e7};
+  for (const auto& cpu : mcu::derivative_registry()) {
+    for (double f : freqs) {
+      const auto sol = beans::solve_pwm_frequency(cpu, f, 0.01);
+      if (sol) {
+        std::printf("%-12s pwm %7.0e | %-10u %-10u %-14.6g %d\n",
+                    cpu.name.c_str(), f, sol->prescaler, sol->modulo,
+                    sol->achieved_frequency_hz, sol->duty_resolution_bits);
+      } else {
+        std::printf("%-12s pwm %7.0e | %-47s\n", cpu.name.c_str(), f,
+                    "REJECTED (counter cannot reach this frequency)");
+      }
+    }
+  }
+
+  // Validation catching a bad configuration immediately.
+  std::printf("\nimmediate verification on property edit:\n");
+  beans::BeanProject project("demo");
+  project.add<beans::TimerIntBean>("TI1");
+  auto diags = project.set_property("TI1", "period_s", 10.0);
+  std::printf("%s\n", diags.to_string().c_str());
+}
+
+void BM_ProjectValidate(benchmark::State& state) {
+  beans::BeanProject project("p");
+  project.add<beans::TimerIntBean>("TI1");
+  project.add<beans::PwmBean>("PWM1");
+  project.add<beans::AdcBean>("AD1");
+  for (auto _ : state) {
+    auto diags = project.validate();
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_ProjectValidate);
+
+void BM_PropertyEditWithRevalidation(benchmark::State& state) {
+  beans::BeanProject project("p");
+  project.add<beans::TimerIntBean>("TI1");
+  project.add<beans::PwmBean>("PWM1");
+  double period = 0.001;
+  for (auto _ : state) {
+    period = period == 0.001 ? 0.002 : 0.001;
+    auto diags = project.set_property("TI1", "period_s", period);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_PropertyEditWithRevalidation);
+
+void BM_TimerSolver(benchmark::State& state) {
+  const auto& cpu = mcu::find_derivative("DSC56F8367");
+  double period = 1e-5;
+  for (auto _ : state) {
+    period = period > 0.1 ? 1e-5 : period * 1.1;
+    auto sol = beans::solve_timer_period(cpu, period, 0.001);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_TimerSolver);
+
+void BM_InspectorRender(benchmark::State& state) {
+  beans::BeanProject project("p");
+  project.add<beans::TimerIntBean>("TI1");
+  project.add<beans::PwmBean>("PWM1");
+  project.add<beans::AdcBean>("AD1");
+  project.validate();
+  for (auto _ : state) {
+    auto text = project.inspector_render();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_InspectorRender);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

@@ -1,0 +1,121 @@
+// E3 (Fig. 6.2) — PIL communication over the byte-timed RS232 line.  The
+// paper: "Even though the communication over RS232 is very slow, the main
+// advantage of this interface is that it is present on any development
+// board."  The table sweeps the baud rate and shows where the serial line
+// stops fitting into the control period: round trip, per-step wire time,
+// overhead share, deadline misses, and the resulting control quality.
+// Expected shape: at low baud the exchange takes longer than the period
+// (misses, loop degrades); from ~115200 up the loop closes comfortably and
+// quality converges to the MIL result.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/case_study.hpp"
+
+using namespace iecd;
+
+namespace {
+
+core::ServoConfig bench_config() {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.5;
+  return cfg;
+}
+
+void print_table() {
+  std::printf("E3: PIL exchange vs baud rate (1 kHz control loop)\n\n");
+
+  core::ServoSystem ref(bench_config());
+  const auto mil = ref.run_mil();
+  std::printf("MIL reference IAE: %.3f\n\n", mil.iae);
+
+  std::printf("%-8s | %-10s %-12s %-10s %-8s %-9s %-9s %-8s\n", "baud",
+              "rtt[us]", "comm[us/st]", "overhead", "misses", "IAE",
+              "final", "settled");
+  bench::print_rule(88);
+  const std::uint32_t bauds[] = {9600,   19200,  38400, 57600,
+                                 115200, 230400, 460800};
+  for (std::uint32_t baud : bauds) {
+    core::ServoSystem servo(bench_config());
+    const auto pil = servo.run_pil({.baud = baud});
+    std::printf("%-8u | %-10.1f %-12.1f %-9.1f%% %-8llu %-9.3f %-9.2f %s\n",
+                baud, pil.report.round_trip_us.mean(),
+                pil.report.comm_time_per_step_us,
+                pil.report.comm_overhead_ratio * 100.0,
+                static_cast<unsigned long long>(pil.report.deadline_misses),
+                pil.iae, pil.speed.last_value(),
+                pil.metrics.settled ? "yes" : "NO");
+  }
+  std::printf("\nextension (paper future work): the same exchange over a "
+              "synchronous SPI link\n\n");
+  std::printf("%-10s | %-10s %-12s %-10s %-8s %-9s\n", "SPI clock",
+              "rtt[us]", "comm[us/st]", "overhead", "misses", "IAE");
+  bench::print_rule(66);
+  for (std::uint32_t clock : {250000u, 1000000u, 4000000u}) {
+    core::ServoSystem servo(bench_config());
+    core::ServoSystem::PilRunOptions opts;
+    opts.baud = clock;
+    opts.link = pil::PilSession::LinkKind::kSpi;
+    const auto pil = servo.run_pil(opts);
+    std::printf("%-10u | %-10.1f %-12.1f %-9.1f%% %-8llu %-9.3f\n", clock,
+                pil.report.round_trip_us.mean(),
+                pil.report.comm_time_per_step_us,
+                pil.report.comm_overhead_ratio * 100.0,
+                static_cast<unsigned long long>(pil.report.deadline_misses),
+                pil.iae);
+  }
+
+  std::printf("\n(controller execution on the board: the same generated "
+              "code in every row;\n only the communication budget "
+              "changes.)\n\n");
+}
+
+void BM_PilExchange115200(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cfg = bench_config();
+    cfg.duration_s = 0.2;
+    core::ServoSystem servo(cfg);
+    auto result = servo.run_pil({.baud = 115200});
+    benchmark::DoNotOptimize(result.report.exchanges);
+  }
+}
+BENCHMARK(BM_PilExchange115200)->Unit(benchmark::kMillisecond);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  pil::FrameDecoder decoder;
+  std::uint64_t decoded = 0;
+  decoder.set_callback([&](const pil::Frame&) { ++decoded; });
+  pil::Frame frame;
+  frame.payload = pil::encode_signals({1.0, 2.0, 3.0, 4.0});
+  const auto bytes = pil::encode_frame(frame);
+  for (auto _ : state) {
+    for (std::uint8_t b : bytes) decoder.feed(b);
+  }
+  benchmark::DoNotOptimize(decoded);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_FrameEncodeDecode);
+
+void BM_SerialLinkThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::World world;
+    sim::SerialConfig cfg;
+    cfg.baud_rate = 460800;
+    sim::SerialLink link(world, cfg);
+    std::uint64_t received = 0;
+    link.a_to_b().set_receiver(
+        [&](std::uint8_t, sim::SimTime) { ++received; });
+    for (int i = 0; i < 512; ++i) {
+      link.a_to_b().transmit(static_cast<std::uint8_t>(i));
+    }
+    world.run_for(sim::seconds_i(1));
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_SerialLinkThroughput);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

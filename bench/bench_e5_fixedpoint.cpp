@@ -1,0 +1,115 @@
+// E5 (Section 7) — fixed point vs double on the no-FPU 16-bit target.
+// The paper: "The default data type used in Simulink is double.  This
+// type is, however, not appropriate for the implementation in the 16-bit
+// microcontroller without the floating point unit."  The table quantifies
+// why: the fixed-point controller matches the double one within encoder
+// quantization while costing an order of magnitude fewer cycles per step
+// on the DSC (and far more dramatically on the 8-bit part).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/case_study.hpp"
+
+using namespace iecd;
+
+namespace {
+
+core::ServoConfig bench_config(bool fixed) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.8;
+  cfg.fixed_point = fixed;
+  return cfg;
+}
+
+void print_table() {
+  std::printf("E5: double vs fixed-point controller on DSC56F8367\n\n");
+  std::printf("%-8s | %-9s %-9s %-9s | %-12s %-10s %-9s\n", "variant",
+              "IAE", "ss-err", "final", "cycles/step", "exec[us]", "CPU[%]");
+  bench::print_rule(80);
+
+  double exec_double = 0.0;
+  for (const bool fixed : {false, true}) {
+    core::ServoSystem servo(bench_config(fixed));
+    const auto mil = servo.run_mil();
+    auto build = servo.build_target("servo");
+    const auto& cpu = mcu::find_derivative("DSC56F8367");
+    const auto cycles = build.app.task_cycles(0, cpu.costs);
+    const auto hil = servo.run_hil();
+    std::printf("%-8s | %-9.3f %-9.3f %-9.2f | %-12llu %-10.2f %-9.2f\n",
+                fixed ? "fixed" : "double", mil.iae,
+                mil.metrics.steady_state_error, mil.speed.last_value(),
+                static_cast<unsigned long long>(cycles), hil.exec_us_mean,
+                hil.cpu_utilisation * 100.0);
+    if (!fixed) exec_double = hil.exec_us_mean;
+    if (fixed && exec_double > 0) {
+      std::printf("\nfixed-point speedup on the no-FPU target: %.1fx\n",
+                  exec_double / hil.exec_us_mean);
+    }
+  }
+
+  std::printf("\nstep cost per derivative (cycles, same model):\n\n");
+  std::printf("%-12s | %-12s %-12s %-8s\n", "derivative", "double",
+              "fixed", "ratio");
+  bench::print_rule(52);
+  for (const auto& cpu : mcu::derivative_registry()) {
+    // Build both variants against the DSC project (costs only need the
+    // cost model, not a legal port).
+    core::ServoSystem servo_d(bench_config(false));
+    auto build_d = servo_d.build_target("servo");
+    core::ServoSystem servo_f(bench_config(true));
+    auto build_f = servo_f.build_target("servo");
+    const auto cd = build_d.app.task_cycles(0, cpu.costs);
+    const auto cf = build_f.app.task_cycles(0, cpu.costs);
+    std::printf("%-12s | %-12llu %-12llu %-8.1fx\n", cpu.name.c_str(),
+                static_cast<unsigned long long>(cd),
+                static_cast<unsigned long long>(cf),
+                static_cast<double>(cd) / static_cast<double>(cf));
+  }
+
+  std::printf("\nquantization detail (16-bit formats chosen by range):\n");
+  core::ServoSystem servo(bench_config(true));
+  model::Model& inner = servo.controller().inner();
+  for (const char* name : {"cnt_diff", "spd_gain", "err", "pi"}) {
+    const model::Block* b = inner.find(name);
+    if (b && b->output_format(0)) {
+      std::printf("  %-10s -> %s (resolution %.3g)\n", name,
+                  b->output_format(0)->to_string().c_str(),
+                  b->output_format(0)->resolution());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_MilDouble(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ServoSystem servo(bench_config(false));
+    auto mil = servo.run_mil();
+    benchmark::DoNotOptimize(mil.iae);
+  }
+}
+BENCHMARK(BM_MilDouble)->Unit(benchmark::kMillisecond);
+
+void BM_MilFixed(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ServoSystem servo(bench_config(true));
+    auto mil = servo.run_mil();
+    benchmark::DoNotOptimize(mil.iae);
+  }
+}
+BENCHMARK(BM_MilFixed)->Unit(benchmark::kMillisecond);
+
+void BM_FixedValueMul(benchmark::State& state) {
+  const auto fmt = fixpt::FixedFormat::s16(12);
+  fixpt::FixedValue a = fixpt::FixedValue::from_double(1.25, fmt);
+  fixpt::FixedValue b = fixpt::FixedValue::from_double(-0.75, fmt);
+  for (auto _ : state) {
+    a = a.mul(b, fmt);
+    benchmark::DoNotOptimize(a);
+    a = fixpt::FixedValue::from_double(1.25, fmt);
+  }
+}
+BENCHMARK(BM_FixedValueMul);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

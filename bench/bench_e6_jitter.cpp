@@ -1,0 +1,115 @@
+// E6 (Section 1) — "Timing variations in sampling periods and latencies
+// degrade the control performance and may in extreme cases lead to the
+// instability."  The TrueTime-style experiment the paper motivates with:
+// sweep (a) deterministic sampling jitter injected into the timer and
+// (b) extra input-output latency charged to every control step, and watch
+// the control cost (IAE) grow until the loop falls apart.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/case_study.hpp"
+
+using namespace iecd;
+
+namespace {
+
+core::ServoConfig bench_config() {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.8;
+  // Push the crossover toward the Nyquist rate so timing perturbations
+  // eat directly into the phase margin.
+  cfg.kp = 0.012;
+  cfg.ki = 0.5;
+  cfg.speed_filter_taps = 4;
+  return cfg;
+}
+
+void print_table() {
+  std::printf("E6: control quality vs timing perturbations (1 kHz servo "
+              "loop)\n\n");
+
+  core::ServoSystem baseline(bench_config());
+  const auto clean = baseline.run_hil();
+  std::printf("clean loop: IAE %.3f, jitter %.2f us\n\n", clean.iae,
+              clean.jitter_us);
+
+  std::printf("(a) sampling jitter sweep (alternating +/- offset per "
+              "activation)\n\n");
+  std::printf("%-12s | %-10s %-10s %-9s %-9s\n", "jitter[us]", "IAE",
+              "IAE ratio", "over[%]", "settled");
+  bench::print_rule(58);
+  const std::int64_t amplitudes_us[] = {0, 100, 200, 300, 400, 450};
+  for (auto amp : amplitudes_us) {
+    core::ServoSystem servo(bench_config());
+    core::ServoSystem::HilOptions opts;
+    if (amp > 0) {
+      opts.timer_jitter = [amp](std::uint64_t k) {
+        return (k % 2 == 0) ? sim::microseconds(amp)
+                            : -sim::microseconds(amp);
+      };
+    }
+    const auto hil = servo.run_hil(opts);
+    std::printf("%-12lld | %-10.3f %-10.2f %-9.2f %s\n",
+                static_cast<long long>(amp), hil.iae, hil.iae / clean.iae,
+                hil.metrics.overshoot_percent,
+                hil.metrics.settled ? "yes" : "NO");
+  }
+
+  std::printf("\n(b) input-output latency sweep (busy cycles added to every "
+              "step; 60 cycles = 1 us)\n\n");
+  std::printf("%-14s | %-10s %-10s %-9s %-9s\n", "latency[us]", "IAE",
+              "IAE ratio", "CPU[%]", "settled");
+  bench::print_rule(60);
+  const std::uint64_t latencies_us[] = {0, 100, 200, 400, 600, 800, 900};
+  for (auto lat : latencies_us) {
+    core::ServoSystem servo(bench_config());
+    core::ServoSystem::HilOptions opts;
+    opts.extra_latency_cycles = lat * 60;  // 60 MHz core
+    const auto hil = servo.run_hil(opts);
+    std::printf("%-14llu | %-10.3f %-10.2f %-9.1f %s\n",
+                static_cast<unsigned long long>(lat), hil.iae,
+                hil.iae / clean.iae, hil.cpu_utilisation * 100.0,
+                hil.metrics.settled ? "yes" : "NO");
+  }
+  std::printf("\n(c) instability onset: slower sampling stacked with "
+              "near-period latency\n\n");
+  std::printf("%-24s | %-10s %-9s %-9s\n", "period + latency", "IAE",
+              "over[%]", "settled");
+  bench::print_rule(58);
+  for (const double period_ms : {1.0, 2.0, 5.0}) {
+    core::ServoConfig cfg = bench_config();
+    cfg.period_s = period_ms * 1e-3;
+    core::ServoSystem servo(cfg);
+    core::ServoSystem::HilOptions opts;
+    // 90% of the period spent between sampling and actuation.
+    opts.extra_latency_cycles =
+        static_cast<std::uint64_t>(0.9 * cfg.period_s * 60e6);
+    const auto hil = servo.run_hil(opts);
+    std::printf("%4.0f ms + %4.1f ms        | %-10.3f %-9.1f %s\n",
+                period_ms, 0.9 * period_ms, hil.iae,
+                hil.metrics.overshoot_percent,
+                hil.metrics.settled ? "yes" : "NO (lost the loop)");
+  }
+
+  std::printf("\nexpected shape: monotone cost growth; stacking sampling "
+              "delay and latency\neats the phase margin until the loop is "
+              "lost (the paper's instability case).\n\n");
+}
+
+void BM_HilWithJitter(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ServoSystem servo(bench_config());
+    core::ServoSystem::HilOptions opts;
+    opts.timer_jitter = [](std::uint64_t k) {
+      return (k % 2 == 0) ? sim::microseconds(200)
+                          : -sim::microseconds(200);
+    };
+    auto hil = servo.run_hil(opts);
+    benchmark::DoNotOptimize(hil.iae);
+  }
+}
+BENCHMARK(BM_HilWithJitter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

@@ -1,0 +1,148 @@
+// E7 (Section 5) — MCU independence.  "Due to the HW abstraction layer
+// provided by PE, the PE block set and the target automatically support
+// all MCUs supported by PE ... the model can be extremely simply ported to
+// another MCU by selecting another CPU bean."  Two tables:
+//  (1) the servo model across all derivatives — ports legal only where the
+//      hardware has the required quadrature decoder, and the expert system
+//      says so up front;
+//  (2) an ADC+PWM controller (no decoder requirement) that ports to every
+//      derivative, with per-part cycles, utilisation, memory and the
+//      derived register settings — same model, different silicon.
+#include <cstdio>
+
+#include "beans/adc_bean.hpp"
+#include "beans/pwm_bean.hpp"
+#include "beans/timer_int_bean.hpp"
+#include "bench_util.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "core/case_study.hpp"
+#include "core/model_sync.hpp"
+#include "core/peert.hpp"
+
+using namespace iecd;
+
+namespace {
+
+/// A minimal portable controller: ADC -> PI -> PWM at 100 Hz.
+struct PortableApp {
+  model::Model top{"portable"};
+  model::Subsystem* sub;
+  beans::BeanProject project;
+  std::unique_ptr<core::ModelSync> sync;
+
+  explicit PortableApp(const std::string& derivative)
+      : project("portable", derivative) {
+    sub = &top.add<model::Subsystem>("ctrl", 0, 0);
+    sub->set_sample_time(model::SampleTime::discrete(0.01));
+    sync = std::make_unique<core::ModelSync>(sub->inner(), project);
+    model::Model& c = sub->inner();
+    sync->add_timer_int("TI1");
+    auto& adc = sync->add_adc("AD1");
+    auto& pwm = sync->add_pwm("PWM1");
+    project.set_property("TI1", "period_s", 0.01);
+    project.set_property("PWM1", "frequency_hz", 2000.0);
+    project.set_property("AD1", "resolution_bits", std::int64_t{10});
+    auto& src = c.add<blocks::ConstantBlock>("sensor_v", 1.0);
+    auto& sp = c.add<blocks::ConstantBlock>("sp", 20000.0);
+    auto& err = c.add<blocks::SumBlock>("err", "+-");
+    blocks::DiscretePidBlock::Gains g;
+    g.kp = 1e-5;
+    g.ki = 2e-4;
+    auto& pi = c.add<blocks::DiscretePidBlock>("pi", g, 0.0, 1.0);
+    c.connect(src, 0, adc, 0);
+    c.connect(sp, 0, err, 0);
+    c.connect(adc, 0, err, 1);
+    c.connect(err, 0, pi, 0);
+    c.connect(pi, 0, pwm, 0);
+    sub->bind_ports({}, {});
+  }
+};
+
+void print_table() {
+  std::printf("E7: porting by CPU bean swap\n\n");
+  std::printf("(1) servo model (needs a quadrature decoder):\n\n");
+  std::printf("%-12s %-10s %s\n", "derivative", "verdict", "first diagnostic");
+  bench::print_rule(86);
+  for (const auto& cpu : mcu::derivative_registry()) {
+    core::ServoConfig cfg;
+    cfg.derivative = cpu.name;
+    cfg.duration_s = 0.3;
+    core::ServoSystem servo(cfg);
+    const auto diags = servo.validate();
+    std::string first = "ok";
+    for (const auto& d : diags.items()) {
+      if (d.severity == util::Severity::kError) {
+        first = d.message;
+        break;
+      }
+    }
+    std::printf("%-12s %-10s %.58s\n", cpu.name.c_str(),
+                diags.has_errors() ? "REJECTED" : "OK", first.c_str());
+  }
+
+  std::printf("\n(2) ADC+PI+PWM controller (portable everywhere):\n\n");
+  std::printf("%-12s | %-12s %-8s %-11s %-11s | %-18s %-16s\n", "derivative",
+              "cycles/step", "CPU[%]", "data[B]", "code[B]", "timer solve",
+              "pwm solve");
+  bench::print_rule(104);
+  for (const auto& cpu : mcu::derivative_registry()) {
+    PortableApp app(cpu.name);
+    auto diags = app.project.validate();
+    if (diags.has_errors()) {
+      std::printf("%-12s | validation failed:\n%s\n", cpu.name.c_str(),
+                  diags.to_string().c_str());
+      continue;
+    }
+    core::PeertTarget target;
+    auto build = target.build(*app.sub, app.project, "portable");
+    if (!build.ok()) {
+      std::printf("%-12s | build failed\n", cpu.name.c_str());
+      continue;
+    }
+    const auto cycles = build.app.task_cycles(0, cpu.costs);
+    const double util =
+        build.app.estimated_utilisation(cpu.costs, cpu.clock_hz);
+    const auto* timer = app.project.find("TI1");
+    const auto* pwm = app.project.find("PWM1");
+    std::printf("%-12s | %-12llu %-8.3f %-11u %-11u | div %3lld x %-8lld "
+                "div %3lld x %-8lld\n",
+                cpu.name.c_str(), static_cast<unsigned long long>(cycles),
+                util * 100.0, build.app.memory.data_bytes,
+                build.app.memory.code_bytes,
+                static_cast<long long>(timer->properties().get_int("prescaler")),
+                static_cast<long long>(timer->properties().get_int("modulo")),
+                static_cast<long long>(pwm->properties().get_int("prescaler")),
+                static_cast<long long>(pwm->properties().get_int("modulo")));
+  }
+  std::printf("\nthe application model is identical in every row; only the "
+              "CPU bean changed.\n\n");
+}
+
+void BM_RetargetValidate(benchmark::State& state) {
+  PortableApp app("DSC56F8367");
+  const char* names[] = {"DSC56F8367", "HCS12X128", "MCF5235", "HCS08GB60"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto diags = app.project.select_derivative(names[i % 4]);
+    benchmark::DoNotOptimize(diags);
+    ++i;
+  }
+}
+BENCHMARK(BM_RetargetValidate);
+
+void BM_GenerateForDerivative(benchmark::State& state) {
+  for (auto _ : state) {
+    PortableApp app("MCF5235");
+    app.project.validate();
+    core::PeertTarget target;
+    auto build = target.build(*app.sub, app.project, "portable");
+    benchmark::DoNotOptimize(build.app.memory.code_bytes);
+  }
+}
+BENCHMARK(BM_GenerateForDerivative)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

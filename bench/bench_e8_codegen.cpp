@@ -1,0 +1,113 @@
+// E8 (Section 2) — generated-code quality and scaling.  The paper argues
+// that generated code replaces the manual process whose productivity is
+// "6 lines per day"; this bench shows what the generator actually emits as
+// the model grows: source lines, data/code memory, step cost and
+// generation wall time for controllers with 1..64 parallel PI channels.
+// Expected shape: everything scales linearly with model size, and
+// generation stays in the milliseconds.
+#include <cstdio>
+
+#include "beans/timer_int_bean.hpp"
+#include "bench_util.hpp"
+#include "blocks/discontinuities.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "codegen/generator.hpp"
+#include "core/model_sync.hpp"
+#include "mcu/derivative.hpp"
+#include "model/subsystem.hpp"
+
+using namespace iecd;
+
+namespace {
+
+/// Controller with N independent PI channels (constant set-points against
+/// unit-delay "plants" to keep it self-contained).
+struct ScaledApp {
+  model::Model top{"scaled"};
+  model::Subsystem* sub;
+  beans::BeanProject project{"scaled"};
+
+  explicit ScaledApp(int channels) {
+    sub = &top.add<model::Subsystem>("ctrl", 0, 0);
+    sub->set_sample_time(model::SampleTime::discrete(0.001));
+    project.add<beans::TimerIntBean>("TI1");
+    model::Model& c = sub->inner();
+    for (int i = 0; i < channels; ++i) {
+      const std::string n = std::to_string(i);
+      auto& sp = c.add<blocks::ConstantBlock>("sp" + n, 1.0);
+      auto& fb = c.add<blocks::UnitDelayBlock>("fb" + n, 0.0);
+      auto& err = c.add<blocks::SumBlock>("err" + n, "+-");
+      blocks::DiscretePidBlock::Gains g;
+      g.kp = 0.5;
+      g.ki = 2.0;
+      auto& pi = c.add<blocks::DiscretePidBlock>("pi" + n, g, -1.0, 1.0);
+      auto& sat = c.add<blocks::SaturationBlock>("sat" + n, -1.0, 1.0);
+      c.connect(sp, 0, err, 0);
+      c.connect(fb, 0, err, 1);
+      c.connect(err, 0, pi, 0);
+      c.connect(pi, 0, sat, 0);
+      c.connect(sat, 0, fb, 0);
+    }
+    sub->bind_ports({}, {});
+  }
+};
+
+void print_table() {
+  std::printf("E8: generated-code metrics vs model size (DSC56F8367)\n\n");
+  std::printf("%-10s %-8s | %-8s %-10s %-10s %-12s %-10s %-10s\n",
+              "channels", "blocks", "files", "lines", "data[B]", "code[B]",
+              "cyc/step", "gen[ms]");
+  bench::print_rule(86);
+  const auto& cpu = mcu::find_derivative("DSC56F8367");
+  for (int channels : {1, 2, 4, 8, 16, 32, 64}) {
+    ScaledApp app(channels);
+    app.project.validate();
+    codegen::Generator gen;
+    bench::Stopwatch watch;
+    auto generated = gen.generate(*app.sub, app.project, {});
+    const double gen_ms = watch.elapsed_ms();
+    std::printf("%-10d %-8zu | %-8zu %-10zu %-10u %-12u %-10llu %-10.2f\n",
+                channels, app.sub->inner().block_count(),
+                generated.sources.size(), generated.source_lines(),
+                generated.memory.data_bytes, generated.memory.code_bytes,
+                static_cast<unsigned long long>(
+                    generated.task_cycles(0, cpu.costs)),
+                gen_ms);
+  }
+  std::printf("\nproductivity contrast (paper Section 2): hand-coding runs "
+              "at ~6 lines/day;\nthe generator emits the equivalent "
+              "controller in milliseconds, consistent with\nthe model, and "
+              "regenerates after every model change.\n\n");
+}
+
+void BM_Generate16Channels(benchmark::State& state) {
+  for (auto _ : state) {
+    ScaledApp app(16);
+    app.project.validate();
+    codegen::Generator gen;
+    auto generated = gen.generate(*app.sub, app.project, {});
+    benchmark::DoNotOptimize(generated.memory.code_bytes);
+  }
+}
+BENCHMARK(BM_Generate16Channels)->Unit(benchmark::kMillisecond);
+
+void BM_EmitSourcesOnly(benchmark::State& state) {
+  ScaledApp app(16);
+  app.project.validate();
+  codegen::Generator gen;
+  auto generated = gen.generate(*app.sub, app.project, {});
+  for (auto _ : state) {
+    // Regeneration after a model edit re-runs the whole pipeline; this
+    // isolates the emission cost.
+    codegen::Generator g2;
+    auto app2 = g2.generate(*app.sub, app.project, {});
+    benchmark::DoNotOptimize(app2.source_lines());
+  }
+}
+BENCHMARK(BM_EmitSourcesOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

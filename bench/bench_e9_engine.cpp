@@ -1,0 +1,124 @@
+// E9 — substrate soundness: raw throughput of the simulation kernels the
+// reproduction stands on (block-diagram engine, discrete-event queue,
+// MCU+peripheral co-simulation) and host-level parallel scaling of
+// independent simulation sweeps across cores (the thread-pool harness all
+// parameter-sweep benches can use).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "blocks/sinks.hpp"
+#include "core/case_study.hpp"
+#include "model/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace iecd;
+
+namespace {
+
+void print_table() {
+  std::printf("E9: simulation-substrate throughput\n\n");
+
+  // Parallel sweep scaling: N independent MIL runs across worker counts.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("parallel MIL sweep scaling (16 servo runs of 1 s; host has "
+              "%u core%s -> ideal speedup %ux):\n\n",
+              cores, cores == 1 ? "" : "s", cores);
+  std::printf("%-10s %-12s %-10s\n", "threads", "wall[ms]", "speedup");
+  bench::print_rule(36);
+  const std::size_t runs = 16;
+  double t1 = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    bench::Stopwatch watch;
+    pool.parallel_for(runs, [](std::size_t) {
+      core::ServoConfig cfg;
+      cfg.duration_s = 1.0;
+      core::ServoSystem servo(cfg);
+      auto mil = servo.run_mil();
+      benchmark::DoNotOptimize(mil.iae);
+    });
+    const double ms = watch.elapsed_ms();
+    if (threads == 1) t1 = ms;
+    std::printf("%-10zu %-12.1f %-10.2fx\n", threads, ms, t1 / ms);
+  }
+  std::printf("\n(each simulation is deterministic and single-threaded; "
+              "parallelism lives at the\n sweep level, so speedup is "
+              "bounded by the available cores.)\n\n");
+}
+
+void BM_EngineGainChain(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  model::Model m("chain");
+  auto& src = m.add<blocks::ConstantBlock>("src", 1.0);
+  model::Block* prev = &src;
+  for (int i = 0; i < n; ++i) {
+    auto& g = m.add<blocks::GainBlock>("g" + std::to_string(i), 1.0001);
+    m.connect(*prev, 0, g, 0);
+    prev = &g;
+  }
+  auto& sink = m.add<blocks::TerminatorBlock>("sink");
+  m.connect(*prev, 0, sink, 0);
+  model::Engine eng(m, {.stop_time = 1e9});
+  eng.initialize();
+  for (auto _ : state) {
+    eng.step();
+  }
+  state.SetItemsProcessed(state.iterations() * (n + 2));
+  state.counters["block_steps/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * (n + 2)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineGainChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int hits = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule_at((i * 7919) % 100000 + 1, [&hits] { ++hits; });
+    }
+    q.run_all();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_McuIsrDispatch(benchmark::State& state) {
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  mcu::IsrHandler handler;
+  handler.name = "bench";
+  handler.body = []() -> std::uint64_t { return 100; };
+  mcu.intc().register_vector(1, 0, std::move(handler));
+  for (auto _ : state) {
+    world.queue().schedule_in(10, [&] { mcu.raise_irq(1); });
+    world.run_for(sim::microseconds(10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_McuIsrDispatch);
+
+void BM_HilCosimRealtimeRatio(benchmark::State& state) {
+  // How much faster than real time the full HIL co-simulation runs.
+  for (auto _ : state) {
+    core::ServoConfig cfg;
+    cfg.duration_s = 0.5;
+    core::ServoSystem servo(cfg);
+    auto hil = servo.run_hil();
+    benchmark::DoNotOptimize(hil.iae);
+  }
+  state.counters["sim_s/wall_s"] = benchmark::Counter(
+      0.5 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HilCosimRealtimeRatio)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IECD_BENCH_MAIN(print_table)

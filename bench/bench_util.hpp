@@ -1,0 +1,46 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment benches: every bench binary first
+/// prints its experiment table (the series EXPERIMENTS.md records), then
+/// runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace iecd::bench {
+
+/// Wall-clock stopwatch for per-phase timings in the tables.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Standard bench main body: print the table, then run microbenchmarks.
+#define IECD_BENCH_MAIN(print_table_fn)                       \
+  int main(int argc, char** argv) {                           \
+    print_table_fn();                                         \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }
+
+}  // namespace iecd::bench

@@ -1,0 +1,56 @@
+// Distributed servo over CAN: the Section 7 control loop split across
+// three MCUs — sensor node (encoder), controller node (PI law) and
+// actuator node (PWM + motor) — exchanging messages on one CAN bus.
+// This is the "distributed nature" the paper's introduction targets: the
+// run shows the two-hop sensing-to-actuation latency the network adds,
+// and how a loaded bus (background traffic at higher priority) eats into
+// the control quality.
+#include <cstdio>
+
+#include "core/distributed.hpp"
+
+using namespace iecd;
+
+int main() {
+  core::DistributedConfig cfg;
+  cfg.duration_s = 1.0;
+
+  std::printf("Distributed servo: sensor --CAN--> controller --CAN--> "
+              "actuator\n\n");
+  const auto clean = core::run_distributed_servo(cfg);
+  std::printf("clean 500 kbit/s bus:\n");
+  std::printf("  rise %.1f ms, overshoot %.2f %%, IAE %.3f, final %.2f "
+              "rad/s (%s)\n",
+              clean.metrics.rise_time * 1e3, clean.metrics.overshoot_percent,
+              clean.iae, clean.speed.last_value(),
+              clean.metrics.settled ? "settled" : "NOT settled");
+  std::printf("  frames: %llu sensor + %llu actuator, bus %.1f %% busy\n",
+              static_cast<unsigned long long>(clean.sensor_frames),
+              static_cast<unsigned long long>(clean.actuator_frames),
+              clean.bus_utilisation * 100.0);
+  std::printf("  sensing->actuation latency %.0f us mean / %.0f us max "
+              "(two frame hops)\n\n",
+              clean.loop_latency_us_mean, clean.loop_latency_us_max);
+
+  std::printf("with 2000 higher-priority background frames/s:\n");
+  cfg.background_frames_per_s = 2000.0;
+  const auto loaded = core::run_distributed_servo(cfg);
+  std::printf("  IAE %.3f (%.2fx), latency %.0f us mean / %.0f us max, "
+              "bus %.1f %% busy, rx overruns %llu\n\n",
+              loaded.iae, loaded.iae / clean.iae,
+              loaded.loop_latency_us_mean, loaded.loop_latency_us_max,
+              loaded.bus_utilisation * 100.0,
+              static_cast<unsigned long long>(
+                  loaded.controller_rx_overruns));
+
+  std::printf("slow 100 kbit/s bus, no background traffic:\n");
+  cfg.background_frames_per_s = 0.0;
+  cfg.can_bitrate = 100000;
+  const auto slow = core::run_distributed_servo(cfg);
+  std::printf("  IAE %.3f (%.2fx), latency %.0f us mean / %.0f us max, "
+              "bus %.1f %% busy (%s)\n",
+              slow.iae, slow.iae / clean.iae, slow.loop_latency_us_mean,
+              slow.loop_latency_us_max, slow.bus_utilisation * 100.0,
+              slow.metrics.settled ? "settled" : "NOT settled");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Section 5 portability claim: "the model with the PE blocks can be
+// extremely simply ported to another MCU by selecting another CPU bean in
+// the PE project window.  The application design in Simulink therefore
+// becomes HW independent."
+//
+// This example ports the servo application across every derivative in the
+// registry.  Where the hardware genuinely lacks a required module (no
+// quadrature decoder on the HCS12X/HCS08 analogs), the expert system
+// rejects the port with a precise diagnostic *before* any code is
+// generated — the validation value the paper stresses.  Where the port is
+// legal, the same unchanged model builds and runs, with per-derivative
+// costs.
+#include <cstdio>
+
+#include "core/case_study.hpp"
+#include "mcu/derivative.hpp"
+
+using namespace iecd;
+
+int main() {
+  std::printf("Porting the unchanged servo model across CPU beans\n");
+  std::printf("%-12s %-10s %-44s\n", "derivative", "verdict", "detail");
+  std::printf("%.78s\n",
+              "----------------------------------------------------------------"
+              "--------------");
+
+  for (const auto& derivative : mcu::derivative_registry()) {
+    core::ServoConfig config;
+    config.derivative = derivative.name;
+    config.duration_s = 0.5;
+    core::ServoSystem servo(config);
+    const auto diagnostics = servo.validate();
+
+    if (diagnostics.has_errors()) {
+      // The expert system names the missing resource.
+      std::string first_error;
+      for (const auto& d : diagnostics.items()) {
+        if (d.severity == util::Severity::kError) {
+          first_error = d.message;
+          break;
+        }
+      }
+      std::printf("%-12s %-10s %.44s\n", derivative.name.c_str(), "REJECTED",
+                  first_error.c_str());
+      continue;
+    }
+
+    auto build = servo.build_target("servo");
+    if (!build.ok()) {
+      std::printf("%-12s %-10s build failed\n", derivative.name.c_str(),
+                  "ERROR");
+      continue;
+    }
+    const auto cycles = build.app.task_cycles(0, derivative.costs);
+    const double util =
+        build.app.estimated_utilisation(derivative.costs,
+                                        derivative.clock_hz);
+    const auto hil = servo.run_hil();
+    std::printf("%-12s %-10s step %llu cycles, %.1f%% CPU, exec %.1f us, "
+                "final %.1f rad/s\n",
+                derivative.name.c_str(), hil.metrics.settled ? "OK" : "RAN",
+                static_cast<unsigned long long>(cycles), util * 100.0,
+                hil.exec_us_mean, hil.speed.last_value());
+  }
+
+  std::printf("\nThe model itself never changed: only the CPU bean did.\n");
+  return 0;
+}

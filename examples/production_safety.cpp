@@ -1,0 +1,90 @@
+// Production hardening walk-through: the servo application with the
+// safety net a series ECU ships with —
+//   * static schedulability analysis of the generated task set
+//     (cross-checked against the observed HIL response times),
+//   * a watchdog serviced from the model step, with a failure-injection
+//     run showing it catching a chronically overrunning controller,
+//   * AUTOSAR-flavoured code emission (the paper's second block-set
+//     variant) for integration with a standardized basic software stack.
+#include <cstdio>
+
+#include "beans/autosar.hpp"
+#include "beans/watchdog_bean.hpp"
+#include "codegen/generator.hpp"
+#include "core/case_study.hpp"
+#include "mcu/derivative.hpp"
+#include "rt/schedulability.hpp"
+
+using namespace iecd;
+
+int main() {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.6;
+  core::ServoSystem servo(cfg);
+  auto& wdog = servo.project().add<beans::WatchdogBean>("WDog1");
+  servo.project().set_property("WDog1", "timeout_s", 0.004);
+
+  auto build = servo.build_target("servo");
+  if (!build.ok()) {
+    std::printf("%s", build.diagnostics.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("=== 1. static schedulability analysis ===\n\n");
+  const auto& cpu = mcu::find_derivative(cfg.derivative);
+  // The operator can press the key at most ~20x/s.
+  const auto report = rt::analyze_schedulability(
+      build.app, cpu, {{"KeyUp_OnInterrupt", 0.05}});
+  std::printf("%s\n", report.to_string().c_str());
+
+  std::printf("=== 2. healthy run: watchdog stays quiet ===\n\n");
+  const auto healthy = servo.run_hil();
+  std::printf("  settled %s, IAE %.3f; watchdog refreshes %llu, bites "
+              "%llu\n",
+              healthy.metrics.settled ? "yes" : "no", healthy.iae,
+              static_cast<unsigned long long>(
+                  wdog.peripheral()->refreshes()),
+              static_cast<unsigned long long>(wdog.peripheral()->bites()));
+  std::printf("  observed worst response %.1f us vs analytic bound %.1f "
+              "us\n\n",
+              healthy.exec_us_max + healthy.response_us_max,
+              report.tasks[0].response_bound_s * 1e6);
+
+  std::printf("=== 3. failure injection: controller overruns its period "
+              "===\n\n");
+  core::ServoSystem faulty(cfg);
+  auto& wdog2 = faulty.project().add<beans::WatchdogBean>("WDog1");
+  faulty.project().set_property("WDog1", "timeout_s", 0.004);
+  core::ServoSystem::HilOptions fault;
+  fault.extra_latency_cycles = 200000;  // ~3.3 ms busy-wait per 1 ms period
+  const auto sick = faulty.run_hil(fault);
+  std::printf("  interrupt overruns %llu, watchdog bites %llu -> the COP "
+              "catches the stuck loop\n\n",
+              static_cast<unsigned long long>(sick.overruns),
+              static_cast<unsigned long long>(wdog2.peripheral()->bites()));
+
+  std::printf("=== 4. AUTOSAR code variant ===\n\n");
+  core::ServoSystem autosar_servo(cfg);
+  autosar_servo.project().add<beans::WatchdogBean>("WDog1");
+  autosar_servo.validate();
+  codegen::GeneratorOptions opts;
+  opts.app_name = "servo";
+  opts.api = beans::DriverApi::kAutosar;
+  codegen::Generator gen;
+  auto ar = gen.generate(autosar_servo.controller(), autosar_servo.project(),
+                         opts);
+  std::printf("  emitted %zu files against the MCAL API, e.g.:\n",
+              ar.sources.size());
+  const std::string& step = ar.sources.at("servo.c");
+  for (const char* needle :
+       {"Cdd_QuadDec_GetPosition", "Pwm_SetDutyCycle", "Dio_ReadChannel"}) {
+    const auto pos = step.find(needle);
+    if (pos == std::string::npos) continue;
+    const auto start = step.rfind('\n', pos) + 1;
+    const auto end = step.find('\n', pos);
+    std::printf("    %s\n", step.substr(start, end - start).c_str());
+  }
+  std::printf("  (PE-variant and AUTOSAR-variant applications are "
+              "functionally identical;\n   see tests/autosar_test.cpp)\n");
+  return 0;
+}

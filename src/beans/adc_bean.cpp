@@ -1,0 +1,147 @@
+#include "beans/adc_bean.hpp"
+
+#include "beans/solvers.hpp"
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+AdcBean::AdcBean(std::string name) : Bean(std::move(name), "ADC") {
+  properties().declare(PropertySpec::integer(
+      "channel", 0, 0, 63, "analog input channel"));
+  properties().declare(PropertySpec::integer(
+      "resolution_bits", 12, 8, 16, "converter resolution"));
+  properties().declare(PropertySpec::real(
+      "vref_high", 3.3, 0.1, 12.0, "high reference voltage"));
+  properties().declare(PropertySpec::boolean(
+      "continuous", false, "free-running conversions"));
+  properties().declare(PropertySpec::boolean(
+      "interrupt", true, "raise OnEnd at end of conversion"));
+  properties().declare(PropertySpec::integer(
+      "interrupt_priority", 3, 0, 15, "OnEnd interrupt priority"));
+  properties().declare(
+      PropertySpec::real("conversion_time_us", 0.0, 0.0, 1e6,
+                         "one-sample conversion time on this derivative")
+          .derived());
+}
+
+std::vector<MethodSpec> AdcBean::methods() const {
+  return {
+      {"Measure", "byte %M_Measure(bool WaitForResult)",
+       "start A/D conversion"},
+      {"GetValue16", "byte %M_GetValue16(word *Value)",
+       "read last result, left-justified to 16 bits"},
+      {"EnableEvent", "void %M_EnableEvent(void)", "unmask OnEnd"},
+      {"DisableEvent", "void %M_DisableEvent(void)", "mask OnEnd"},
+  };
+}
+
+std::vector<EventSpec> AdcBean::events() const {
+  return {{"OnEnd", "end of conversion (result register valid)"}};
+}
+
+ResourceDemand AdcBean::demand() const {
+  ResourceDemand d;
+  d.adc_channels = 1;
+  return d;
+}
+
+void AdcBean::validate(const mcu::DerivativeSpec& cpu,
+                       util::DiagnosticList& diagnostics) {
+  const auto channel = properties().get_int("channel");
+  if (channel >= cpu.adc_channels) {
+    diagnostics.error(
+        name() + ".channel",
+        util::format("channel %lld does not exist on %s (has %d)",
+                     static_cast<long long>(channel), cpu.name.c_str(),
+                     cpu.adc_channels));
+  }
+  const auto bits = properties().get_int("resolution_bits");
+  if (bits > cpu.adc_max_bits) {
+    diagnostics.error(
+        name() + ".resolution_bits",
+        util::format("%lld bits requested but %s converts at most %d bits",
+                     static_cast<long long>(bits), cpu.name.c_str(),
+                     cpu.adc_max_bits));
+  }
+  const sim::SimTime conv = adc_conversion_time(cpu);
+  properties().set_derived("conversion_time_us", sim::to_microseconds(conv));
+  diagnostics.info(
+      name() + ".conversion_time_us",
+      util::format("derived conversion time: %.3f us",
+                   sim::to_microseconds(conv)));
+}
+
+void AdcBean::bind(BindContext& ctx) {
+  periph::AdcConfig cfg;
+  cfg.resolution_bits =
+      static_cast<int>(properties().get_int("resolution_bits"));
+  cfg.channels = ctx.mcu.spec().adc_channels;
+  cfg.vref_high = properties().get_real("vref_high");
+  cfg.conversion_time = adc_conversion_time(ctx.mcu.spec());
+  cfg.continuous = properties().get_bool("continuous");
+  if (properties().get_bool("interrupt")) {
+    cfg.eoc_vector = register_event(
+        ctx, "OnEnd",
+        static_cast<int>(properties().get_int("interrupt_priority")));
+  }
+  adc_ = std::make_unique<periph::AdcPeripheral>(ctx.mcu, cfg, name());
+  mark_bound();
+}
+
+bool AdcBean::Measure() {
+  return adc_ && adc_->start_conversion(channel());
+}
+
+std::uint16_t AdcBean::GetValue16() const {
+  if (!adc_) return 0;
+  const std::uint32_t raw = adc_->result(channel());
+  const int shift = 16 - adc_->config().resolution_bits;
+  return static_cast<std::uint16_t>(raw << shift);
+}
+
+std::uint32_t AdcBean::GetValueRaw() const {
+  return adc_ ? adc_->result(channel()) : 0;
+}
+
+DriverSource AdcBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  std::string h = driver_header_prologue();
+  for (const auto& m : methods()) {
+    if (!method_enabled(m.name)) continue;
+    std::string sig = m.signature;
+    const std::string token = "%M";
+    for (std::size_t pos; (pos = sig.find(token)) != std::string::npos;) {
+      sig.replace(pos, token.size(), name());
+    }
+    h += sig + ";  /* " + m.description + " */\n";
+  }
+  h += "\n#endif /* __" + name() + "_H */\n";
+  out.header = h;
+
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  c += util::format("/* channel %lld, %lld-bit, conversion %.3f us */\n",
+                    static_cast<long long>(properties().get_int("channel")),
+                    static_cast<long long>(
+                        properties().get_int("resolution_bits")),
+                    properties().get_real("conversion_time_us"));
+  if (method_enabled("Measure")) {
+    c += "byte " + name() +
+         "_Measure(bool WaitForResult) {\n"
+         "  ADC_CR |= ADC_CR_START;\n"
+         "  if (WaitForResult) { while (!(ADC_SR & ADC_SR_EOC)) {} }\n"
+         "  return ERR_OK;\n}\n";
+  }
+  if (method_enabled("GetValue16")) {
+    c += "byte " + name() +
+         "_GetValue16(word *Value) {\n"
+         "  *Value = (word)(ADC_RSLT << " +
+         std::to_string(16 - properties().get_int("resolution_bits")) +
+         ");\n  return ERR_OK;\n}\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,46 @@
+/// \file adc_bean.hpp
+/// ADC bean ("AD" in Processor Expert terms).  The user states *what* they
+/// need — channel, resolution, interrupt on end-of-conversion — and the
+/// expert system derives the conversion time on the selected derivative and
+/// verifies the request is achievable at all.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/adc.hpp"
+
+namespace iecd::beans {
+
+class AdcBean : public Bean {
+ public:
+  explicit AdcBean(std::string name = "AD1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods (the generated application's entry points) ---
+
+  /// Method "Measure": starts a conversion on the configured channel.
+  bool Measure();
+  /// Method "GetValue16": last result left-justified into 16 bits (the PE
+  /// convention making application code resolution-independent).
+  std::uint16_t GetValue16() const;
+  /// Raw right-justified result.
+  std::uint32_t GetValueRaw() const;
+
+  periph::AdcPeripheral* peripheral() { return adc_.get(); }
+  int channel() const {
+    return static_cast<int>(properties().get_int("channel"));
+  }
+
+ private:
+  std::unique_ptr<periph::AdcPeripheral> adc_;
+};
+
+}  // namespace iecd::beans

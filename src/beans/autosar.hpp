@@ -1,0 +1,47 @@
+/// \file autosar.hpp
+/// The second block-set variant from the paper's conclusions: "In the
+/// first variant the blocks represent the PE beans while in the second
+/// variant the blocks represent AUTOSAR peripherals.  The blocks of both
+/// variants are the same from the functional point of view, but they
+/// differ in HW settings and the API of generated code."
+///
+/// This module maps each bean onto its AUTOSAR MCAL module and emits
+/// drivers with the standardized API (Adc_ReadGroup, Pwm_SetDutyCycle,
+/// Gpt notifications, Dio channels); peripherals without an MCAL module
+/// (quadrature decoder, SCI) become complex device drivers (Cdd_*), as
+/// AUTOSAR prescribes.
+#pragma once
+
+#include "beans/bean.hpp"
+
+namespace iecd::beans {
+
+/// Which flavour of hardware-access API the generated code uses.
+enum class DriverApi {
+  kProcessorExpert,  ///< bean methods (AD1_Measure, PWM1_SetRatio16, ...)
+  kAutosar,          ///< MCAL modules (Adc_ReadGroup, Pwm_SetDutyCycle, ...)
+};
+
+const char* to_string(DriverApi api);
+
+namespace autosar {
+
+/// The MCAL module name a bean maps to ("Adc", "Pwm", "Gpt", "Dio",
+/// "Mcu", or "Cdd_<Type>" for peripherals AUTOSAR has no module for).
+std::string mcal_module_of(const Bean& bean);
+
+/// Emits the AUTOSAR-flavoured driver for one bean (only enabled methods,
+/// like the PE emission).
+DriverSource driver_source(const Bean& bean);
+
+/// Std_Types.h — the AUTOSAR counterpart of PE_Types.h.
+DriverSource std_types_header();
+
+/// C statement(s) accessing the bean's hardware through the MCAL API (the
+/// AUTOSAR counterpart of TargetIo::emit_target_c).  \p var is the C
+/// variable read into / written from; \p is_input selects direction.
+std::string emit_access(const Bean& bean, const std::string& var,
+                        bool is_input);
+
+}  // namespace autosar
+}  // namespace iecd::beans

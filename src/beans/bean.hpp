@@ -1,0 +1,161 @@
+/// \file bean.hpp
+/// Embedded Bean base class.  A bean encapsulates one hardware function
+/// (ADC converter, PWM channel, periodic interrupt, ...) behind a unified
+/// interface of *properties* (design-time settings), *methods* (the C API
+/// the generated application calls) and *events* (interrupt callbacks).
+/// Beans validate themselves against the selected CPU derivative, bind to
+/// the simulated peripheral at build time, and emit their PE-style C
+/// driver sources.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "beans/property.hpp"
+#include "mcu/derivative.hpp"
+#include "mcu/mcu.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::beans {
+
+/// Method of a bean's generated driver (e.g. AD1_Measure).
+struct MethodSpec {
+  std::string name;
+  std::string signature;  ///< C signature fragment, e.g. "byte %M_GetValue(word* Value)"
+  std::string description;
+};
+
+/// Event a bean can raise (maps to an interrupt service routine).
+struct EventSpec {
+  std::string name;  ///< e.g. "OnEnd"
+  std::string description;
+};
+
+/// Resource units a bean consumes on the selected derivative; summed and
+/// checked by the project-level expert system.
+struct ResourceDemand {
+  int adc_channels = 0;
+  int pwm_channels = 0;
+  int timer_channels = 0;
+  int quadrature_decoders = 0;
+  int uarts = 0;
+  int gpio_pins = 0;
+};
+
+/// Generated driver sources for one bean.
+struct DriverSource {
+  std::string header_name;
+  std::string header;
+  std::string source_name;
+  std::string source;
+};
+
+class GpioPortHolder;
+
+/// Shared state threaded through Bean::bind of every bean in a project:
+/// interrupt vector allocation and the shared GPIO port.
+struct BindContext {
+  explicit BindContext(mcu::Mcu& target) : mcu(target) {}
+
+  mcu::Mcu& mcu;
+  int next_vector = 100;
+  mcu::IrqVector alloc_vector() { return next_vector++; }
+
+  /// Lazily-created port shared by all BitIo beans (pins are per-bean).
+  std::shared_ptr<GpioPortHolder> gpio;
+};
+
+class Bean {
+ public:
+  Bean(std::string instance_name, std::string type_name);
+  virtual ~Bean() = default;
+
+  Bean(const Bean&) = delete;
+  Bean& operator=(const Bean&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& type_name() const { return type_name_; }
+  void rename(const std::string& new_name);
+
+  PropertySet& properties() { return props_; }
+  const PropertySet& properties() const { return props_; }
+
+  /// Convenience validated property write.
+  bool set_property(const std::string& prop, const PropertyValue& value,
+                    util::DiagnosticList& diagnostics);
+
+  virtual std::vector<MethodSpec> methods() const = 0;
+  virtual std::vector<EventSpec> events() const = 0;
+  virtual ResourceDemand demand() const = 0;
+
+  /// Expert-system pass: checks properties against the derivative and
+  /// computes derived properties (achieved periods, prescalers, ...).
+  virtual void validate(const mcu::DerivativeSpec& cpu,
+                        util::DiagnosticList& diagnostics) = 0;
+
+  /// Instantiates the peripheral on the target MCU.  Must be called after a
+  /// successful validate() against the same derivative.
+  virtual void bind(BindContext& ctx) = 0;
+  bool bound() const { return bound_; }
+
+  /// Installs (or replaces) the ISR attached to one of this bean's events.
+  /// May be called before or after bind(); the registered trampoline picks
+  /// up the current handler at dispatch time.
+  void set_event_handler(const std::string& event, mcu::IsrHandler handler);
+
+  /// Trampoline entry points: run the currently installed handler for an
+  /// event.  Exposed so bean subclasses can register custom vectors (e.g.
+  /// BitIo pins) that still honour late handler installation.
+  std::uint64_t dispatch_event_body(const std::string& event);
+  void dispatch_event_commit(const std::string& event);
+
+  /// Emits the PE-style C driver (only enabled methods appear).
+  virtual DriverSource driver_source() const = 0;
+
+  /// Method enablement: the make_rtw_hook auto-enables exactly the methods
+  /// the generated model code calls (paper Section 5).
+  void enable_method(const std::string& method);
+  bool method_enabled(const std::string& method) const;
+  const std::set<std::string>& enabled_methods() const {
+    return enabled_methods_;
+  }
+
+  /// Interrupt vector assigned to an event at bind time (-1 if none).
+  mcu::IrqVector event_vector(const std::string& event) const;
+
+  /// Bean-Inspector rendering: type, instance, properties, methods, events.
+  std::string inspector_render() const;
+
+ protected:
+  void mark_bound() { bound_ = true; }
+  void assign_event_vector(const std::string& event, mcu::IrqVector vec);
+
+  /// Allocates a vector, registers a trampoline ISR forwarding to the
+  /// event's current handler, and records the vector for event_vector().
+  /// Returns the allocated vector.
+  mcu::IrqVector register_event(BindContext& ctx, const std::string& event,
+                                int priority,
+                                std::uint32_t default_stack_bytes = 96);
+
+  /// Emits the common driver header boilerplate.
+  std::string driver_header_prologue() const;
+
+  /// Emits C declarations for the currently enabled methods ("%M" in the
+  /// signature expands to the instance name).
+  std::string driver_method_decls() const;
+
+ private:
+  std::string name_;
+  std::string type_name_;
+  PropertySet props_;
+  std::set<std::string> enabled_methods_;
+  std::vector<std::pair<std::string, mcu::IrqVector>> event_vectors_;
+  std::map<std::string, std::shared_ptr<mcu::IsrHandler>> event_slots_;
+  bool bound_ = false;
+};
+
+}  // namespace iecd::beans

@@ -1,0 +1,232 @@
+#include "beans/bean_project.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "beans/adc_bean.hpp"
+#include "beans/bit_io_bean.hpp"
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+BeanProject::BeanProject(std::string name, const std::string& derivative)
+    : name_(std::move(name)),
+      cpu_(std::make_unique<CpuBean>("CPU", derivative)) {}
+
+util::DiagnosticList BeanProject::select_derivative(
+    const std::string& derivative) {
+  util::DiagnosticList diagnostics;
+  if (!cpu_->set_property("derivative", derivative, diagnostics)) {
+    return diagnostics;
+  }
+  notify(ProjectChange::kCpuChanged, cpu_->name(), derivative);
+  diagnostics.merge(validate());
+  return diagnostics;
+}
+
+Bean* BeanProject::find(const std::string& instance_name) {
+  if (cpu_->name() == instance_name) return cpu_.get();
+  for (const auto& b : beans_) {
+    if (b->name() == instance_name) return b.get();
+  }
+  return nullptr;
+}
+
+const Bean* BeanProject::find(const std::string& instance_name) const {
+  return const_cast<BeanProject*>(this)->find(instance_name);
+}
+
+void BeanProject::ensure_unique(const std::string& instance_name) const {
+  if (const_cast<BeanProject*>(this)->find(instance_name)) {
+    throw std::invalid_argument("BeanProject: duplicate bean name " +
+                                instance_name);
+  }
+}
+
+bool BeanProject::remove(const std::string& instance_name) {
+  const auto it = std::find_if(
+      beans_.begin(), beans_.end(),
+      [&](const auto& b) { return b->name() == instance_name; });
+  if (it == beans_.end()) return false;
+  beans_.erase(it);
+  validated_ok_ = false;
+  notify(ProjectChange::kRemoved, instance_name, "");
+  return true;
+}
+
+bool BeanProject::rename(const std::string& old_name,
+                         const std::string& new_name) {
+  Bean* bean = find(old_name);
+  if (!bean || bean == cpu_.get()) return false;
+  ensure_unique(new_name);
+  bean->rename(new_name);
+  notify(ProjectChange::kRenamed, old_name, new_name);
+  return true;
+}
+
+util::DiagnosticList BeanProject::set_property(const std::string& bean,
+                                               const std::string& property,
+                                               const PropertyValue& value) {
+  util::DiagnosticList diagnostics;
+  Bean* b = find(bean);
+  if (!b) {
+    diagnostics.error(name_ + "." + bean, "unknown bean");
+    return diagnostics;
+  }
+  if (!b->set_property(property, value, diagnostics)) return diagnostics;
+  notify(ProjectChange::kPropertyChanged, bean, property);
+  // Immediate verification: every accepted edit re-runs the expert system.
+  diagnostics.merge(validate());
+  return diagnostics;
+}
+
+void BeanProject::check_aggregate_resources(
+    const mcu::DerivativeSpec& cpu, util::DiagnosticList& diagnostics) const {
+  ResourceDemand total;
+  for (const auto& b : beans_) {
+    const ResourceDemand d = b->demand();
+    total.adc_channels += d.adc_channels;
+    total.pwm_channels += d.pwm_channels;
+    total.timer_channels += d.timer_channels;
+    total.quadrature_decoders += d.quadrature_decoders;
+    total.uarts += d.uarts;
+    total.gpio_pins += d.gpio_pins;
+  }
+  const auto check = [&](int used, int have, const char* what) {
+    if (used > have) {
+      diagnostics.error(
+          name_ + ".resources",
+          util::format("%d %s requested but %s has only %d", used, what,
+                       cpu.name.c_str(), have));
+    }
+  };
+  check(total.adc_channels, cpu.adc_channels, "ADC channels");
+  check(total.pwm_channels, cpu.pwm_channels, "PWM channels");
+  check(total.timer_channels, cpu.timer_channels, "timer channels");
+  check(total.quadrature_decoders, cpu.quadrature_decoders,
+        "quadrature decoders");
+  check(total.uarts, cpu.uarts, "SCI modules");
+  check(total.gpio_pins, cpu.gpio_pins, "GPIO pins");
+}
+
+void BeanProject::check_explicit_conflicts(
+    util::DiagnosticList& diagnostics) const {
+  std::map<std::int64_t, std::string> adc_channels;
+  std::map<std::int64_t, std::string> gpio_pins;
+  for (const auto& b : beans_) {
+    if (const auto* adc = dynamic_cast<const AdcBean*>(b.get())) {
+      const std::int64_t ch = adc->properties().get_int("channel");
+      const auto [it, inserted] = adc_channels.emplace(ch, adc->name());
+      if (!inserted) {
+        diagnostics.error(
+            adc->name() + ".channel",
+            util::format("ADC channel %lld already claimed by %s",
+                         static_cast<long long>(ch), it->second.c_str()));
+      }
+    }
+    if (const auto* bit = dynamic_cast<const BitIoBean*>(b.get())) {
+      const std::int64_t pin = bit->properties().get_int("pin");
+      const auto [it, inserted] = gpio_pins.emplace(pin, bit->name());
+      if (!inserted) {
+        diagnostics.error(
+            bit->name() + ".pin",
+            util::format("pin %lld already claimed by %s",
+                         static_cast<long long>(pin), it->second.c_str()));
+      }
+    }
+  }
+}
+
+util::DiagnosticList BeanProject::validate() {
+  util::DiagnosticList diagnostics;
+  const mcu::DerivativeSpec& cpu = cpu_->derivative();
+  cpu_->validate(cpu, diagnostics);
+  for (const auto& b : beans_) b->validate(cpu, diagnostics);
+  check_aggregate_resources(cpu, diagnostics);
+  check_explicit_conflicts(diagnostics);
+  validated_ok_ = !diagnostics.has_errors();
+  return diagnostics;
+}
+
+void BeanProject::bind(mcu::Mcu& mcu) {
+  if (!validated_ok_) {
+    throw std::logic_error(
+        "BeanProject: bind requires an error-free validate() first");
+  }
+  if (mcu.spec().name != cpu_->derivative().name) {
+    throw std::logic_error(
+        "BeanProject: MCU instance derivative does not match the CPU bean");
+  }
+  bind_ctx_ = std::make_unique<BindContext>(mcu);
+  cpu_->bind(*bind_ctx_);
+  for (const auto& b : beans_) b->bind(*bind_ctx_);
+  bound_ = true;
+}
+
+std::vector<DriverSource> BeanProject::generate_drivers(DriverApi api) const {
+  std::vector<DriverSource> out;
+  if (api == DriverApi::kAutosar) {
+    out.push_back(autosar::std_types_header());
+    out.push_back(autosar::driver_source(*cpu_));
+    for (const auto& b : beans_) out.push_back(autosar::driver_source(*b));
+  } else {
+    out.push_back(pe_types_header());
+    out.push_back(cpu_->driver_source());
+    for (const auto& b : beans_) out.push_back(b->driver_source());
+  }
+  return out;
+}
+
+std::string BeanProject::inspector_render() const {
+  std::string out = util::format("Project %s (derivative %s)\n", name_.c_str(),
+                                 cpu_->derivative().name.c_str());
+  out += cpu_->inspector_render();
+  for (const auto& b : beans_) {
+    out += "\n";
+    out += b->inspector_render();
+  }
+  return out;
+}
+
+int BeanProject::add_observer(Observer observer) {
+  const int id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(observer));
+  return id;
+}
+
+void BeanProject::remove_observer(int id) {
+  observers_.erase(
+      std::remove_if(observers_.begin(), observers_.end(),
+                     [id](const auto& p) { return p.first == id; }),
+      observers_.end());
+}
+
+void BeanProject::notify(ProjectChange change, const std::string& bean_name,
+                         const std::string& detail) {
+  validated_ok_ = false;
+  for (const auto& [id, obs] : observers_) obs(change, bean_name, detail);
+}
+
+DriverSource pe_types_header() {
+  DriverSource out;
+  out.header_name = "PE_Types.h";
+  out.source_name = "";
+  out.header =
+      "/* PE_Types.h -- shared typedefs for generated bean drivers. */\n"
+      "#ifndef __PE_Types_H\n#define __PE_Types_H\n\n"
+      "typedef unsigned char  bool;\n"
+      "typedef unsigned char  byte;\n"
+      "typedef unsigned short word;\n"
+      "typedef unsigned long  dword;\n"
+      "typedef signed short   int16;\n"
+      "typedef signed long    int32;\n\n"
+      "#define ERR_OK      0\n"
+      "#define ERR_BUSY    2\n"
+      "#define ERR_TXFULL  6\n"
+      "#define ERR_RXEMPTY 7\n\n"
+      "#endif /* __PE_Types_H */\n";
+  return out;
+}
+
+}  // namespace iecd::beans

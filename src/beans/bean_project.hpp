@@ -1,0 +1,112 @@
+/// \file bean_project.hpp
+/// The Processor Expert project: the CPU bean plus every peripheral bean of
+/// the application, with the project-level expert system.  Validation runs
+/// on every property edit (the Bean Inspector's "immediate verification"),
+/// checks each bean against the selected derivative, sums resource demands
+/// against the derivative's capacity, and rejects conflicting explicit
+/// channel/pin claims.  Change notifications feed the PES_COM-style model
+/// synchronisation layer in src/core/.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beans/autosar.hpp"
+#include "beans/bean.hpp"
+#include "beans/cpu_bean.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::beans {
+
+enum class ProjectChange { kAdded, kRemoved, kRenamed, kPropertyChanged,
+                           kCpuChanged };
+
+class BeanProject {
+ public:
+  explicit BeanProject(std::string name = "project",
+                       const std::string& derivative = mcu::kDefaultDerivative);
+
+  const std::string& name() const { return name_; }
+
+  CpuBean& cpu() { return *cpu_; }
+  const CpuBean& cpu() const { return *cpu_; }
+
+  /// Retargets the project to another derivative and re-validates.
+  util::DiagnosticList select_derivative(const std::string& derivative);
+
+  /// Adds a bean of type T with a unique instance name.
+  template <typename T, typename... Args>
+  T& add(std::string instance_name, Args&&... args) {
+    ensure_unique(instance_name);
+    auto bean = std::make_unique<T>(std::move(instance_name),
+                                    std::forward<Args>(args)...);
+    T& ref = *bean;
+    beans_.push_back(std::move(bean));
+    notify(ProjectChange::kAdded, ref.name(), ref.type_name());
+    return ref;
+  }
+
+  Bean* find(const std::string& instance_name);
+  const Bean* find(const std::string& instance_name) const;
+
+  bool remove(const std::string& instance_name);
+  bool rename(const std::string& old_name, const std::string& new_name);
+
+  const std::vector<std::unique_ptr<Bean>>& beans() const { return beans_; }
+
+  /// Validated property edit with immediate whole-project re-validation —
+  /// the returned diagnostics include both the write check and the expert
+  /// system pass (exactly what the Bean Inspector shows on each change).
+  util::DiagnosticList set_property(const std::string& bean,
+                                    const std::string& property,
+                                    const PropertyValue& value);
+
+  /// Full expert-system pass.
+  util::DiagnosticList validate();
+
+  /// Binds every bean to the target MCU.  Throws std::logic_error when the
+  /// last validation had errors (or none was run).
+  void bind(mcu::Mcu& mcu);
+  bool bound() const { return bound_; }
+  BindContext* bind_context() { return bind_ctx_.get(); }
+
+  /// Generated driver sources: one driver per bean plus the shared types
+  /// header.  The API flavour selects between the PE bean methods and the
+  /// AUTOSAR MCAL modules (the paper's two block-set variants).
+  std::vector<DriverSource> generate_drivers(
+      DriverApi api = DriverApi::kProcessorExpert) const;
+
+  /// Whole-project Bean Inspector dump.
+  std::string inspector_render() const;
+
+  // --- Change notification (PES_COM substrate) ---
+  using Observer =
+      std::function<void(ProjectChange, const std::string& bean_name,
+                         const std::string& detail)>;
+  int add_observer(Observer observer);
+  void remove_observer(int id);
+
+ private:
+  void ensure_unique(const std::string& instance_name) const;
+  void notify(ProjectChange change, const std::string& bean_name,
+              const std::string& detail);
+  void check_aggregate_resources(const mcu::DerivativeSpec& cpu,
+                                 util::DiagnosticList& diagnostics) const;
+  void check_explicit_conflicts(util::DiagnosticList& diagnostics) const;
+
+  std::string name_;
+  std::unique_ptr<CpuBean> cpu_;
+  std::vector<std::unique_ptr<Bean>> beans_;
+  std::vector<std::pair<int, Observer>> observers_;
+  int next_observer_id_ = 1;
+  bool validated_ok_ = false;
+  bool bound_ = false;
+  std::unique_ptr<BindContext> bind_ctx_;
+};
+
+/// The shared PE_Types.h emitted once per project.
+DriverSource pe_types_header();
+
+}  // namespace iecd::beans

@@ -1,0 +1,147 @@
+#include "beans/bit_io_bean.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+GpioPortHolder::GpioPortHolder(mcu::Mcu& mcu, int pins,
+                               mcu::IrqVector irq_base)
+    : port_(mcu, periph::GpioConfig{pins, irq_base}, "gpio_shared") {}
+
+BitIoBean::BitIoBean(std::string name) : Bean(std::move(name), "BitIO") {
+  properties().declare(
+      PropertySpec::integer("pin", 0, 0, 255, "port pin number"));
+  properties().declare(PropertySpec::enumeration(
+      "direction", "input", {"input", "output"}, "pin direction"));
+  properties().declare(PropertySpec::boolean(
+      "init_value", false, "output level after init"));
+  properties().declare(PropertySpec::enumeration(
+      "edge", "none", {"none", "rising", "falling", "both"},
+      "input edge raising OnInterrupt"));
+  properties().declare(PropertySpec::integer(
+      "interrupt_priority", 6, 0, 15, "OnInterrupt priority"));
+}
+
+std::vector<MethodSpec> BitIoBean::methods() const {
+  return {
+      {"GetVal", "bool %M_GetVal(void)", "read the pin"},
+      {"SetVal", "void %M_SetVal(void)", "drive high"},
+      {"ClrVal", "void %M_ClrVal(void)", "drive low"},
+      {"NegVal", "void %M_NegVal(void)", "toggle"},
+      {"PutVal", "void %M_PutVal(bool Val)", "drive a level"},
+  };
+}
+
+std::vector<EventSpec> BitIoBean::events() const {
+  return {{"OnInterrupt", "configured input edge detected"}};
+}
+
+ResourceDemand BitIoBean::demand() const {
+  ResourceDemand d;
+  d.gpio_pins = 1;
+  return d;
+}
+
+void BitIoBean::validate(const mcu::DerivativeSpec& cpu,
+                         util::DiagnosticList& diagnostics) {
+  if (properties().get_int("pin") >= cpu.gpio_pins) {
+    diagnostics.error(
+        name() + ".pin",
+        util::format("pin %lld does not exist on %s (has %d)",
+                     static_cast<long long>(properties().get_int("pin")),
+                     cpu.name.c_str(), cpu.gpio_pins));
+  }
+  if (properties().get_string("direction") == "output" &&
+      properties().get_string("edge") != "none") {
+    diagnostics.error(name() + ".edge",
+                      "edge interrupts require an input pin");
+  }
+}
+
+void BitIoBean::bind(BindContext& ctx) {
+  if (!ctx.gpio) {
+    ctx.gpio = std::make_shared<GpioPortHolder>(
+        ctx.mcu, ctx.mcu.spec().gpio_pins, periph::kIrqGpioBase);
+  }
+  port_ = &ctx.gpio->port();
+  const int p = pin();
+  const bool output = properties().get_string("direction") == "output";
+  port_->set_direction(
+      p, output ? periph::PinDirection::kOutput : periph::PinDirection::kInput);
+  if (output) {
+    port_->write(p, properties().get_bool("init_value"));
+  } else {
+    const std::string& edge = properties().get_string("edge");
+    periph::EdgeSense sense = periph::EdgeSense::kNone;
+    if (edge == "rising") sense = periph::EdgeSense::kRising;
+    if (edge == "falling") sense = periph::EdgeSense::kFalling;
+    if (edge == "both") sense = periph::EdgeSense::kBoth;
+    port_->set_edge_sense(p, sense);
+    if (sense != periph::EdgeSense::kNone) {
+      // The shared port raises kIrqGpioBase + pin; register the event
+      // trampoline on exactly that vector rather than allocating a new one.
+      const auto slot_vec = periph::kIrqGpioBase + p;
+      mcu::IsrHandler trampoline;
+      trampoline.name = name() + ".OnInterrupt";
+      trampoline.stack_bytes = 96;
+      // Body forwards to the bean's handler slot at dispatch time.
+      Bean* self = this;
+      trampoline.body = [self]() -> std::uint64_t {
+        return self->dispatch_event_body("OnInterrupt");
+      };
+      trampoline.commit = [self] { self->dispatch_event_commit("OnInterrupt"); };
+      ctx.mcu.intc().register_vector(
+          slot_vec,
+          static_cast<int>(properties().get_int("interrupt_priority")),
+          std::move(trampoline));
+      assign_event_vector("OnInterrupt", slot_vec);
+    }
+  }
+  mark_bound();
+}
+
+bool BitIoBean::GetVal() const { return port_ && port_->read(pin()); }
+
+void BitIoBean::SetVal() {
+  if (port_) port_->write(pin(), true);
+}
+
+void BitIoBean::ClrVal() {
+  if (port_) port_->write(pin(), false);
+}
+
+void BitIoBean::NegVal() {
+  if (port_) port_->write(pin(), !port_->read(pin()));
+}
+
+void BitIoBean::PutVal(bool level) {
+  if (port_) port_->write(pin(), level);
+}
+
+DriverSource BitIoBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  const std::string mask =
+      util::format("(1u << %lld)", static_cast<long long>(pin()));
+  if (method_enabled("GetVal")) {
+    c += "bool " + name() + "_GetVal(void) { return (GPIO_DR & " + mask +
+         ") != 0; }\n";
+  }
+  if (method_enabled("SetVal")) {
+    c += "void " + name() + "_SetVal(void) { GPIO_DR |= " + mask + "; }\n";
+  }
+  if (method_enabled("ClrVal")) {
+    c += "void " + name() + "_ClrVal(void) { GPIO_DR &= ~" + mask + "; }\n";
+  }
+  if (method_enabled("NegVal")) {
+    c += "void " + name() + "_NegVal(void) { GPIO_DR ^= " + mask + "; }\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

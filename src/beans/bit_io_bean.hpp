@@ -1,0 +1,52 @@
+/// \file bit_io_bean.hpp
+/// Single-pin digital I/O bean, optionally with an edge interrupt — used
+/// for the case study's push-button keyboard (set-point up/down, mode
+/// toggle) and for status outputs.  All BitIo beans of a project share one
+/// GPIO port; the project-level expert system rejects two beans claiming
+/// the same pin.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/gpio.hpp"
+
+namespace iecd::beans {
+
+/// Owns the GPIO port shared across BitIo beans (see BindContext::gpio).
+class GpioPortHolder {
+ public:
+  GpioPortHolder(mcu::Mcu& mcu, int pins, mcu::IrqVector irq_base);
+  periph::GpioPort& port() { return port_; }
+
+ private:
+  periph::GpioPort port_;
+};
+
+class BitIoBean : public Bean {
+ public:
+  explicit BitIoBean(std::string name = "Bit1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  bool GetVal() const;
+  void SetVal();
+  void ClrVal();
+  void NegVal();
+  void PutVal(bool level);
+
+  int pin() const { return static_cast<int>(properties().get_int("pin")); }
+  periph::GpioPort* port() { return port_; }
+
+ private:
+  periph::GpioPort* port_ = nullptr;  // owned by the shared holder
+};
+
+}  // namespace iecd::beans

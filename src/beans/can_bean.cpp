@@ -1,0 +1,104 @@
+#include "beans/can_bean.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+CanBean::CanBean(std::string name) : Bean(std::move(name), "FreescaleCAN") {
+  properties().declare(PropertySpec::integer(
+      "bitrate", 500000, 10000, 1000000, "bus bit rate [bit/s]"));
+  properties().declare(PropertySpec::integer(
+      "acceptance_id", 0, 0, 0x7FF, "11-bit acceptance code"));
+  properties().declare(PropertySpec::integer(
+      "acceptance_mask", 0, 0, 0x7FF,
+      "acceptance mask (0 accepts every identifier)"));
+  properties().declare(PropertySpec::boolean(
+      "rx_interrupt", true, "raise OnReceive per accepted frame"));
+  properties().declare(PropertySpec::integer(
+      "interrupt_priority", 2, 0, 15, "OnReceive priority"));
+}
+
+std::vector<MethodSpec> CanBean::methods() const {
+  return {
+      {"SendFrame", "byte %M_SendFrame(word Id, byte Dlc, byte *Data)",
+       "queue a standard frame"},
+      {"ReadFrame", "byte %M_ReadFrame(word *Id, byte *Dlc, byte *Data)",
+       "read the receive buffer"},
+  };
+}
+
+std::vector<EventSpec> CanBean::events() const {
+  return {{"OnReceive", "accepted frame landed in the receive buffer"}};
+}
+
+ResourceDemand CanBean::demand() const {
+  // Modelled as a dedicated module; the derivative registry does not count
+  // CAN modules separately, so no unit demand here (validation would need
+  // a per-derivative CAN count to be stricter).
+  return {};
+}
+
+void CanBean::validate(const mcu::DerivativeSpec& cpu,
+                       util::DiagnosticList& diagnostics) {
+  (void)cpu;
+  const auto id = properties().get_int("acceptance_id");
+  const auto mask = properties().get_int("acceptance_mask");
+  if ((id & ~mask) != 0 && mask != 0) {
+    diagnostics.warning(
+        name() + ".acceptance_id",
+        util::format("code bits outside the mask (0x%llx & ~0x%llx) never "
+                     "match",
+                     static_cast<unsigned long long>(id),
+                     static_cast<unsigned long long>(mask)));
+  }
+}
+
+void CanBean::bind(BindContext& ctx) {
+  periph::CanControllerConfig cfg;
+  cfg.acceptance_id =
+      static_cast<std::uint32_t>(properties().get_int("acceptance_id"));
+  cfg.acceptance_mask =
+      static_cast<std::uint32_t>(properties().get_int("acceptance_mask"));
+  if (properties().get_bool("rx_interrupt")) {
+    cfg.rx_vector = register_event(
+        ctx, "OnReceive",
+        static_cast<int>(properties().get_int("interrupt_priority")));
+  }
+  can_ = std::make_unique<periph::CanController>(ctx.mcu, cfg, name());
+  mark_bound();
+}
+
+bool CanBean::SendFrame(const sim::CanFrame& frame) {
+  return can_ && can_->send(frame);
+}
+
+std::optional<sim::CanFrame> CanBean::ReadFrame() {
+  return can_ ? can_->read() : std::nullopt;
+}
+
+DriverSource CanBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  c += util::format("/* %lld bit/s, acceptance 0x%llx mask 0x%llx */\n",
+                    static_cast<long long>(properties().get_int("bitrate")),
+                    static_cast<unsigned long long>(
+                        properties().get_int("acceptance_id")),
+                    static_cast<unsigned long long>(
+                        properties().get_int("acceptance_mask")));
+  if (method_enabled("SendFrame")) {
+    c += "byte " + name() +
+         "_SendFrame(word Id, byte Dlc, byte *Data) {\n"
+         "  if (!(CAN_TFLG & CAN_TXE)) return ERR_BUSY;\n"
+         "  CAN_TXID = Id; CAN_TXDLC = Dlc;\n"
+         "  for (byte i = 0; i < Dlc; ++i) CAN_TXD[i] = Data[i];\n"
+         "  CAN_TFLG |= CAN_TXREQ;\n  return ERR_OK;\n}\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

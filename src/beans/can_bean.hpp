@@ -1,0 +1,37 @@
+/// \file can_bean.hpp
+/// CAN bean ("FreescaleCAN" in PE terms): high-level message send/receive
+/// with an acceptance filter configured as properties, OnReceive event per
+/// accepted frame — the distributed-application counterpart of the serial
+/// bean.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/can_controller.hpp"
+
+namespace iecd::beans {
+
+class CanBean : public Bean {
+ public:
+  explicit CanBean(std::string name = "CAN1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  bool SendFrame(const sim::CanFrame& frame);
+  std::optional<sim::CanFrame> ReadFrame();
+
+  periph::CanController* peripheral() { return can_.get(); }
+
+ private:
+  std::unique_ptr<periph::CanController> can_;
+};
+
+}  // namespace iecd::beans

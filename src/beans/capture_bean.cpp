@@ -1,0 +1,84 @@
+#include "beans/capture_bean.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+CaptureBean::CaptureBean(std::string name) : Bean(std::move(name), "Capture") {
+  properties().declare(PropertySpec::enumeration(
+      "edge", "rising", {"rising", "falling", "both"}, "captured edge"));
+  properties().declare(PropertySpec::boolean(
+      "interrupt", true, "raise OnCapture per qualifying edge"));
+  properties().declare(PropertySpec::integer(
+      "interrupt_priority", 4, 0, 15, "OnCapture priority"));
+}
+
+std::vector<MethodSpec> CaptureBean::methods() const {
+  return {
+      {"GetPeriodUS", "byte %M_GetPeriodUS(dword *Period)",
+       "interval between the last two captures"},
+      {"GetFreqHz", "byte %M_GetFreqHz(dword *Freq)",
+       "frequency from the last interval"},
+  };
+}
+
+std::vector<EventSpec> CaptureBean::events() const {
+  return {{"OnCapture", "qualifying input edge captured"}};
+}
+
+ResourceDemand CaptureBean::demand() const {
+  ResourceDemand d;
+  d.timer_channels = 1;
+  return d;
+}
+
+void CaptureBean::validate(const mcu::DerivativeSpec& cpu,
+                           util::DiagnosticList& diagnostics) {
+  if (cpu.timer_channels <= 0) {
+    diagnostics.error(name(),
+                      "no timer channel for input capture on " + cpu.name);
+  }
+}
+
+void CaptureBean::bind(BindContext& ctx) {
+  periph::CaptureConfig cfg;
+  const std::string& edge = properties().get_string("edge");
+  cfg.edge = edge == "falling"  ? periph::CaptureEdge::kFalling
+             : edge == "both"   ? periph::CaptureEdge::kBoth
+                                : periph::CaptureEdge::kRising;
+  if (properties().get_bool("interrupt")) {
+    cfg.capture_vector = register_event(
+        ctx, "OnCapture",
+        static_cast<int>(properties().get_int("interrupt_priority")));
+  }
+  icu_ = std::make_unique<periph::CapturePeripheral>(ctx.mcu, cfg, name());
+  mark_bound();
+}
+
+std::uint32_t CaptureBean::GetPeriodUS() const {
+  if (!icu_) return 0;
+  return static_cast<std::uint32_t>(icu_->last_interval() / 1000);
+}
+
+double CaptureBean::GetFreqHz() const {
+  return icu_ ? icu_->measured_frequency_hz() : 0.0;
+}
+
+DriverSource CaptureBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  if (method_enabled("GetPeriodUS")) {
+    c += "byte " + name() +
+         "_GetPeriodUS(dword *Period) {\n"
+         "  *Period = (ICU_CAPT - ICU_CAPT_PREV) / TICKS_PER_US;\n"
+         "  return ERR_OK;\n}\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,39 @@
+/// \file capture_bean.hpp
+/// Input-capture bean ("Capture" in PE terms): period/frequency
+/// measurement on a timer input — the software-decoding fallback the
+/// quadrature-decoder diagnostics point to on derivatives without a
+/// decoder module.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/capture.hpp"
+
+namespace iecd::beans {
+
+class CaptureBean : public Bean {
+ public:
+  explicit CaptureBean(std::string name = "Cap1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  /// Method "GetPeriodUS": interval between the last two captures.
+  std::uint32_t GetPeriodUS() const;
+  /// Method "GetFreqHz".
+  double GetFreqHz() const;
+
+  periph::CapturePeripheral* peripheral() { return icu_.get(); }
+
+ private:
+  std::unique_ptr<periph::CapturePeripheral> icu_;
+};
+
+}  // namespace iecd::beans

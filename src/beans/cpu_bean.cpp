@@ -1,0 +1,85 @@
+#include "beans/cpu_bean.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+namespace {
+std::vector<std::string> derivative_names() {
+  std::vector<std::string> names;
+  for (const auto& d : mcu::derivative_registry()) names.push_back(d.name);
+  return names;
+}
+}  // namespace
+
+CpuBean::CpuBean(std::string name, const std::string& derivative)
+    : Bean(std::move(name), "CPU") {
+  properties().declare(PropertySpec::enumeration(
+      "derivative", derivative, derivative_names(),
+      "target MCU derivative (swap to retarget the whole project)"));
+  properties().declare(PropertySpec::integer(
+      "main_stack_bytes", 256, 64, 65536, "stack reserved for main/startup"));
+  properties().declare(
+      PropertySpec::real("clock_hz", 0.0, 0.0, 1e12, "core clock")
+          .derived());
+  properties().declare(
+      PropertySpec::integer("word_bits", 0, 0, 64, "native word size")
+          .derived());
+}
+
+const mcu::DerivativeSpec& CpuBean::derivative() const {
+  return mcu::find_derivative(properties().get_string("derivative"));
+}
+
+std::vector<MethodSpec> CpuBean::methods() const {
+  return {
+      {"EnableInt", "void %M_EnableInt(void)", "global interrupt enable"},
+      {"DisableInt", "void %M_DisableInt(void)", "global interrupt disable"},
+      {"Delay100US", "void %M_Delay100US(word n)", "busy-wait delay"},
+  };
+}
+
+std::vector<EventSpec> CpuBean::events() const { return {}; }
+
+ResourceDemand CpuBean::demand() const { return {}; }
+
+void CpuBean::validate(const mcu::DerivativeSpec& cpu,
+                       util::DiagnosticList& diagnostics) {
+  properties().set_derived("clock_hz", cpu.clock_hz);
+  properties().set_derived("word_bits",
+                           static_cast<std::int64_t>(cpu.native_word_bits));
+  if (!cpu.has_fpu) {
+    diagnostics.info(name() + ".derivative",
+                     "no FPU: floating-point model code will be emulated in "
+                     "software (consider fixed point)");
+  }
+}
+
+void CpuBean::bind(BindContext& ctx) {
+  ctx.mcu.cpu().set_main_stack_bytes(
+      static_cast<std::uint32_t>(properties().get_int("main_stack_bytes")));
+  mark_bound();
+}
+
+DriverSource CpuBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  std::string h = driver_header_prologue();
+  h += "void " + name() + "_EnableInt(void);\n";
+  h += "void " + name() + "_DisableInt(void);\n";
+  h += "\n#endif /* __" + name() + "_H */\n";
+  out.header = h;
+  std::string c;
+  c += "#include \"" + name() + ".h\"\n\n";
+  c += util::format(
+      "/* derivative: %s, core clock %.0f Hz */\n",
+      properties().get_string("derivative").c_str(),
+      properties().get_real("clock_hz"));
+  c += "void " + name() + "_EnableInt(void) { __EI(); }\n";
+  c += "void " + name() + "_DisableInt(void) { __DI(); }\n";
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,28 @@
+/// \file cpu_bean.hpp
+/// The CPU bean: selects the MCU derivative the whole project targets.
+/// Retargeting an application = changing this bean's "derivative" property
+/// and re-running validation — the paper's headline portability mechanism.
+#pragma once
+
+#include "beans/bean.hpp"
+
+namespace iecd::beans {
+
+class CpuBean : public Bean {
+ public:
+  explicit CpuBean(std::string name = "CPU",
+                   const std::string& derivative = mcu::kDefaultDerivative);
+
+  /// Currently selected derivative spec.
+  const mcu::DerivativeSpec& derivative() const;
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+};
+
+}  // namespace iecd::beans

@@ -1,0 +1,67 @@
+#include "beans/free_cntr_bean.hpp"
+
+namespace iecd::beans {
+
+FreeCntrBean::FreeCntrBean(std::string name) : Bean(std::move(name), "FreeCntr") {
+  properties().declare(PropertySpec::integer(
+      "resolution_us", 1, 1, 1000, "counter tick in microseconds"));
+}
+
+std::vector<MethodSpec> FreeCntrBean::methods() const {
+  return {
+      {"GetTimeUS", "dword %M_GetTimeUS(void)", "microseconds since reset"},
+      {"Reset", "byte %M_Reset(void)", "zero the counter"},
+  };
+}
+
+std::vector<EventSpec> FreeCntrBean::events() const { return {}; }
+
+ResourceDemand FreeCntrBean::demand() const {
+  ResourceDemand d;
+  d.timer_channels = 1;
+  return d;
+}
+
+void FreeCntrBean::validate(const mcu::DerivativeSpec& cpu,
+                            util::DiagnosticList& diagnostics) {
+  if (cpu.timer_channels <= 0) {
+    diagnostics.error(name(), "no timer channel for the free counter on " +
+                                  cpu.name);
+  }
+}
+
+void FreeCntrBean::bind(BindContext& ctx) {
+  mcu_ = &ctx.mcu;
+  epoch_ = ctx.mcu.now();
+  mark_bound();
+}
+
+std::uint32_t FreeCntrBean::GetTimeUS() const {
+  if (!mcu_) return 0;
+  const sim::SimTime elapsed = mcu_->now() - epoch_;
+  const auto res = properties().get_int("resolution_us");
+  return static_cast<std::uint32_t>((elapsed / 1000) /
+                                    static_cast<sim::SimTime>(res) *
+                                    static_cast<sim::SimTime>(res));
+}
+
+void FreeCntrBean::Reset() {
+  if (mcu_) epoch_ = mcu_->now();
+}
+
+DriverSource FreeCntrBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  if (method_enabled("GetTimeUS")) {
+    c += "dword " + name() +
+         "_GetTimeUS(void) { return TMR_CNTR_WIDE / CYCLES_PER_US; }\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,32 @@
+/// \file free_cntr_bean.hpp
+/// Free-running counter bean — the timestamp source the PIL profiling
+/// instrumentation reads to measure execution times on the target.
+#pragma once
+
+#include "beans/bean.hpp"
+
+namespace iecd::beans {
+
+class FreeCntrBean : public Bean {
+ public:
+  explicit FreeCntrBean(std::string name = "FC1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  /// Microseconds since counter reset (32-bit wrap like the hardware).
+  std::uint32_t GetTimeUS() const;
+  void Reset();
+
+ private:
+  mcu::Mcu* mcu_ = nullptr;
+  sim::SimTime epoch_ = 0;
+};
+
+}  // namespace iecd::beans

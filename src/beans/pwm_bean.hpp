@@ -1,0 +1,43 @@
+/// \file pwm_bean.hpp
+/// PWM bean.  The user asks for a switching frequency; the expert system
+/// picks prescaler + modulo maximizing duty resolution, reports the
+/// achieved frequency and resolution, and errors out when the request is
+/// outside what the counter can do.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/pwm.hpp"
+
+namespace iecd::beans {
+
+class PwmBean : public Bean {
+ public:
+  explicit PwmBean(std::string name = "PWM1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+
+  /// Method "SetRatio16": duty = ratio / 65535.
+  void SetRatio16(std::uint16_t ratio);
+  /// Method "SetDutyPercent".
+  void SetDutyPercent(double percent);
+  /// Methods "Enable"/"Disable": start/stop the counter.
+  void Enable();
+  void Disable();
+
+  periph::PwmPeripheral* peripheral() { return pwm_.get(); }
+
+ private:
+  std::unique_ptr<periph::PwmPeripheral> pwm_;
+};
+
+}  // namespace iecd::beans

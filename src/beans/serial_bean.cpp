@@ -1,0 +1,101 @@
+#include "beans/serial_bean.hpp"
+
+#include "beans/solvers.hpp"
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+SerialBean::SerialBean(std::string name) : Bean(std::move(name), "AsynchroSerial") {
+  properties().declare(PropertySpec::integer(
+      "baud", 115200, 300, 4000000, "baud rate (must be a standard rate of "
+                                    "the derivative's SCI)"));
+  properties().declare(PropertySpec::boolean(
+      "rx_interrupt", true, "raise OnRxChar per received byte"));
+  properties().declare(PropertySpec::integer(
+      "interrupt_priority", 2, 0, 15, "OnRxChar priority"));
+}
+
+std::vector<MethodSpec> SerialBean::methods() const {
+  return {
+      {"SendChar", "byte %M_SendChar(byte Chr)", "queue one byte for TX"},
+      {"RecvChar", "byte %M_RecvChar(byte *Chr)", "read the RX register"},
+  };
+}
+
+std::vector<EventSpec> SerialBean::events() const {
+  return {{"OnRxChar", "byte received"},
+          {"OnTxComplete", "TX FIFO drained"}};
+}
+
+ResourceDemand SerialBean::demand() const {
+  ResourceDemand d;
+  d.uarts = 1;
+  return d;
+}
+
+void SerialBean::validate(const mcu::DerivativeSpec& cpu,
+                          util::DiagnosticList& diagnostics) {
+  if (cpu.uarts <= 0) {
+    diagnostics.error(name(), "no SCI module on " + cpu.name);
+    return;
+  }
+  const auto rate = static_cast<std::uint32_t>(properties().get_int("baud"));
+  if (!uart_baud_supported(cpu, rate)) {
+    std::vector<std::string> rates;
+    for (auto b : cpu.uart_bauds) rates.push_back(std::to_string(b));
+    diagnostics.error(name() + ".baud",
+                      util::format("%u baud not derivable from the %s SCI "
+                                   "clock (supported: %s)",
+                                   rate, cpu.name.c_str(),
+                                   util::join(rates, ", ").c_str()));
+  }
+}
+
+void SerialBean::bind(BindContext& ctx) {
+  periph::UartConfig cfg;
+  if (properties().get_bool("rx_interrupt")) {
+    cfg.rx_vector = register_event(
+        ctx, "OnRxChar",
+        static_cast<int>(properties().get_int("interrupt_priority")));
+  }
+  cfg.tx_vector = register_event(
+      ctx, "OnTxComplete",
+      static_cast<int>(properties().get_int("interrupt_priority")) + 1);
+  uart_ = std::make_unique<periph::UartPeripheral>(ctx.mcu, cfg, name());
+  mark_bound();
+}
+
+bool SerialBean::SendChar(std::uint8_t byte) {
+  return uart_ && uart_->send(byte);
+}
+
+std::optional<std::uint8_t> SerialBean::RecvChar() {
+  return uart_ ? uart_->read() : std::nullopt;
+}
+
+DriverSource SerialBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  c += util::format("/* %lld baud, 8N1 */\n",
+                    static_cast<long long>(properties().get_int("baud")));
+  if (method_enabled("SendChar")) {
+    c += "byte " + name() +
+         "_SendChar(byte Chr) {\n"
+         "  if (!(SCI_SR & SCI_SR_TDRE)) return ERR_TXFULL;\n"
+         "  SCI_DR = Chr;\n  return ERR_OK;\n}\n";
+  }
+  if (method_enabled("RecvChar")) {
+    c += "byte " + name() +
+         "_RecvChar(byte *Chr) {\n"
+         "  if (!(SCI_SR & SCI_SR_RDRF)) return ERR_RXEMPTY;\n"
+         "  *Chr = SCI_DR;\n  return ERR_OK;\n}\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,40 @@
+/// \file serial_bean.hpp
+/// Asynchronous serial bean ("AsynchroSerial").  Carries the PIL data
+/// exchange of Fig. 6.2: the generated controller talks to the simulator PC
+/// through this bean's SendChar/RecvChar methods and OnRxChar event.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/uart.hpp"
+
+namespace iecd::beans {
+
+class SerialBean : public Bean {
+ public:
+  explicit SerialBean(std::string name = "AS1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  bool SendChar(std::uint8_t byte);
+  std::optional<std::uint8_t> RecvChar();
+
+  std::uint32_t baud() const {
+    return static_cast<std::uint32_t>(properties().get_int("baud"));
+  }
+
+  periph::UartPeripheral* peripheral() { return uart_.get(); }
+
+ private:
+  std::unique_ptr<periph::UartPeripheral> uart_;
+};
+
+}  // namespace iecd::beans

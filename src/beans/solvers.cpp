@@ -1,0 +1,74 @@
+#include "beans/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iecd::beans {
+
+std::optional<TimerSolution> solve_timer_period(const mcu::DerivativeSpec& cpu,
+                                                double period_s,
+                                                double tolerance) {
+  if (!(period_s > 0)) return std::nullopt;
+  const double max_modulo =
+      std::ldexp(1.0, static_cast<int>(cpu.timer_modulo_bits)) - 1;
+  std::optional<TimerSolution> best;
+  for (std::uint32_t prescaler : cpu.timer_prescalers) {
+    const double tick_s = static_cast<double>(prescaler) / cpu.clock_hz;
+    const double modulo_real = period_s / tick_s;
+    if (modulo_real < 1.0) continue;
+    if (modulo_real > max_modulo) continue;
+    const auto modulo = static_cast<std::uint32_t>(
+        std::clamp(std::round(modulo_real), 1.0, max_modulo));
+    const double achieved = static_cast<double>(modulo) * tick_s;
+    const double err = std::abs(achieved - period_s) / period_s;
+    if (err > tolerance) continue;
+    if (!best || err < best->relative_error) {
+      best = TimerSolution{prescaler, modulo, achieved, err};
+    }
+  }
+  return best;
+}
+
+std::optional<PwmSolution> solve_pwm_frequency(const mcu::DerivativeSpec& cpu,
+                                               double frequency_hz,
+                                               double tolerance) {
+  if (!(frequency_hz > 0)) return std::nullopt;
+  const double max_modulo =
+      std::ldexp(1.0, static_cast<int>(cpu.pwm_counter_bits)) - 1;
+  // Ascending prescalers: the first feasible one yields the largest modulo
+  // and therefore the finest duty resolution.
+  for (std::uint32_t prescaler : cpu.timer_prescalers) {
+    const double modulo_real =
+        cpu.clock_hz / (static_cast<double>(prescaler) * frequency_hz);
+    if (modulo_real > max_modulo) continue;
+    if (modulo_real < 2.0) break;  // even the smallest prescaler is too fast
+    const auto modulo = static_cast<std::uint32_t>(
+        std::clamp(std::round(modulo_real), 2.0, max_modulo));
+    const double achieved =
+        cpu.clock_hz / (static_cast<double>(prescaler) * modulo);
+    const double err = std::abs(achieved - frequency_hz) / frequency_hz;
+    if (err > tolerance) continue;
+    PwmSolution s;
+    s.prescaler = prescaler;
+    s.modulo = modulo;
+    s.achieved_frequency_hz = achieved;
+    s.relative_error = err;
+    s.duty_resolution_bits =
+        static_cast<int>(std::floor(std::log2(static_cast<double>(modulo))));
+    return s;
+  }
+  return std::nullopt;
+}
+
+sim::SimTime adc_conversion_time(const mcu::DerivativeSpec& cpu) {
+  if (!(cpu.adc_clock_hz > 0)) return sim::microseconds(2);
+  const double seconds = cpu.adc_cycles_per_sample / cpu.adc_clock_hz;
+  return sim::from_seconds(seconds);
+}
+
+bool uart_baud_supported(const mcu::DerivativeSpec& cpu, std::uint32_t baud) {
+  return std::find(cpu.uart_bauds.begin(), cpu.uart_bauds.end(), baud) !=
+         cpu.uart_bauds.end();
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,53 @@
+/// \file solvers.hpp
+/// The expert-system arithmetic: given a requested high-level setting (a
+/// timer period, a PWM frequency, a baud rate) and the selected derivative,
+/// compute the register-level configuration (prescaler, modulo, divisor)
+/// that realizes it, or report that it cannot be achieved.  This is the
+/// substance behind the paper's claim that "some design parameters, such as
+/// settings of common prescalers ... are calculated by the expert system".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mcu/derivative.hpp"
+#include "sim/time.hpp"
+
+namespace iecd::beans {
+
+struct TimerSolution {
+  std::uint32_t prescaler = 1;
+  std::uint32_t modulo = 1;
+  double achieved_period_s = 0.0;
+  double relative_error = 0.0;  ///< |achieved - requested| / requested
+};
+
+/// Finds the prescaler/modulo pair whose period is closest to
+/// \p period_s.  Returns nullopt when no combination lands within
+/// \p tolerance (relative).  Smaller prescalers are preferred on ties
+/// (finer granularity).
+std::optional<TimerSolution> solve_timer_period(const mcu::DerivativeSpec& cpu,
+                                                double period_s,
+                                                double tolerance);
+
+struct PwmSolution {
+  std::uint32_t prescaler = 1;
+  std::uint32_t modulo = 1;
+  double achieved_frequency_hz = 0.0;
+  double relative_error = 0.0;
+  int duty_resolution_bits = 0;  ///< log2(modulo): effective duty precision
+};
+
+/// Finds the configuration achieving \p frequency_hz with the largest
+/// modulo (=> best duty resolution) within the counter width.
+std::optional<PwmSolution> solve_pwm_frequency(const mcu::DerivativeSpec& cpu,
+                                               double frequency_hz,
+                                               double tolerance);
+
+/// Conversion time of one sample on this derivative's ADC.
+sim::SimTime adc_conversion_time(const mcu::DerivativeSpec& cpu);
+
+/// True if \p baud is one of the derivative's supported standard rates.
+bool uart_baud_supported(const mcu::DerivativeSpec& cpu, std::uint32_t baud);
+
+}  // namespace iecd::beans

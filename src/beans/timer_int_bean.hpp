@@ -1,0 +1,44 @@
+/// \file timer_int_bean.hpp
+/// Periodic-interrupt bean ("TimerInt").  Drives the generated model's
+/// periodic task: the requested period is solved into prescaler/modulo on
+/// the selected derivative, and the OnInterrupt event carries the sample
+/// hit into the real-time kernel.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/timer.hpp"
+
+namespace iecd::beans {
+
+class TimerIntBean : public Bean {
+ public:
+  explicit TimerIntBean(std::string name = "TI1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  void Enable();
+  void Disable();
+
+  /// Requested sample period.
+  double period_s() const { return properties().get_real("period_s"); }
+  /// Achieved period after validation.
+  double achieved_period_s() const {
+    return properties().get_real("achieved_period_s");
+  }
+
+  periph::TimerPeripheral* peripheral() { return timer_.get(); }
+
+ private:
+  std::unique_ptr<periph::TimerPeripheral> timer_;
+};
+
+}  // namespace iecd::beans

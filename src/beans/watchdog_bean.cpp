@@ -1,0 +1,69 @@
+#include "beans/watchdog_bean.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::beans {
+
+WatchdogBean::WatchdogBean(std::string name) : Bean(std::move(name), "WatchDog") {
+  properties().declare(PropertySpec::real(
+      "timeout_s", 0.01, 1e-4, 10.0, "COP timeout window"));
+}
+
+std::vector<MethodSpec> WatchdogBean::methods() const {
+  return {
+      {"Enable", "byte %M_Enable(void)", "arm the watchdog (irreversible)"},
+      {"Clear", "byte %M_Clear(void)", "service sequence (refresh)"},
+  };
+}
+
+std::vector<EventSpec> WatchdogBean::events() const { return {}; }
+
+ResourceDemand WatchdogBean::demand() const { return {}; }
+
+void WatchdogBean::validate(const mcu::DerivativeSpec& cpu,
+                            util::DiagnosticList& diagnostics) {
+  (void)cpu;
+  // Nothing derivative-specific; the kernel-level check (timeout vs the
+  // model's sample period) happens at code generation where the period is
+  // known.
+  if (timeout_s() < 1e-3) {
+    diagnostics.warning(
+        name() + ".timeout_s",
+        util::format("timeout %.4f s is tight; ensure the model step "
+                     "always refreshes in time",
+                     timeout_s()));
+  }
+}
+
+void WatchdogBean::bind(BindContext& ctx) {
+  periph::WatchdogConfig cfg;
+  cfg.timeout = sim::from_seconds(timeout_s());
+  wdog_ = std::make_unique<periph::WatchdogPeripheral>(ctx.mcu, cfg, name());
+  mark_bound();
+}
+
+void WatchdogBean::Enable() {
+  if (wdog_) wdog_->enable();
+}
+
+void WatchdogBean::Clear() {
+  if (wdog_) wdog_->refresh();
+}
+
+DriverSource WatchdogBean::driver_source() const {
+  DriverSource out;
+  out.header_name = name() + ".h";
+  out.source_name = name() + ".c";
+  out.header = driver_header_prologue() + driver_method_decls() +
+               "\n#endif /* __" + name() + "_H */\n";
+  std::string c = "#include \"" + name() + ".h\"\n\n";
+  if (method_enabled("Clear")) {
+    c += "byte " + name() +
+         "_Clear(void) {\n  COP_CTRL = 0x55;\n  COP_CTRL = 0xAA;\n"
+         "  return ERR_OK;\n}\n";
+  }
+  out.source = c;
+  return out;
+}
+
+}  // namespace iecd::beans

@@ -1,0 +1,38 @@
+/// \file watchdog_bean.hpp
+/// Watchdog (COP) bean: the timeout is a high-level property checked
+/// against the model's sample period; the kernel clears the watchdog from
+/// the periodic task.
+#pragma once
+
+#include <memory>
+
+#include "beans/bean.hpp"
+#include "periph/watchdog.hpp"
+
+namespace iecd::beans {
+
+class WatchdogBean : public Bean {
+ public:
+  explicit WatchdogBean(std::string name = "WDog1");
+
+  std::vector<MethodSpec> methods() const override;
+  std::vector<EventSpec> events() const override;
+  ResourceDemand demand() const override;
+  void validate(const mcu::DerivativeSpec& cpu,
+                util::DiagnosticList& diagnostics) override;
+  void bind(BindContext& ctx) override;
+  DriverSource driver_source() const override;
+
+  // --- Runtime methods ---
+  void Enable();
+  /// Method "Clear": the service/refresh sequence.
+  void Clear();
+
+  double timeout_s() const { return properties().get_real("timeout_s"); }
+  periph::WatchdogPeripheral* peripheral() { return wdog_.get(); }
+
+ private:
+  std::unique_ptr<periph::WatchdogPeripheral> wdog_;
+};
+
+}  // namespace iecd::beans

@@ -1,0 +1,135 @@
+#include "blocks/continuous.hpp"
+
+#include <stdexcept>
+
+namespace iecd::blocks {
+
+IntegratorBlock::IntegratorBlock(std::string name, double initial)
+    : Block(std::move(name), 1, 1), initial_(initial) {
+  set_sample_time(model::SampleTime::continuous());
+}
+
+void IntegratorBlock::initialize(const SimContext&) {
+  state_ = initial_;
+  set_out(0, state_);
+}
+
+void IntegratorBlock::output(const SimContext&) { set_out(0, state_); }
+
+void IntegratorBlock::read_states(std::span<double> into) const {
+  into[0] = state_;
+}
+
+void IntegratorBlock::write_states(std::span<const double> from) {
+  state_ = from[0];
+}
+
+void IntegratorBlock::derivatives(const SimContext&,
+                                  std::span<double> dx) const {
+  dx[0] = in(0);
+}
+
+StateSpaceBlock::StateSpaceBlock(std::string name,
+                                 std::vector<std::vector<double>> a,
+                                 std::vector<double> b, std::vector<double> c,
+                                 double d)
+    : Block(std::move(name), 1, 1),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      c_(std::move(c)),
+      d_(d) {
+  const std::size_t n = a_.size();
+  if (b_.size() != n || c_.size() != n) {
+    throw std::invalid_argument(this->name() + ": A/b/c dimension mismatch");
+  }
+  for (const auto& row : a_) {
+    if (row.size() != n) {
+      throw std::invalid_argument(this->name() + ": A must be square");
+    }
+  }
+  x_.assign(n, 0.0);
+  x0_.assign(n, 0.0);
+  set_sample_time(model::SampleTime::continuous());
+}
+
+void StateSpaceBlock::set_initial_states(std::vector<double> x0) {
+  if (x0.size() != x_.size()) {
+    throw std::invalid_argument(name() + ": initial state size mismatch");
+  }
+  x0_ = std::move(x0);
+}
+
+void StateSpaceBlock::initialize(const SimContext& ctx) {
+  x_ = x0_;
+  output(ctx);
+}
+
+void StateSpaceBlock::output(const SimContext&) {
+  double y = d_ * in(0);
+  for (std::size_t i = 0; i < x_.size(); ++i) y += c_[i] * x_[i];
+  set_out(0, y);
+}
+
+void StateSpaceBlock::read_states(std::span<double> into) const {
+  for (std::size_t i = 0; i < x_.size(); ++i) into[i] = x_[i];
+}
+
+void StateSpaceBlock::write_states(std::span<const double> from) {
+  for (std::size_t i = 0; i < x_.size(); ++i) x_[i] = from[i];
+}
+
+void StateSpaceBlock::derivatives(const SimContext&,
+                                  std::span<double> dx) const {
+  const double u = in(0);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    double acc = b_[i] * u;
+    for (std::size_t j = 0; j < x_.size(); ++j) acc += a_[i][j] * x_[j];
+    dx[i] = acc;
+  }
+}
+
+TransferFunctionBlock::Realization TransferFunctionBlock::realize(
+    std::vector<double> num, std::vector<double> den,
+    const std::string& name) {
+  if (den.empty() || den[0] == 0.0) {
+    throw std::invalid_argument(name + ": denominator leading term zero");
+  }
+  if (num.size() > den.size()) {
+    throw std::invalid_argument(name + ": improper transfer function");
+  }
+  const double a0 = den[0];
+  for (auto& v : den) v /= a0;
+  for (auto& v : num) v /= a0;
+  // Pad numerator to denominator length (leading zeros).
+  std::vector<double> padded(den.size(), 0.0);
+  std::copy(num.begin(), num.end(),
+            padded.begin() + static_cast<std::ptrdiff_t>(den.size() -
+                                                         num.size()));
+  const std::size_t n = den.size() - 1;
+  Realization r;
+  r.d = padded[0];
+  r.a.assign(n, std::vector<double>(n, 0.0));
+  r.b.assign(n, 0.0);
+  r.c.assign(n, 0.0);
+  if (n == 0) return r;
+  // Controllable canonical form.
+  for (std::size_t i = 0; i + 1 < n; ++i) r.a[i][i + 1] = 1.0;
+  for (std::size_t j = 0; j < n; ++j) r.a[n - 1][j] = -den[n - j];
+  r.b[n - 1] = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    r.c[j] = padded[n - j] - den[n - j] * r.d;
+  }
+  return r;
+}
+
+TransferFunctionBlock::TransferFunctionBlock(std::string name, Realization r)
+    : StateSpaceBlock(std::move(name), std::move(r.a), std::move(r.b),
+                      std::move(r.c), r.d) {}
+
+TransferFunctionBlock::TransferFunctionBlock(std::string name,
+                                             std::vector<double> num,
+                                             std::vector<double> den)
+    : TransferFunctionBlock(name, realize(std::move(num), std::move(den),
+                                          name)) {}
+
+}  // namespace iecd::blocks

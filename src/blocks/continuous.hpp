@@ -1,0 +1,76 @@
+/// \file continuous.hpp
+/// Continuous-time blocks integrated by the engine's RK4 solver — the
+/// plant-side vocabulary (the controlled object lives in continuous time).
+#pragma once
+
+#include <vector>
+
+#include "model/block.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::SimContext;
+
+class IntegratorBlock : public Block {
+ public:
+  IntegratorBlock(std::string name, double initial = 0.0);
+  const char* type_name() const override { return "Integrator"; }
+  bool has_direct_feedthrough() const override { return false; }
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  int continuous_state_count() const override { return 1; }
+  void read_states(std::span<double> into) const override;
+  void write_states(std::span<const double> from) override;
+  void derivatives(const SimContext& ctx, std::span<double> dx) const override;
+
+ private:
+  double initial_;
+  double state_ = 0.0;
+};
+
+/// SISO continuous state space: x' = A x + b u, y = c x + d u.
+class StateSpaceBlock : public Block {
+ public:
+  StateSpaceBlock(std::string name, std::vector<std::vector<double>> a,
+                  std::vector<double> b, std::vector<double> c, double d);
+  const char* type_name() const override { return "StateSpace"; }
+  bool has_direct_feedthrough() const override { return d_ != 0.0; }
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  int continuous_state_count() const override {
+    return static_cast<int>(a_.size());
+  }
+  void read_states(std::span<double> into) const override;
+  void write_states(std::span<const double> from) override;
+  void derivatives(const SimContext& ctx, std::span<double> dx) const override;
+
+  void set_initial_states(std::vector<double> x0);
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_, c_;
+  double d_;
+  std::vector<double> x_, x0_;
+};
+
+/// SISO continuous transfer function num(s)/den(s), realized in
+/// controllable canonical form.
+class TransferFunctionBlock : public StateSpaceBlock {
+ public:
+  TransferFunctionBlock(std::string name, std::vector<double> num,
+                        std::vector<double> den);
+  const char* type_name() const override { return "TransferFcn"; }
+
+ private:
+  struct Realization {
+    std::vector<std::vector<double>> a;
+    std::vector<double> b, c;
+    double d;
+  };
+  static Realization realize(std::vector<double> num, std::vector<double> den,
+                             const std::string& name);
+  explicit TransferFunctionBlock(std::string name, Realization r);
+};
+
+}  // namespace iecd::blocks

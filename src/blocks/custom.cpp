@@ -1,0 +1,24 @@
+#include "blocks/custom.hpp"
+
+#include <stdexcept>
+
+namespace iecd::blocks {
+
+FunctionBlock::FunctionBlock(std::string name, int inputs, Fn fn)
+    : Block(std::move(name), inputs, 1), fn_(std::move(fn)) {
+  if (!fn_) throw std::invalid_argument(this->name() + ": empty function");
+  ops_.alu16 = 4;
+  ops_.mem = 2;
+}
+
+void FunctionBlock::output(const SimContext& ctx) {
+  args_.resize(static_cast<std::size_t>(input_count()));
+  for (int i = 0; i < input_count(); ++i) {
+    args_[static_cast<std::size_t>(i)] = in(i);
+  }
+  set_out(0, fn_(args_, ctx.t));
+}
+
+mcu::OpCounts FunctionBlock::step_ops(bool) const { return ops_; }
+
+}  // namespace iecd::blocks

@@ -1,0 +1,34 @@
+/// \file custom.hpp
+/// User-defined function block (s-function analog): wraps an arbitrary
+/// callable as a block — handy for plant nonlinearities and tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/block.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::SimContext;
+
+class FunctionBlock : public Block {
+ public:
+  using Fn = std::function<double(const std::vector<double>&, double t)>;
+
+  FunctionBlock(std::string name, int inputs, Fn fn);
+  const char* type_name() const override { return "S-Function"; }
+  void output(const SimContext& ctx) override;
+  mcu::OpCounts step_ops(bool fixed_point) const override;
+  /// Declares what the wrapped function costs on the target (defaults to a
+  /// handful of ALU ops).
+  void set_step_ops(mcu::OpCounts ops) { ops_ = ops; }
+
+ private:
+  Fn fn_;
+  mcu::OpCounts ops_;
+  mutable std::vector<double> args_;
+};
+
+}  // namespace iecd::blocks

@@ -1,0 +1,117 @@
+#include "blocks/discontinuities.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace iecd::blocks {
+
+SaturationBlock::SaturationBlock(std::string name, double lower, double upper)
+    : Block(std::move(name), 1, 1), lower_(lower), upper_(upper) {
+  if (!(upper > lower)) {
+    throw std::invalid_argument(this->name() + ": upper must exceed lower");
+  }
+}
+
+void SaturationBlock::output(const SimContext&) {
+  set_out(0, std::clamp(in(0), lower_, upper_));
+}
+
+std::string SaturationBlock::emit_c(const EmitContext& ctx) const {
+  return util::format(
+      "%s = (%s > %.9g) ? %.9g : ((%s < %.9g) ? %.9g : %s);  /* Saturation %s "
+      "*/\n",
+      ctx.outputs[0].c_str(), ctx.inputs[0].c_str(), upper_, upper_,
+      ctx.inputs[0].c_str(), lower_, lower_, ctx.inputs[0].c_str(),
+      name().c_str());
+}
+
+QuantizerBlock::QuantizerBlock(std::string name, double interval)
+    : Block(std::move(name), 1, 1), interval_(interval) {
+  if (!(interval > 0)) {
+    throw std::invalid_argument(this->name() + ": interval must be > 0");
+  }
+}
+
+void QuantizerBlock::output(const SimContext&) {
+  set_out(0, interval_ * std::round(in(0) / interval_));
+}
+
+RelayBlock::RelayBlock(std::string name, double on_threshold,
+                       double off_threshold, double on_value,
+                       double off_value)
+    : Block(std::move(name), 1, 1),
+      on_threshold_(on_threshold),
+      off_threshold_(off_threshold),
+      on_value_(on_value),
+      off_value_(off_value) {
+  if (off_threshold > on_threshold) {
+    throw std::invalid_argument(this->name() +
+                                ": off threshold above on threshold");
+  }
+}
+
+void RelayBlock::initialize(const SimContext&) { on_ = false; }
+
+void RelayBlock::output(const SimContext& ctx) {
+  if (ctx.minor) {
+    set_out(0, on_ ? on_value_ : off_value_);
+    return;
+  }
+  const double u = in(0);
+  if (on_ && u < off_threshold_) on_ = false;
+  if (!on_ && u > on_threshold_) on_ = true;
+  set_out(0, on_ ? on_value_ : off_value_);
+}
+
+RateLimiterBlock::RateLimiterBlock(std::string name, double rising_per_s,
+                                   double falling_per_s)
+    : Block(std::move(name), 1, 1),
+      rising_(rising_per_s),
+      falling_(falling_per_s) {
+  if (!(rising_per_s > 0) || !(falling_per_s > 0)) {
+    throw std::invalid_argument(this->name() + ": rates must be > 0");
+  }
+}
+
+void RateLimiterBlock::initialize(const SimContext&) {
+  prev_ = 0.0;
+  held_ = 0.0;
+}
+
+void RateLimiterBlock::output(const SimContext& ctx) {
+  if (ctx.minor) {
+    set_out(0, held_);
+    return;
+  }
+  const double dt = resolved_period() > 0 ? resolved_period() : ctx.dt;
+  const double u = in(0);
+  const double max_step = rising_ * dt;
+  const double min_step = -falling_ * dt;
+  held_ = prev_ + std::clamp(u - prev_, min_step, max_step);
+  set_out(0, held_);
+}
+
+void RateLimiterBlock::update(const SimContext&) { prev_ = held_; }
+
+DeadZoneBlock::DeadZoneBlock(std::string name, double start, double end)
+    : Block(std::move(name), 1, 1), start_(start), end_(end) {
+  if (!(end >= start)) {
+    throw std::invalid_argument(this->name() + ": end must be >= start");
+  }
+}
+
+void DeadZoneBlock::output(const SimContext&) {
+  const double u = in(0);
+  if (u > end_) {
+    set_out(0, u - end_);
+  } else if (u < start_) {
+    set_out(0, u - start_);
+  } else {
+    set_out(0, 0.0);
+  }
+}
+
+}  // namespace iecd::blocks

@@ -1,0 +1,77 @@
+/// \file discontinuities.hpp
+/// Nonlinear static/dynamic blocks: saturation, quantizer, relay, rate
+/// limiter, dead zone.
+#pragma once
+
+#include "model/block.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::EmitContext;
+using model::SimContext;
+
+class SaturationBlock : public Block {
+ public:
+  SaturationBlock(std::string name, double lower, double upper);
+  const char* type_name() const override { return "Saturation"; }
+  void output(const SimContext& ctx) override;
+  std::string emit_c(const EmitContext& ctx) const override;
+
+ private:
+  double lower_, upper_;
+};
+
+class QuantizerBlock : public Block {
+ public:
+  QuantizerBlock(std::string name, double interval);
+  const char* type_name() const override { return "Quantizer"; }
+  void output(const SimContext& ctx) override;
+
+ private:
+  double interval_;
+};
+
+/// Hysteresis relay: switches on above \p on_threshold, off below
+/// \p off_threshold.
+class RelayBlock : public Block {
+ public:
+  RelayBlock(std::string name, double on_threshold, double off_threshold,
+             double on_value = 1.0, double off_value = 0.0);
+  const char* type_name() const override { return "Relay"; }
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  std::uint32_t state_bytes() const override { return 1; }
+
+ private:
+  double on_threshold_, off_threshold_, on_value_, off_value_;
+  bool on_ = false;
+};
+
+class RateLimiterBlock : public Block {
+ public:
+  RateLimiterBlock(std::string name, double rising_per_s,
+                   double falling_per_s);
+  const char* type_name() const override { return "RateLimiter"; }
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  void update(const SimContext& ctx) override;
+  std::uint32_t state_bytes() const override { return 4; }
+
+ private:
+  double rising_, falling_;
+  double prev_ = 0.0;
+  double held_ = 0.0;
+};
+
+class DeadZoneBlock : public Block {
+ public:
+  DeadZoneBlock(std::string name, double start, double end);
+  const char* type_name() const override { return "DeadZone"; }
+  void output(const SimContext& ctx) override;
+
+ private:
+  double start_, end_;
+};
+
+}  // namespace iecd::blocks

@@ -1,0 +1,56 @@
+#include "blocks/lookup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iecd::blocks {
+
+Lookup1DBlock::Lookup1DBlock(std::string name, std::vector<double> xs,
+                             std::vector<double> ys)
+    : Block(std::move(name), 1, 1), xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.size() < 2 || xs_.size() != ys_.size()) {
+    throw std::invalid_argument(this->name() +
+                                ": needs >= 2 breakpoints, xs/ys same size");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (!(xs_[i] > xs_[i - 1])) {
+      throw std::invalid_argument(this->name() +
+                                  ": breakpoints must be strictly increasing");
+    }
+  }
+}
+
+double Lookup1DBlock::lookup(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - xs_.begin());
+  const double x0 = xs_[idx - 1];
+  const double x1 = xs_[idx];
+  const double frac = (x - x0) / (x1 - x0);
+  return ys_[idx - 1] + frac * (ys_[idx] - ys_[idx - 1]);
+}
+
+void Lookup1DBlock::output(const SimContext&) { set_out(0, lookup(in(0))); }
+
+mcu::OpCounts Lookup1DBlock::step_ops(bool fixed_point) const {
+  mcu::OpCounts ops;
+  // Binary search + one interpolation.
+  const auto probes = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(xs_.size()))));
+  ops.branch = probes + 1;
+  ops.alu16 = probes;
+  ops.mem = probes + 4;
+  if (fixed_point) {
+    ops.mul16 = 1;
+    ops.div16 = 1;
+  } else {
+    ops.fmul = 1;
+    ops.fdiv = 1;
+    ops.fadd = 2;
+  }
+  return ops;
+}
+
+}  // namespace iecd::blocks

@@ -1,0 +1,31 @@
+/// \file lookup.hpp
+/// 1-D lookup table with linear interpolation and edge clipping — the
+/// generated equivalent of calibration maps in automotive control code.
+#pragma once
+
+#include <vector>
+
+#include "model/block.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::SimContext;
+
+class Lookup1DBlock : public Block {
+ public:
+  /// \p xs must be strictly increasing; ys same length.
+  Lookup1DBlock(std::string name, std::vector<double> xs,
+                std::vector<double> ys);
+  const char* type_name() const override { return "Lookup1D"; }
+  void output(const SimContext& ctx) override;
+  mcu::OpCounts step_ops(bool fixed_point) const override;
+  std::uint32_t state_bytes() const override { return 0; }
+
+  double lookup(double x) const;
+
+ private:
+  std::vector<double> xs_, ys_;
+};
+
+}  // namespace iecd::blocks

@@ -1,0 +1,145 @@
+#include "blocks/math_blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace iecd::blocks {
+
+GainBlock::GainBlock(std::string name, double gain)
+    : Block(std::move(name), 1, 1), gain_(gain) {}
+
+void GainBlock::output(const SimContext&) { set_out(0, gain_ * in(0)); }
+
+mcu::OpCounts GainBlock::step_ops(bool fixed_point) const {
+  mcu::OpCounts ops;
+  if (fixed_point) {
+    // 16x16 multiply + rescale shift + saturation check.
+    ops.mul16 = 1;
+    ops.alu16 = 2;
+  } else {
+    ops.fmul = 1;
+  }
+  ops.mem = 2;
+  return ops;
+}
+
+std::string GainBlock::emit_c(const EmitContext& ctx) const {
+  if (ctx.fixed_point) {
+    return util::format(
+        "%s = sat16(((int32_T)%s * %s_gain) >> %s_shift);  /* Gain %s */\n",
+        ctx.outputs[0].c_str(), ctx.inputs[0].c_str(), name().c_str(),
+        name().c_str(), name().c_str());
+  }
+  return util::format("%s = %.17g * %s;  /* Gain %s */\n",
+                      ctx.outputs[0].c_str(), gain_, ctx.inputs[0].c_str(),
+                      name().c_str());
+}
+
+SumBlock::SumBlock(std::string name, std::string signs)
+    : Block(name, static_cast<int>(signs.size()), 1), signs_(std::move(signs)) {
+  if (signs_.empty()) {
+    throw std::invalid_argument(this->name() + ": Sum needs >= 1 sign");
+  }
+  for (char c : signs_) {
+    if (c != '+' && c != '-') {
+      throw std::invalid_argument(this->name() + ": Sum signs must be +/-");
+    }
+  }
+}
+
+void SumBlock::output(const SimContext&) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < signs_.size(); ++i) {
+    const double v = in(static_cast<int>(i));
+    acc += signs_[i] == '+' ? v : -v;
+  }
+  set_out(0, acc);
+}
+
+mcu::OpCounts SumBlock::step_ops(bool fixed_point) const {
+  mcu::OpCounts ops;
+  const auto n = static_cast<std::uint32_t>(signs_.size());
+  if (fixed_point) {
+    ops.alu16 = n + 1;  // adds + saturation
+  } else {
+    ops.fadd = n;
+  }
+  ops.mem = n + 1;
+  return ops;
+}
+
+std::string SumBlock::emit_c(const EmitContext& ctx) const {
+  std::string expr;
+  for (std::size_t i = 0; i < signs_.size(); ++i) {
+    if (i == 0 && signs_[i] == '+') {
+      expr += ctx.inputs[i];
+    } else {
+      expr += signs_[i] == '+' ? " + " : " - ";
+      expr += ctx.inputs[i];
+    }
+  }
+  if (ctx.fixed_point) {
+    return util::format("%s = sat16(%s);  /* Sum %s */\n",
+                        ctx.outputs[0].c_str(), expr.c_str(), name().c_str());
+  }
+  return util::format("%s = %s;  /* Sum %s */\n", ctx.outputs[0].c_str(),
+                      expr.c_str(), name().c_str());
+}
+
+ProductBlock::ProductBlock(std::string name, int inputs)
+    : Block(std::move(name), inputs, 1) {
+  if (inputs < 1) throw std::invalid_argument("Product needs >= 1 input");
+}
+
+void ProductBlock::output(const SimContext&) {
+  double acc = 1.0;
+  for (int i = 0; i < input_count(); ++i) acc *= in(i);
+  set_out(0, acc);
+}
+
+mcu::OpCounts ProductBlock::step_ops(bool fixed_point) const {
+  mcu::OpCounts ops;
+  const auto n = static_cast<std::uint32_t>(input_count());
+  if (fixed_point) {
+    ops.mul16 = n - 1;
+    ops.alu16 = n;
+  } else {
+    ops.fmul = n - 1;
+  }
+  ops.mem = n + 1;
+  return ops;
+}
+
+std::string ProductBlock::emit_c(const EmitContext& ctx) const {
+  return util::format("%s = %s;  /* Product %s */\n", ctx.outputs[0].c_str(),
+                      util::join(ctx.inputs, " * ").c_str(), name().c_str());
+}
+
+AbsBlock::AbsBlock(std::string name) : Block(std::move(name), 1, 1) {}
+
+void AbsBlock::output(const SimContext&) { set_out(0, std::abs(in(0))); }
+
+std::string AbsBlock::emit_c(const EmitContext& ctx) const {
+  return util::format("%s = (%s < 0) ? -%s : %s;  /* Abs %s */\n",
+                      ctx.outputs[0].c_str(), ctx.inputs[0].c_str(),
+                      ctx.inputs[0].c_str(), ctx.inputs[0].c_str(),
+                      name().c_str());
+}
+
+MinMaxBlock::MinMaxBlock(std::string name, bool is_max, int inputs)
+    : Block(std::move(name), inputs, 1), is_max_(is_max) {
+  if (inputs < 1) throw std::invalid_argument("MinMax needs >= 1 input");
+}
+
+void MinMaxBlock::output(const SimContext&) {
+  double acc = in(0);
+  for (int i = 1; i < input_count(); ++i) {
+    acc = is_max_ ? std::max(acc, in(i)) : std::min(acc, in(i));
+  }
+  set_out(0, acc);
+}
+
+}  // namespace iecd::blocks

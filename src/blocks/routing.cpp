@@ -1,0 +1,28 @@
+#include "blocks/routing.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::blocks {
+
+SwitchBlock::SwitchBlock(std::string name, double threshold)
+    : Block(std::move(name), 3, 1), threshold_(threshold) {}
+
+void SwitchBlock::output(const SimContext&) {
+  set_out(0, in(1) >= threshold_ ? in(0) : in(2));
+}
+
+std::string SwitchBlock::emit_c(const EmitContext& ctx) const {
+  return util::format("%s = (%s >= %.9g) ? %s : %s;  /* Switch %s */\n",
+                      ctx.outputs[0].c_str(), ctx.inputs[1].c_str(),
+                      threshold_, ctx.inputs[0].c_str(),
+                      ctx.inputs[2].c_str(), name().c_str());
+}
+
+ManualSwitchBlock::ManualSwitchBlock(std::string name, bool position_a)
+    : Block(std::move(name), 2, 1), position_a_(position_a) {}
+
+void ManualSwitchBlock::output(const SimContext&) {
+  set_out(0, position_a_ ? in(0) : in(1));
+}
+
+}  // namespace iecd::blocks

@@ -1,0 +1,38 @@
+/// \file routing.hpp
+/// Signal routing: threshold switch and manual switch.
+#pragma once
+
+#include "model/block.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::EmitContext;
+using model::SimContext;
+
+/// Three-input switch: out = in0 when in1 >= threshold, else in2.
+class SwitchBlock : public Block {
+ public:
+  SwitchBlock(std::string name, double threshold = 0.5);
+  const char* type_name() const override { return "Switch"; }
+  void output(const SimContext& ctx) override;
+  std::string emit_c(const EmitContext& ctx) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Two-input switch toggled programmatically (operator action in MIL).
+class ManualSwitchBlock : public Block {
+ public:
+  ManualSwitchBlock(std::string name, bool position_a = true);
+  const char* type_name() const override { return "ManualSwitch"; }
+  void output(const SimContext& ctx) override;
+  void set_position_a(bool a) { position_a_ = a; }
+  bool position_a() const { return position_a_; }
+
+ private:
+  bool position_a_;
+};
+
+}  // namespace iecd::blocks

@@ -1,0 +1,24 @@
+#include "blocks/sinks.hpp"
+
+namespace iecd::blocks {
+
+ScopeBlock::ScopeBlock(std::string name, int channels)
+    : Block(std::move(name), channels, 0),
+      logs_(static_cast<std::size_t>(channels)) {}
+
+void ScopeBlock::initialize(const SimContext&) {
+  for (auto& l : logs_) l.clear();
+}
+
+void ScopeBlock::output(const SimContext& ctx) {
+  if (ctx.minor) return;  // record at major steps only
+  for (int i = 0; i < input_count(); ++i) {
+    logs_[static_cast<std::size_t>(i)].record(ctx.t, in(i));
+  }
+}
+
+const SampleLog& ScopeBlock::log(int channel) const {
+  return logs_.at(static_cast<std::size_t>(channel));
+}
+
+}  // namespace iecd::blocks

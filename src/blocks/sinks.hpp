@@ -1,0 +1,37 @@
+/// \file sinks.hpp
+/// Sink blocks: the scope (time-series recorder feeding metrics and
+/// experiment reports) and the terminator.
+#pragma once
+
+#include <vector>
+
+#include "model/block.hpp"
+#include "model/logging.hpp"
+
+namespace iecd::blocks {
+
+using model::Block;
+using model::SampleLog;
+using model::SimContext;
+
+class ScopeBlock : public Block {
+ public:
+  explicit ScopeBlock(std::string name, int channels = 1);
+  const char* type_name() const override { return "Scope"; }
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  const SampleLog& log(int channel = 0) const;
+  mcu::OpCounts step_ops(bool) const override { return {}; }  // host-only
+
+ private:
+  std::vector<SampleLog> logs_;
+};
+
+class TerminatorBlock : public Block {
+ public:
+  explicit TerminatorBlock(std::string name) : Block(std::move(name), 1, 0) {}
+  const char* type_name() const override { return "Terminator"; }
+  void output(const SimContext&) override {}
+};
+
+}  // namespace iecd::blocks

@@ -1,0 +1,102 @@
+#include "blocks/sources.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/strings.hpp"
+
+namespace iecd::blocks {
+
+ConstantBlock::ConstantBlock(std::string name, double value)
+    : Block(std::move(name), 0, 1), value_(value) {}
+
+void ConstantBlock::output(const SimContext&) { set_out(0, value_); }
+
+mcu::OpCounts ConstantBlock::step_ops(bool) const {
+  mcu::OpCounts ops;
+  ops.mem = 1;
+  return ops;
+}
+
+std::string ConstantBlock::emit_c(const EmitContext& ctx) const {
+  if (ctx.fixed_point) {
+    return util::format("%s = %s_P;  /* Constant %s (fixed) */\n",
+                        ctx.outputs[0].c_str(), name().c_str(),
+                        name().c_str());
+  }
+  return util::format("%s = %.17g;  /* Constant %s */\n",
+                      ctx.outputs[0].c_str(), value_, name().c_str());
+}
+
+StepBlock::StepBlock(std::string name, double step_time, double before,
+                     double after)
+    : Block(std::move(name), 0, 1),
+      step_time_(step_time),
+      before_(before),
+      after_(after) {}
+
+void StepBlock::output(const SimContext& ctx) {
+  set_out(0, ctx.t >= step_time_ ? after_ : before_);
+}
+
+std::string StepBlock::emit_c(const EmitContext& ctx) const {
+  return util::format("%s = (t >= %.9g) ? %.9g : %.9g;  /* Step %s */\n",
+                      ctx.outputs[0].c_str(), step_time_, after_, before_,
+                      name().c_str());
+}
+
+RampBlock::RampBlock(std::string name, double slope, double start_time,
+                     double initial)
+    : Block(std::move(name), 0, 1),
+      slope_(slope),
+      start_time_(start_time),
+      initial_(initial) {}
+
+void RampBlock::output(const SimContext& ctx) {
+  const double t = ctx.t - start_time_;
+  set_out(0, t <= 0 ? initial_ : initial_ + slope_ * t);
+}
+
+SineBlock::SineBlock(std::string name, double amplitude, double frequency_hz,
+                     double phase_rad, double bias)
+    : Block(std::move(name), 0, 1),
+      amplitude_(amplitude),
+      frequency_hz_(frequency_hz),
+      phase_(phase_rad),
+      bias_(bias) {}
+
+void SineBlock::output(const SimContext& ctx) {
+  set_out(0, bias_ + amplitude_ * std::sin(2.0 * std::numbers::pi *
+                                               frequency_hz_ * ctx.t +
+                                           phase_));
+}
+
+mcu::OpCounts SineBlock::step_ops(bool fixed_point) const {
+  mcu::OpCounts ops;
+  if (fixed_point) {
+    // Table lookup + interpolation.
+    ops.alu16 = 6;
+    ops.mul16 = 2;
+    ops.mem = 4;
+  } else {
+    // Polynomial sin approximation in software floating point.
+    ops.fmul = 6;
+    ops.fadd = 6;
+    ops.mem = 2;
+  }
+  return ops;
+}
+
+PulseBlock::PulseBlock(std::string name, double period, double duty_ratio,
+                       double amplitude)
+    : Block(std::move(name), 0, 1),
+      period_(period),
+      duty_(duty_ratio),
+      amplitude_(amplitude) {}
+
+void PulseBlock::output(const SimContext& ctx) {
+  const double phase = std::fmod(ctx.t, period_) / period_;
+  set_out(0, phase < duty_ ? amplitude_ : 0.0);
+}
+
+}  // namespace iecd::blocks

@@ -1,0 +1,63 @@
+#include "codegen/generated_app.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace iecd::codegen {
+
+std::uint64_t GeneratedApplication::task_cycles(
+    std::size_t task, const mcu::CostModel& costs) const {
+  const TaskSpec& t = tasks.at(task);
+  return costs.cycles(t.ops) + t.extra_cycles + costs.task_dispatch;
+}
+
+double GeneratedApplication::estimated_utilisation(
+    const mcu::CostModel& costs, double clock_hz) const {
+  double util = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSpec& t = tasks[i];
+    if (t.trigger != TaskSpec::Trigger::kPeriodic || !(t.period_s > 0)) {
+      continue;
+    }
+    const double exec_s =
+        static_cast<double>(task_cycles(i, costs) + costs.isr_entry +
+                            costs.isr_exit) /
+        clock_hz;
+    util += exec_s / t.period_s;
+  }
+  return util;
+}
+
+std::size_t GeneratedApplication::source_lines() const {
+  std::size_t lines = 0;
+  for (const auto& [file, text] : sources) {
+    lines += static_cast<std::size_t>(
+        std::count(text.begin(), text.end(), '\n'));
+  }
+  return lines;
+}
+
+std::string GeneratedApplication::report() const {
+  std::string out = util::format(
+      "Generated application '%s' for %s (%s%s)\n", name.c_str(),
+      derivative.c_str(), fixed_point ? "fixed-point" : "double",
+      pil_variant ? ", PIL variant" : "");
+  for (const auto& t : tasks) {
+    if (t.trigger == TaskSpec::Trigger::kPeriodic) {
+      out += util::format("  task %-20s periodic %.6f s\n", t.name.c_str(),
+                          t.period_s);
+    } else {
+      out += util::format("  task %-20s event %s.%s\n", t.name.c_str(),
+                          t.event_bean.c_str(), t.event_name.c_str());
+    }
+  }
+  out += util::format("  sources: %zu files, %zu lines\n", sources.size(),
+                      source_lines());
+  out += util::format("  memory: %u B data, %u B code, %u B stack\n",
+                      memory.data_bytes, memory.code_bytes,
+                      memory.stack_bytes);
+  return out;
+}
+
+}  // namespace iecd::codegen

@@ -1,0 +1,73 @@
+/// \file generated_app.hpp
+/// The artifact the code generator produces: executable task descriptions
+/// (with read/compute/write phases and cycle costs on the selected
+/// derivative), the emitted C sources, and the memory footprint.  The
+/// real-time kernel (src/rt/) deploys the tasks onto the simulated MCU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mcu/cost_model.hpp"
+#include "model/block.hpp"
+#include "model/subsystem.hpp"
+
+namespace iecd::codegen {
+
+struct TaskSpec {
+  enum class Trigger { kPeriodic, kEvent };
+
+  std::string name;
+  Trigger trigger = Trigger::kPeriodic;
+  double period_s = 0.0;        ///< periodic tasks
+  std::string event_bean;       ///< event tasks: source bean instance
+  std::string event_name;      ///< event tasks: bean event
+
+  /// Execution phases (SimContext carries the activation time).
+  std::function<void(const model::SimContext&)> read;
+  std::function<void(const model::SimContext&)> compute;
+  std::function<void(const model::SimContext&)> write;
+
+  mcu::OpCounts ops;            ///< per-activation operation counts
+  std::uint64_t extra_cycles = 0;  ///< busy-wait cycles (blocking I/O)
+  std::uint32_t stack_bytes = 160;
+};
+
+struct MemoryEstimate {
+  std::uint32_t data_bytes = 0;   ///< signals + discrete states (RAM)
+  std::uint32_t code_bytes = 0;   ///< generated code + drivers (flash)
+  std::uint32_t stack_bytes = 0;  ///< deepest task frame
+};
+
+struct GeneratedApplication {
+  std::string name;
+  bool fixed_point = false;
+  bool pil_variant = false;
+  std::string derivative;
+
+  std::vector<TaskSpec> tasks;
+  std::function<void(const model::SimContext&)> init;
+
+  /// Emitted sources, filename -> contents (model step code, main, bean
+  /// drivers, PE_Types.h).
+  std::map<std::string, std::string> sources;
+
+  MemoryEstimate memory;
+
+  /// Cycles one activation of \p task costs on \p costs.
+  std::uint64_t task_cycles(std::size_t task, const mcu::CostModel& costs) const;
+
+  /// Estimated CPU utilisation of the periodic tasks at \p clock_hz.
+  double estimated_utilisation(const mcu::CostModel& costs,
+                               double clock_hz) const;
+
+  /// Total generated-source line count (the paper's code-size axis).
+  std::size_t source_lines() const;
+
+  std::string report() const;
+};
+
+}  // namespace iecd::codegen

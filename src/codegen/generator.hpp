@@ -1,0 +1,65 @@
+/// \file generator.hpp
+/// The code-generation target (RTW Embedded Coder + PEERT analog): turns
+/// the controller subsystem of a single-model application into a
+/// GeneratedApplication — periodic and event-driven tasks with cycle
+/// costs, emitted C sources, bean auto-configuration through the hook
+/// pipeline, and a memory estimate checked against the derivative.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "beans/bean_project.hpp"
+#include "codegen/generated_app.hpp"
+#include "codegen/hooks.hpp"
+#include "codegen/signal_buffer.hpp"
+#include "codegen/target_io.hpp"
+#include "model/subsystem.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::codegen {
+
+struct GeneratorOptions {
+  std::string app_name = "model";
+  bool fixed_point = false;
+  bool pil = false;
+  /// PIL variant: the buffer peripheral access is redirected to.  Required
+  /// when pil is true; slot registration happens during generation.
+  SignalBuffer* pil_buffer = nullptr;
+  /// Hardware-access API of the emitted sources: PE bean methods or
+  /// AUTOSAR MCAL modules.  Functionally identical (the paper's two
+  /// block-set variants differ only in settings and generated API).
+  beans::DriverApi api = beans::DriverApi::kProcessorExpert;
+};
+
+class Generator {
+ public:
+  /// Installs the built-in BeanAutoConfigHook.
+  Generator();
+
+  /// Appends a custom hook (runs after the built-ins, in order).
+  void add_hook(std::unique_ptr<RtwHook> hook);
+
+  /// Generates the application from the controller subsystem.  The
+  /// controller must carry a discrete sample time (the control period).
+  /// Side effects mirror the real tool: PE blocks are switched to target
+  /// (or PIL) mode and beans get auto-configured.  Throws
+  /// std::invalid_argument / std::logic_error on structural errors;
+  /// expected configuration problems land in \p diagnostics.
+  GeneratedApplication generate(model::Subsystem& controller,
+                                beans::BeanProject& project,
+                                const GeneratorOptions& options,
+                                util::DiagnosticList* diagnostics = nullptr);
+
+  /// Returns the PE blocks of \p controller to MIL mode (after a target
+  /// build, to re-run MIL comparisons on the same model).
+  static void restore_mil_mode(model::Subsystem& controller);
+
+  /// All TargetIo blocks at the top level of the controller's interior.
+  static std::vector<TargetIo*> find_io_blocks(model::Subsystem& controller);
+
+ private:
+  std::vector<std::unique_ptr<RtwHook>> hooks_;
+};
+
+}  // namespace iecd::codegen

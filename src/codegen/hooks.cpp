@@ -1,0 +1,44 @@
+#include "codegen/hooks.hpp"
+
+#include "beans/timer_int_bean.hpp"
+#include "codegen/generated_app.hpp"
+#include "util/strings.hpp"
+
+namespace iecd::codegen {
+
+void BeanAutoConfigHook::before_generate(GenContext& ctx) {
+  if (!ctx.project) return;
+  // Enable exactly the methods the generated code calls.
+  for (TargetIo* io : ctx.io_blocks) {
+    beans::Bean* bean = ctx.project->find(io->bean_name());
+    if (!bean) {
+      ctx.diagnostics.error(
+          "codegen.hooks",
+          util::format("PE block references unknown bean '%s'",
+                       io->bean_name().c_str()));
+      continue;
+    }
+    for (const auto& method : io->required_methods()) {
+      bean->enable_method(method);
+    }
+  }
+  // Align the periodic-interrupt bean with the controller's sample time.
+  for (const auto& bean : ctx.project->beans()) {
+    auto* timer = dynamic_cast<beans::TimerIntBean*>(bean.get());
+    if (!timer) continue;
+    timer->enable_method("Enable");
+    if (ctx.period_s > 0 &&
+        timer->properties().get_real("period_s") != ctx.period_s) {
+      util::DiagnosticList diags;
+      timer->set_property("period_s", ctx.period_s, diags);
+      ctx.diagnostics.merge(diags);
+      ctx.diagnostics.info(
+          "codegen.hooks",
+          util::format("timer bean %s auto-configured to %.6f s",
+                       timer->name().c_str(), ctx.period_s));
+    }
+    break;  // the first timer bean drives the model step
+  }
+}
+
+}  // namespace iecd::codegen

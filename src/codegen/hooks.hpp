@@ -1,0 +1,54 @@
+/// \file hooks.hpp
+/// The make_rtw_hook pipeline: user-definable callbacks invoked at defined
+/// points of the code-generation process (paper Section 5's
+/// peert_make_rtw_hook.m).  The built-in BeanAutoConfigHook performs the
+/// auto-configuration the paper describes: it enables exactly the bean
+/// methods the generated code calls and aligns the periodic-interrupt bean
+/// with the controller's sample time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beans/bean_project.hpp"
+#include "codegen/target_io.hpp"
+#include "model/subsystem.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::codegen {
+
+/// Everything hooks may inspect/adjust before and after generation.
+struct GenContext {
+  model::Subsystem* controller = nullptr;
+  beans::BeanProject* project = nullptr;
+  std::vector<TargetIo*> io_blocks;
+  double period_s = 0.0;
+  bool fixed_point = false;
+  bool pil = false;
+  util::DiagnosticList diagnostics;
+};
+
+class RtwHook {
+ public:
+  virtual ~RtwHook() = default;
+  virtual const char* name() const = 0;
+  /// Runs after IO discovery, before task construction / emission.
+  virtual void before_generate(GenContext& ctx) { (void)ctx; }
+  /// Runs after the application is assembled (may patch sources).
+  virtual void after_generate(GenContext& ctx,
+                              struct GeneratedApplication& app) {
+    (void)ctx;
+    (void)app;
+  }
+};
+
+/// Enables the bean methods the generated code uses and configures the
+/// timer bean that drives the periodic task.
+class BeanAutoConfigHook : public RtwHook {
+ public:
+  const char* name() const override { return "bean_auto_config"; }
+  void before_generate(GenContext& ctx) override;
+};
+
+}  // namespace iecd::codegen

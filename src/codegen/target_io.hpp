@@ -1,0 +1,73 @@
+/// \file target_io.hpp
+/// Interface every hardware-coupled block (the PE block set in src/core/)
+/// implements so the code generator can retarget it.  A PE block behaves
+/// three ways depending on the execution mode:
+///   kMil    — simulate the peripheral inside the model (quantization,
+///             resolution, rate limits), passing plant signals through;
+///   kTarget — talk to the bound bean / simulated peripheral (the
+///             "generated code" path, also used for HIL);
+///   kPil    — redirect reads/writes to the PIL communication buffer, the
+///             paper's special code variant for processor-in-the-loop runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcu/cost_model.hpp"
+#include "mcu/derivative.hpp"
+#include "model/block.hpp"
+#include "model/subsystem.hpp"
+
+namespace iecd::codegen {
+
+class SignalBuffer;
+
+enum class IoMode { kMil, kTarget, kPil };
+enum class IoDirection { kInput, kOutput, kEvent };
+
+class TargetIo {
+ public:
+  virtual ~TargetIo() = default;
+
+  virtual IoDirection io_direction() const = 0;
+  virtual void set_mode(IoMode mode) = 0;
+  virtual IoMode mode() const = 0;
+
+  /// Attaches the PIL buffer (kPil mode reads/writes it by signal name).
+  virtual void set_pil_buffer(SignalBuffer* buffer) = 0;
+
+  /// One-time startup actions on the target (enable the peripheral, ...).
+  virtual void target_init(const model::SimContext& ctx) = 0;
+  /// Input blocks: sample the peripheral (or PIL buffer) into the block's
+  /// output latch.  Runs at ISR start.
+  virtual void target_read(const model::SimContext& ctx) = 0;
+  /// Output blocks: push the block's input value to the peripheral (or PIL
+  /// buffer).  Runs at ISR end (commit phase).
+  virtual void target_write(const model::SimContext& ctx) = 0;
+
+  /// Target cost of the read/write (beyond the block's own step_ops).
+  virtual mcu::OpCounts io_ops() const = 0;
+
+  /// Raw busy-wait cycles on \p cpu (e.g. a blocking ADC conversion).
+  virtual std::uint64_t extra_cycles(const mcu::DerivativeSpec& cpu) const {
+    (void)cpu;
+    return 0;
+  }
+
+  /// The bean this block fronts (for hook auto-configuration).
+  virtual std::string bean_name() const = 0;
+  /// Bean methods the generated code calls (hooks enable exactly these).
+  virtual std::vector<std::string> required_methods() const = 0;
+
+  /// C statement(s) the generator emits for this block's hardware access.
+  virtual std::string emit_target_c(bool pil, const std::string& var) const = 0;
+
+  /// Event wiring this block contributes (bean event -> triggered task).
+  struct EventBinding {
+    std::string event;
+    model::FunctionCallSubsystem* target = nullptr;
+  };
+  virtual std::vector<EventBinding> event_bindings() const { return {}; }
+};
+
+}  // namespace iecd::codegen

@@ -1,0 +1,240 @@
+#include "core/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+
+#include "util/statistics.hpp"
+
+namespace iecd::core {
+
+namespace {
+
+/// Packs/unpacks the 16-bit payload fields of the demo frames.
+void put_u16(std::vector<std::uint8_t>& data, std::uint16_t v) {
+  data.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  data.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& data,
+                      std::size_t offset) {
+  return static_cast<std::uint16_t>(data[offset] |
+                                    (data[offset + 1] << 8));
+}
+
+}  // namespace
+
+DistributedResult run_distributed_servo(const DistributedConfig& config) {
+  sim::World world;
+  sim::CanBus bus(world, config.can_bitrate);
+
+  const auto& derivative = mcu::find_derivative(mcu::kDefaultDerivative);
+  mcu::Mcu sensor_mcu(world, derivative, "sensor_node");
+  mcu::Mcu ctrl_mcu(world, derivative, "controller_node");
+  mcu::Mcu act_mcu(world, derivative, "actuator_node");
+
+  // --- Sensor node: QDEC + periodic broadcast -------------------------
+  beans::BeanProject sensor_project("sensor");
+  auto& qd = sensor_project.add<beans::QuadDecBean>("QD1");
+  auto& timer = sensor_project.add<beans::TimerIntBean>("TI1");
+  auto& sensor_can = sensor_project.add<beans::CanBean>("CAN1");
+  {
+    util::DiagnosticList d;
+    qd.set_property("encoder_lines",
+                    static_cast<std::int64_t>(config.encoder_lines), d);
+    timer.set_property("period_s", config.period_s, d);
+  }
+  auto diags = sensor_project.validate();
+  if (diags.has_errors()) {
+    throw std::runtime_error("distributed sensor node: " + diags.to_string());
+  }
+  sensor_project.bind(sensor_mcu);
+  sensor_can.peripheral()->connect(bus);
+
+  // Latency instrumentation (simulation-side, not application code).
+  std::map<std::uint8_t, sim::SimTime> sample_sent_at;
+  util::SampleSeries loop_latency_us;
+
+  std::uint8_t sensor_seq = 0;
+  std::int16_t sensor_pos = 0;
+  mcu::IsrHandler sensor_tick;
+  sensor_tick.name = "sensor_tick";
+  sensor_tick.body = [&]() -> std::uint64_t {
+    sensor_pos = qd.GetPosition();
+    return 120;  // read + pack
+  };
+  sensor_tick.commit = [&] {
+    sim::CanFrame frame;
+    frame.id = DistributedConfig::kSensorFrameId;
+    put_u16(frame.data, static_cast<std::uint16_t>(sensor_pos));
+    frame.data.push_back(sensor_seq);
+    sample_sent_at[sensor_seq] = world.now();
+    ++sensor_seq;
+    sensor_can.SendFrame(frame);
+  };
+  timer.set_event_handler("OnInterrupt", std::move(sensor_tick));
+
+  // --- Controller node: speed estimation + PI over CAN ---------------
+  beans::BeanProject ctrl_project("controller");
+  auto& ctrl_can = ctrl_project.add<beans::CanBean>("CAN1");
+  {
+    util::DiagnosticList d;
+    ctrl_can.set_property(
+        "acceptance_id",
+        static_cast<std::int64_t>(DistributedConfig::kSensorFrameId), d);
+    ctrl_can.set_property("acceptance_mask", std::int64_t{0x7FF}, d);
+  }
+  ctrl_project.validate();
+  ctrl_project.bind(ctrl_mcu);
+  ctrl_can.peripheral()->connect(bus);
+
+  const double counts_per_rev = config.encoder_lines * 4.0;
+  const double speed_gain =
+      2.0 * std::numbers::pi / (counts_per_rev * config.period_s);
+  double prev_counts = 0.0;
+  bool have_prev = false;
+  double filt[4] = {0, 0, 0, 0};
+  int filt_idx = 0;
+  double integral = 0.0;
+  double duty_cmd = 0.0;
+  std::uint8_t ctrl_seq = 0;
+
+  mcu::IsrHandler ctrl_rx;
+  ctrl_rx.name = "ctrl_rx";
+  ctrl_rx.body = [&]() -> std::uint64_t {
+    const auto frame = ctrl_can.ReadFrame();
+    if (!frame || frame->data.size() < 3) return 60;
+    const auto pos =
+        static_cast<std::int16_t>(get_u16(frame->data, 0));
+    ctrl_seq = frame->data[2];
+    const double counts = static_cast<double>(pos);
+    double speed = 0.0;
+    if (have_prev) {
+      speed = std::remainder(counts - prev_counts, 65536.0) * speed_gain;
+    }
+    prev_counts = counts;
+    have_prev = true;
+    filt[filt_idx & 3] = speed;
+    ++filt_idx;
+    const double smoothed = (filt[0] + filt[1] + filt[2] + filt[3]) / 4.0;
+
+    const double t = sim::to_seconds(world.now());
+    const double sp = t >= config.setpoint_time ? config.setpoint : 0.0;
+    const double error = sp - smoothed;
+    const double unsat = config.kp * error + integral;
+    duty_cmd = std::clamp(unsat, 0.0, 1.0);
+    // Back-calculation anti-windup, as in the single-node PI.
+    integral += config.ki * config.period_s *
+                (error + (duty_cmd - unsat) / std::max(config.kp, 1e-9));
+    return 900;  // speed estimate + PI in software floating point
+  };
+  ctrl_rx.commit = [&] {
+    sim::CanFrame frame;
+    frame.id = DistributedConfig::kActuatorFrameId;
+    put_u16(frame.data,
+            static_cast<std::uint16_t>(std::lround(duty_cmd * 65535.0)));
+    frame.data.push_back(ctrl_seq);
+    ctrl_can.SendFrame(frame);
+  };
+  ctrl_can.set_event_handler("OnReceive", std::move(ctrl_rx));
+
+  // --- Actuator node: PWM drive --------------------------------------
+  beans::BeanProject act_project("actuator");
+  auto& pwm = act_project.add<beans::PwmBean>("PWM1");
+  auto& act_can = act_project.add<beans::CanBean>("CAN1");
+  {
+    util::DiagnosticList d;
+    act_can.set_property(
+        "acceptance_id",
+        static_cast<std::int64_t>(DistributedConfig::kActuatorFrameId), d);
+    act_can.set_property("acceptance_mask", std::int64_t{0x7FF}, d);
+  }
+  act_project.validate();
+  act_project.bind(act_mcu);
+  act_can.peripheral()->connect(bus);
+  pwm.Enable();
+
+  std::uint16_t duty_raw = 0;
+  std::uint8_t act_seq = 0;
+  bool have_frame = false;
+  mcu::IsrHandler act_rx;
+  act_rx.name = "act_rx";
+  act_rx.body = [&]() -> std::uint64_t {
+    const auto frame = act_can.ReadFrame();
+    have_frame = frame.has_value() && frame->data.size() >= 3;
+    if (have_frame) {
+      duty_raw = get_u16(frame->data, 0);
+      act_seq = frame->data[2];
+    }
+    return 90;
+  };
+  act_rx.commit = [&] {
+    if (!have_frame) return;
+    pwm.SetRatio16(duty_raw);
+    const auto it = sample_sent_at.find(act_seq);
+    if (it != sample_sent_at.end()) {
+      loop_latency_us.add(sim::to_microseconds(world.now() - it->second));
+      sample_sent_at.erase(it);
+    }
+  };
+  act_can.set_event_handler("OnReceive", std::move(act_rx));
+
+  // --- Plant: motor on the actuator's PWM, encoder on the sensor ------
+  plant::DcMotorSim motor(world, config.motor);
+  motor.drive_from_duty(&pwm.peripheral()->average_output());
+  plant::IncrementalEncoder encoder(
+      world, motor, *qd.peripheral(),
+      {config.encoder_lines, sim::microseconds(50)});
+  encoder.start();
+
+  // --- Background chatter (higher-priority frames) --------------------
+  sim::CanBus::NodeId chatter = -1;
+  std::uint64_t background_sent = 0;
+  if (config.background_frames_per_s > 0) {
+    chatter = bus.attach_node("chatter", nullptr);
+    const auto interval =
+        sim::from_seconds(1.0 / config.background_frames_per_s);
+    // Self-rescheduling closure via a shared holder.
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&world, &bus, chatter, interval, &background_sent, tick] {
+      sim::CanFrame noise;
+      noise.id = DistributedConfig::kBackgroundFrameId;
+      noise.data.assign(8, 0xAA);
+      bus.transmit(chatter, noise);
+      ++background_sent;
+      world.queue().schedule_in(interval, *tick);
+    };
+    world.queue().schedule_in(interval, *tick);
+  }
+
+  // --- Probe + run ----------------------------------------------------
+  DistributedResult result;
+  const sim::SimTime period = sim::from_seconds(config.period_s);
+  auto probe = std::make_shared<std::function<void()>>();
+  *probe = [&world, &motor, &result, period, probe] {
+    result.speed.record(sim::to_seconds(world.now()),
+                        motor.speed_at(world.now()));
+    world.queue().schedule_in(period, *probe);
+  };
+  world.queue().schedule_in(period, *probe);
+
+  timer.Enable();
+  world.run_for(sim::from_seconds(config.duration_s));
+
+  result.metrics = model::analyze_step(result.speed, config.setpoint,
+                                       config.setpoint_time);
+  result.iae =
+      model::integral_absolute_error(result.speed, config.setpoint);
+  result.sensor_frames = sensor_can.peripheral()->frames_sent();
+  result.actuator_frames = ctrl_can.peripheral()->frames_sent();
+  result.background_frames = background_sent;
+  result.controller_rx_overruns = ctrl_can.peripheral()->overruns();
+  result.bus_utilisation =
+      bus.stats().utilisation(sim::from_seconds(config.duration_s));
+  result.loop_latency_us_mean = loop_latency_us.mean();
+  result.loop_latency_us_max = loop_latency_us.max();
+  return result;
+}
+
+}  // namespace iecd::core

@@ -1,0 +1,100 @@
+#include "core/model_sync.hpp"
+
+namespace iecd::core {
+
+ModelSync::ModelSync(model::Model& controller_model,
+                     beans::BeanProject& project)
+    : model_(controller_model), project_(project) {
+  observer_id_ = project_.add_observer(
+      [this](beans::ProjectChange change, const std::string& bean,
+             const std::string& detail) {
+        on_project_change(change, bean, detail);
+      });
+}
+
+ModelSync::~ModelSync() { project_.remove_observer(observer_id_); }
+
+template <typename BlockT, typename BeanT>
+BlockT& ModelSync::add_pair(const std::string& name) {
+  propagating_ = true;
+  BeanT& bean = project_.add<BeanT>(name);
+  propagating_ = false;
+  ++propagations_;
+  // The block and its bean share the instance name — one identity in both
+  // tools, exactly as PEERT presents it.
+  return model_.add<BlockT>(name, bean);
+}
+
+AdcPeBlock& ModelSync::add_adc(const std::string& name) {
+  return add_pair<AdcPeBlock, beans::AdcBean>(name);
+}
+
+PwmPeBlock& ModelSync::add_pwm(const std::string& name) {
+  return add_pair<PwmPeBlock, beans::PwmBean>(name);
+}
+
+TimerIntPeBlock& ModelSync::add_timer_int(const std::string& name) {
+  return add_pair<TimerIntPeBlock, beans::TimerIntBean>(name);
+}
+
+QuadDecPeBlock& ModelSync::add_quad_dec(const std::string& name) {
+  return add_pair<QuadDecPeBlock, beans::QuadDecBean>(name);
+}
+
+BitIoPeBlock& ModelSync::add_bit_io(const std::string& name) {
+  return add_pair<BitIoPeBlock, beans::BitIoBean>(name);
+}
+
+bool ModelSync::remove_pe_block(const std::string& name) {
+  if (!model_.find(name)) return false;
+  model_.remove(name);
+  propagating_ = true;
+  const bool removed = project_.remove(name);
+  propagating_ = false;
+  if (removed) ++propagations_;
+  return removed;
+}
+
+bool ModelSync::rename_pe_block(const std::string& old_name,
+                                const std::string& new_name) {
+  if (!model_.find(old_name)) return false;
+  if (!model_.rename(old_name, new_name)) return false;
+  propagating_ = true;
+  const bool renamed = project_.rename(old_name, new_name);
+  propagating_ = false;
+  if (renamed) ++propagations_;
+  return renamed;
+}
+
+util::DiagnosticList ModelSync::set_block_property(
+    const std::string& block, const std::string& property,
+    const beans::PropertyValue& value) {
+  // Route through the project so the whole expert system re-verifies
+  // immediately — the Bean Inspector behaviour of Fig. 4.1.
+  return project_.set_property(block, property, value);
+}
+
+void ModelSync::on_project_change(beans::ProjectChange change,
+                                  const std::string& bean_name,
+                                  const std::string& detail) {
+  if (propagating_) return;  // our own edit echoing back
+  switch (change) {
+    case beans::ProjectChange::kRenamed:
+      // PE-side rename: mirror onto the block.
+      if (model_.find(bean_name)) {
+        model_.rename(bean_name, detail);
+        ++propagations_;
+      }
+      break;
+    case beans::ProjectChange::kRemoved:
+      if (model_.find(bean_name)) {
+        model_.remove(bean_name);
+        ++propagations_;
+      }
+      break;
+    default:
+      break;  // adds from the PE side appear once a block references them
+  }
+}
+
+}  // namespace iecd::core

@@ -1,0 +1,63 @@
+/// \file model_sync.hpp
+/// The PES_COM analog: keeps the Simulink-side model and the PE-side bean
+/// project synchronized.  "User changes in the model (PE block insertion,
+/// erasure, rename etc.) are propagated to the PE project and opposite",
+/// and property edits go straight to the bean with immediate expert-system
+/// verification.  COM as a transport is replaced by in-process observers.
+#pragma once
+
+#include <string>
+
+#include "beans/bean_project.hpp"
+#include "core/pe_blocks.hpp"
+#include "model/model.hpp"
+
+namespace iecd::core {
+
+class ModelSync {
+ public:
+  /// \p controller_model is the model PE blocks live in (the controller
+  /// subsystem's interior).
+  ModelSync(model::Model& controller_model, beans::BeanProject& project);
+  ~ModelSync();
+
+  ModelSync(const ModelSync&) = delete;
+  ModelSync& operator=(const ModelSync&) = delete;
+
+  // --- Model-side operations (Simulink UI actions) ---
+  // Inserting a PE block creates the corresponding bean in the project.
+  AdcPeBlock& add_adc(const std::string& name);
+  PwmPeBlock& add_pwm(const std::string& name);
+  TimerIntPeBlock& add_timer_int(const std::string& name);
+  QuadDecPeBlock& add_quad_dec(const std::string& name);
+  BitIoPeBlock& add_bit_io(const std::string& name);
+
+  /// Erasing a PE block from the model removes its bean.
+  bool remove_pe_block(const std::string& name);
+  /// Renaming a PE block renames its bean (and vice versa via observer).
+  bool rename_pe_block(const std::string& old_name,
+                       const std::string& new_name);
+
+  /// Bean-Inspector edit from the model side: double-click on the block
+  /// opens the bean's properties; every change is verified immediately.
+  util::DiagnosticList set_block_property(const std::string& block,
+                                          const std::string& property,
+                                          const beans::PropertyValue& value);
+
+  std::uint64_t propagations() const { return propagations_; }
+
+ private:
+  template <typename BlockT, typename BeanT>
+  BlockT& add_pair(const std::string& name);
+  void on_project_change(beans::ProjectChange change,
+                         const std::string& bean_name,
+                         const std::string& detail);
+
+  model::Model& model_;
+  beans::BeanProject& project_;
+  int observer_id_ = 0;
+  bool propagating_ = false;
+  std::uint64_t propagations_ = 0;
+};
+
+}  // namespace iecd::core

@@ -1,0 +1,45 @@
+#include "core/peert.hpp"
+
+namespace iecd::core {
+
+PeertTarget::PeertTarget() = default;
+
+PeertTarget::BuildResult PeertTarget::build(model::Subsystem& controller,
+                                            beans::BeanProject& project,
+                                            const std::string& app_name,
+                                            bool fixed_point) {
+  BuildResult result;
+  // The expert system must pass before any code generation (as PE enforces).
+  result.diagnostics = project.validate();
+  if (result.diagnostics.has_errors()) return result;
+  codegen::GeneratorOptions options;
+  options.app_name = app_name;
+  options.fixed_point = fixed_point;
+  result.app =
+      generator_.generate(controller, project, options, &result.diagnostics);
+  // Hook-driven bean configuration may have changed derived settings;
+  // re-validate so the project is bindable.
+  result.diagnostics.merge(project.validate());
+  return result;
+}
+
+PeertTarget::BuildResult PeertTarget::build_pil(model::Subsystem& controller,
+                                                beans::BeanProject& project,
+                                                codegen::SignalBuffer& buffer,
+                                                const std::string& app_name,
+                                                bool fixed_point) {
+  BuildResult result;
+  result.diagnostics = project.validate();
+  if (result.diagnostics.has_errors()) return result;
+  codegen::GeneratorOptions options;
+  options.app_name = app_name;
+  options.fixed_point = fixed_point;
+  options.pil = true;
+  options.pil_buffer = &buffer;
+  result.app =
+      generator_.generate(controller, project, options, &result.diagnostics);
+  result.diagnostics.merge(project.validate());
+  return result;
+}
+
+}  // namespace iecd::core

@@ -1,0 +1,44 @@
+/// \file peert.hpp
+/// PEERT — the Processor Expert Real-Time Target for the code generator
+/// (paper Section 5).  A thin, named front over the generator configured
+/// with the PEERT hook pipeline; PEERT_PIL is the same target with the
+/// processor-in-the-loop code variant selected (Section 6).
+#pragma once
+
+#include "beans/bean_project.hpp"
+#include "codegen/generator.hpp"
+#include "model/subsystem.hpp"
+
+namespace iecd::core {
+
+class PeertTarget {
+ public:
+  struct BuildResult {
+    codegen::GeneratedApplication app;
+    util::DiagnosticList diagnostics;
+    bool ok() const { return !diagnostics.has_errors(); }
+  };
+
+  PeertTarget();
+
+  /// Builds the embedded application from the controller subsystem
+  /// ("the code is of course generated for the controller subsystem only").
+  BuildResult build(model::Subsystem& controller, beans::BeanProject& project,
+                    const std::string& app_name = "servo",
+                    bool fixed_point = false);
+
+  /// Builds the PIL code variant, registering the exchanged signals in
+  /// \p buffer.
+  BuildResult build_pil(model::Subsystem& controller,
+                        beans::BeanProject& project,
+                        codegen::SignalBuffer& buffer,
+                        const std::string& app_name = "servo_pil",
+                        bool fixed_point = false);
+
+  codegen::Generator& generator() { return generator_; }
+
+ private:
+  codegen::Generator generator_;
+};
+
+}  // namespace iecd::core

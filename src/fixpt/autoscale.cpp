@@ -1,0 +1,43 @@
+#include "fixpt/autoscale.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace iecd::fixpt {
+
+RangeObservation RangeObservation::with_margin(double factor) const {
+  RangeObservation out = *this;
+  const double span = std::max(std::abs(min), std::abs(max));
+  const double extra = span * (factor - 1.0);
+  out.min -= extra;
+  out.max += extra;
+  return out;
+}
+
+FixedFormat choose_format(const RangeObservation& range, int word_bits,
+                          util::DiagnosticList* diagnostics) {
+  // Search from most fractional bits downwards for the first format whose
+  // representable interval covers the observed range.
+  for (int frac = word_bits + 16; frac >= -(word_bits + 16); --frac) {
+    const FixedFormat fmt{word_bits, frac, true};
+    if (range.min >= fmt.min_value() && range.max <= fmt.max_value()) {
+      // Keep descending while still covering: the first hit has max frac.
+      return fmt;
+    }
+  }
+  if (diagnostics) {
+    diagnostics->error(
+        "fixpt.autoscale",
+        util::format("range [%g, %g] not representable in %d bits", range.min,
+                     range.max, word_bits));
+  }
+  return FixedFormat{word_bits, 0, true};
+}
+
+double worst_case_error(const FixedFormat& fmt) {
+  return fmt.resolution() / 2.0;
+}
+
+}  // namespace iecd::fixpt

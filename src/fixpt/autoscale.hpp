@@ -1,0 +1,38 @@
+/// \file autoscale.hpp
+/// Fixed-point autoscaling: given the real-value range a signal takes in
+/// simulation (MIL run), choose the Q-format that fits the range with
+/// maximal resolution.  This reproduces the Simulink fixed-point advisor
+/// step the paper's case study relies on ("Simulink allows choosing and
+/// validating an appropriate fix-point representation").
+#pragma once
+
+#include <vector>
+
+#include "fixpt/format.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::fixpt {
+
+struct RangeObservation {
+  double min = 0.0;
+  double max = 0.0;
+
+  void include(double x) {
+    if (x < min) min = x;
+    if (x > max) max = x;
+  }
+  /// Widens the range symmetrically by \p factor (design margin).
+  RangeObservation with_margin(double factor) const;
+};
+
+/// Chooses the signed format with \p word_bits that covers [range.min,
+/// range.max] with the most fractional bits.  Ranges containing values
+/// beyond what any frac_bits shift can cover are reported via diagnostics
+/// and fall back to frac_bits minimizing overflow.
+FixedFormat choose_format(const RangeObservation& range, int word_bits,
+                          util::DiagnosticList* diagnostics = nullptr);
+
+/// Worst-case quantization error (one LSB / 2 for round-to-nearest).
+double worst_case_error(const FixedFormat& fmt);
+
+}  // namespace iecd::fixpt

@@ -1,0 +1,90 @@
+/// \file fixed.hpp
+/// Compile-time fixed-point type, mirroring the arithmetic the generated C
+/// code performs with native integers on the 16-bit target.  WordBits picks
+/// the storage type; all operations saturate, matching the default the
+/// code generator emits for control signals.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "fixpt/format.hpp"
+#include "fixpt/value.hpp"
+
+namespace iecd::fixpt {
+
+namespace detail {
+template <int WordBits>
+struct StorageFor {
+  using type = std::conditional_t<
+      (WordBits <= 8), std::int8_t,
+      std::conditional_t<(WordBits <= 16), std::int16_t, std::int32_t>>;
+};
+}  // namespace detail
+
+template <int WordBits, int FracBits>
+class Fixed {
+  static_assert(WordBits >= 2 && WordBits <= 32);
+
+ public:
+  using Storage = typename detail::StorageFor<WordBits>::type;
+
+  static constexpr FixedFormat format() {
+    return FixedFormat{WordBits, FracBits, true};
+  }
+
+  constexpr Fixed() = default;
+
+  static Fixed from_double(double real) {
+    const FixedValue v = FixedValue::from_double(real, format());
+    return from_raw(static_cast<Storage>(v.raw()));
+  }
+
+  static constexpr Fixed from_raw(Storage raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  Storage raw() const { return raw_; }
+
+  double to_double() const {
+    return FixedValue(raw_, format()).to_double();
+  }
+
+  FixedValue to_value() const { return FixedValue(raw_, format()); }
+
+  Fixed operator+(Fixed other) const {
+    return from_value(to_value().add(other.to_value(), format()));
+  }
+  Fixed operator-(Fixed other) const {
+    return from_value(to_value().sub(other.to_value(), format()));
+  }
+  Fixed operator*(Fixed other) const {
+    return from_value(to_value().mul(other.to_value(), format()));
+  }
+  Fixed operator/(Fixed other) const {
+    return from_value(to_value().div(other.to_value(), format()));
+  }
+  Fixed operator-() const { return from_value(to_value().negate()); }
+
+  bool operator==(Fixed other) const { return raw_ == other.raw_; }
+  bool operator<(Fixed other) const { return raw_ < other.raw_; }
+  bool operator<=(Fixed other) const { return raw_ <= other.raw_; }
+  bool operator>(Fixed other) const { return raw_ > other.raw_; }
+  bool operator>=(Fixed other) const { return raw_ >= other.raw_; }
+
+ private:
+  static Fixed from_value(const FixedValue& v) {
+    return from_raw(static_cast<Storage>(v.raw()));
+  }
+
+  Storage raw_ = 0;
+};
+
+/// The formats the servo case study uses (16-bit DSC without FPU).
+using Q15 = Fixed<16, 15>;   ///< [-1, 1) unit signals
+using Q12_3 = Fixed<16, 3>;  ///< wide-range speeds
+using Q31 = Fixed<32, 31>;   ///< accumulators
+
+}  // namespace iecd::fixpt

@@ -1,0 +1,96 @@
+#include "fixpt/format.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace iecd::fixpt {
+
+std::int64_t FixedFormat::max_raw() const {
+  const int magnitude_bits = is_signed ? word_bits - 1 : word_bits;
+  return (std::int64_t{1} << magnitude_bits) - 1;
+}
+
+std::int64_t FixedFormat::min_raw() const {
+  if (!is_signed) return 0;
+  return -(std::int64_t{1} << (word_bits - 1));
+}
+
+double FixedFormat::resolution() const { return std::ldexp(1.0, -frac_bits); }
+
+double FixedFormat::max_value() const {
+  return static_cast<double>(max_raw()) * resolution();
+}
+
+double FixedFormat::min_value() const {
+  return static_cast<double>(min_raw()) * resolution();
+}
+
+bool FixedFormat::valid() const {
+  if (word_bits < 2 || word_bits > 32) return false;
+  if (frac_bits < -64 || frac_bits > 64) return false;
+  return true;
+}
+
+std::string FixedFormat::to_string() const {
+  const char* prefix = is_signed ? "sfix" : "ufix";
+  if (frac_bits >= 0) {
+    return util::format("%s%d_En%d", prefix, word_bits, frac_bits);
+  }
+  return util::format("%s%d_E%d", prefix, word_bits, -frac_bits);
+}
+
+std::int64_t apply_overflow(std::int64_t raw, const FixedFormat& fmt,
+                            Overflow overflow) {
+  const std::int64_t lo = fmt.min_raw();
+  const std::int64_t hi = fmt.max_raw();
+  if (raw >= lo && raw <= hi) return raw;
+  if (overflow == Overflow::kSaturate) {
+    return raw < lo ? lo : hi;
+  }
+  // Two's-complement wrap into word_bits.
+  const std::uint64_t mask =
+      fmt.word_bits >= 64 ? ~0ULL : ((std::uint64_t{1} << fmt.word_bits) - 1);
+  std::uint64_t wrapped = static_cast<std::uint64_t>(raw) & mask;
+  if (fmt.is_signed && fmt.word_bits < 64 &&
+      (wrapped & (std::uint64_t{1} << (fmt.word_bits - 1)))) {
+    wrapped |= ~mask;  // sign-extend
+  }
+  return static_cast<std::int64_t>(wrapped);
+}
+
+std::int64_t shift_with_rounding(std::int64_t raw, int shift,
+                                 Rounding rounding) {
+  if (shift == 0) return raw;
+  if (shift < 0) {
+    // Left shift: gain precision, no rounding needed.  Guard against UB on
+    // large shifts; callers keep magnitudes well inside 64 bits.
+    return raw << (-shift);
+  }
+  if (shift >= 63) {
+    // Everything shifted out; result is the rounded sign.
+    switch (rounding) {
+      case Rounding::kFloor:
+        return raw < 0 ? -1 : 0;
+      default:
+        return 0;
+    }
+  }
+  const std::int64_t divisor = std::int64_t{1} << shift;
+  switch (rounding) {
+    case Rounding::kZero:
+      return raw / divisor;
+    case Rounding::kFloor: {
+      std::int64_t q = raw >> shift;  // arithmetic shift == floor division
+      return q;
+    }
+    case Rounding::kNearest: {
+      const std::int64_t half = divisor / 2;
+      if (raw >= 0) return (raw + half) >> shift;
+      return -((-raw + half) >> shift);
+    }
+  }
+  return raw >> shift;
+}
+
+}  // namespace iecd::fixpt

@@ -1,0 +1,68 @@
+/// \file format.hpp
+/// Runtime fixed-point format description (Q-format).  The case-study MCU
+/// (MC56F8367 analog) is a 16-bit device without an FPU, so the Simulink
+/// model must pick a fixed-point representation for every controller signal
+/// (paper, Section 7).  A format is word size + binary-point position +
+/// signedness; values are stored as raw integers scaled by 2^-frac_bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iecd::fixpt {
+
+/// How from_double / rescale round when precision is lost.
+enum class Rounding {
+  kNearest,  ///< round half away from zero (Simulink "Nearest")
+  kFloor,    ///< round toward -inf
+  kZero,     ///< truncate toward zero
+};
+
+/// What happens when a value exceeds the representable range.
+enum class Overflow {
+  kSaturate,  ///< clamp to min/max (the safe default for control code)
+  kWrap,      ///< two's-complement wraparound (cheapest on the target)
+};
+
+struct FixedFormat {
+  int word_bits = 16;    ///< total storage bits (<= 32 on the 16-bit DSC)
+  int frac_bits = 0;     ///< binary point position; may exceed word_bits
+  bool is_signed = true;
+
+  bool operator==(const FixedFormat&) const = default;
+
+  /// Largest representable raw integer.
+  std::int64_t max_raw() const;
+  /// Smallest representable raw integer.
+  std::int64_t min_raw() const;
+
+  /// Value of one LSB.
+  double resolution() const;
+  /// Largest representable real value.
+  double max_value() const;
+  /// Smallest representable real value.
+  double min_value() const;
+
+  /// True if word_bits in [2, 32] (signed needs a sign bit) etc.
+  bool valid() const;
+
+  /// "sfix16_En7"-style name as Simulink prints it.
+  std::string to_string() const;
+
+  /// Common shorthand constructors.
+  static FixedFormat s16(int frac) { return {16, frac, true}; }
+  static FixedFormat u16(int frac) { return {16, frac, false}; }
+  static FixedFormat s32(int frac) { return {32, frac, true}; }
+};
+
+/// Clamps \p raw into the representable range of \p fmt (saturate), or wraps
+/// it two's-complement style, according to \p overflow.
+std::int64_t apply_overflow(std::int64_t raw, const FixedFormat& fmt,
+                            Overflow overflow);
+
+/// Shifts \p raw right by \p shift (>0) with the requested rounding, or left
+/// by -shift.  Used when rescaling between formats and after multiplies.
+std::int64_t shift_with_rounding(std::int64_t raw, int shift,
+                                 Rounding rounding);
+
+}  // namespace iecd::fixpt

@@ -1,0 +1,163 @@
+#include "fixpt/value.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace iecd::fixpt {
+
+FixedValue FixedValue::from_double(double real, FixedFormat fmt,
+                                   Rounding rounding, Overflow overflow) {
+  const double scaled = std::ldexp(real, fmt.frac_bits);
+  double rounded = 0.0;
+  switch (rounding) {
+    case Rounding::kNearest:
+      rounded = std::round(scaled);
+      break;
+    case Rounding::kFloor:
+      rounded = std::floor(scaled);
+      break;
+    case Rounding::kZero:
+      rounded = std::trunc(scaled);
+      break;
+  }
+  // Clamp before the int64 conversion to avoid UB on huge doubles.
+  const double lo = static_cast<double>(fmt.min_raw());
+  const double hi = static_cast<double>(fmt.max_raw());
+  std::int64_t raw;
+  if (rounded <= lo - 1 || rounded >= hi + 1) {
+    raw = apply_overflow(
+        rounded < 0 ? fmt.min_raw() - 1 : fmt.max_raw() + 1, fmt, overflow);
+  } else {
+    raw = apply_overflow(static_cast<std::int64_t>(rounded), fmt, overflow);
+  }
+  return FixedValue(raw, fmt);
+}
+
+double FixedValue::to_double() const {
+  return std::ldexp(static_cast<double>(raw_), -fmt_.frac_bits);
+}
+
+FixedValue FixedValue::rescale(FixedFormat to, Rounding rounding,
+                               Overflow overflow) const {
+  const int shift = fmt_.frac_bits - to.frac_bits;
+  std::int64_t raw = shift_with_rounding(raw_, shift, rounding);
+  raw = apply_overflow(raw, to, overflow);
+  return FixedValue(raw, to);
+}
+
+namespace {
+
+/// Aligns both raw values to a common fractional precision for exact
+/// add/sub/compare.  Picks the max frac to avoid losing bits.
+struct Aligned {
+  std::int64_t a;
+  std::int64_t b;
+  int frac;
+};
+
+Aligned align(const FixedValue& x, const FixedValue& y) {
+  const int fa = x.format().frac_bits;
+  const int fb = y.format().frac_bits;
+  const int frac = fa > fb ? fa : fb;
+  return {x.raw() << (frac - fa), y.raw() << (frac - fb), frac};
+}
+
+}  // namespace
+
+FixedValue FixedValue::add(const FixedValue& other, FixedFormat out_fmt,
+                           Rounding rounding, Overflow overflow) const {
+  const Aligned al = align(*this, other);
+  const std::int64_t sum = al.a + al.b;
+  std::int64_t raw =
+      shift_with_rounding(sum, al.frac - out_fmt.frac_bits, rounding);
+  raw = apply_overflow(raw, out_fmt, overflow);
+  return FixedValue(raw, out_fmt);
+}
+
+FixedValue FixedValue::sub(const FixedValue& other, FixedFormat out_fmt,
+                           Rounding rounding, Overflow overflow) const {
+  const Aligned al = align(*this, other);
+  const std::int64_t diff = al.a - al.b;
+  std::int64_t raw =
+      shift_with_rounding(diff, al.frac - out_fmt.frac_bits, rounding);
+  raw = apply_overflow(raw, out_fmt, overflow);
+  return FixedValue(raw, out_fmt);
+}
+
+FixedValue FixedValue::mul(const FixedValue& other, FixedFormat out_fmt,
+                           Rounding rounding, Overflow overflow) const {
+  // 32x32 -> 64-bit products are exact for word_bits <= 32.
+  const std::int64_t product = raw_ * other.raw_;
+  const int product_frac = fmt_.frac_bits + other.fmt_.frac_bits;
+  std::int64_t raw =
+      shift_with_rounding(product, product_frac - out_fmt.frac_bits, rounding);
+  raw = apply_overflow(raw, out_fmt, overflow);
+  return FixedValue(raw, out_fmt);
+}
+
+FixedValue FixedValue::div(const FixedValue& other, FixedFormat out_fmt,
+                           Rounding rounding, Overflow overflow) const {
+  if (other.raw_ == 0) {
+    // Saturate to the signed extreme, as the generated C guards do.
+    const std::int64_t raw = raw_ >= 0 ? out_fmt.max_raw() : out_fmt.min_raw();
+    return FixedValue(raw, out_fmt);
+  }
+  // result_real = (a * 2^-fa) / (b * 2^-fb); we want raw_out = result_real
+  // * 2^fo = a * 2^(fo - fa + fb) / b.  Pre-shift the dividend.
+  const int pre = out_fmt.frac_bits - fmt_.frac_bits + other.fmt_.frac_bits;
+  std::int64_t num = raw_;
+  std::int64_t den = other.raw_;
+  if (pre >= 0) {
+    num = num << pre;
+  } else {
+    den = den << (-pre);
+  }
+  std::int64_t q;
+  switch (rounding) {
+    case Rounding::kNearest: {
+      // Round half away from zero: bias the numerator by half the divisor
+      // in the direction of the quotient's sign.
+      const bool positive = (num >= 0) == (den > 0);
+      q = (2 * num + (positive ? den : -den)) / (2 * den);
+      break;
+    }
+    case Rounding::kFloor: {
+      q = num / den;
+      if ((num % den != 0) && ((num < 0) != (den < 0))) --q;
+      break;
+    }
+    case Rounding::kZero:
+    default:
+      q = num / den;
+      break;
+  }
+  q = apply_overflow(q, out_fmt, overflow);
+  return FixedValue(q, out_fmt);
+}
+
+FixedValue FixedValue::negate(Overflow overflow) const {
+  return FixedValue(apply_overflow(-raw_, fmt_, overflow), fmt_);
+}
+
+bool FixedValue::equals(const FixedValue& other) const {
+  const Aligned al = align(*this, other);
+  return al.a == al.b;
+}
+
+bool FixedValue::less_than(const FixedValue& other) const {
+  const Aligned al = align(*this, other);
+  return al.a < al.b;
+}
+
+std::string FixedValue::to_string() const {
+  return util::format("%.9g (%s raw=%lld)", to_double(),
+                      fmt_.to_string().c_str(),
+                      static_cast<long long>(raw_));
+}
+
+double quantization_error(double real, FixedFormat fmt, Rounding rounding) {
+  return FixedValue::from_double(real, fmt, rounding).to_double() - real;
+}
+
+}  // namespace iecd::fixpt

@@ -1,0 +1,71 @@
+/// \file value.hpp
+/// Runtime-typed fixed-point value and arithmetic.  This is the type the
+/// model engine and the code generator use for fixed-point signals; the
+/// compile-time Fixed<I,F> template in fixed.hpp mirrors what the generated
+/// C code does with native integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fixpt/format.hpp"
+
+namespace iecd::fixpt {
+
+class FixedValue {
+ public:
+  FixedValue() = default;
+  FixedValue(std::int64_t raw, FixedFormat fmt) : raw_(raw), fmt_(fmt) {}
+
+  /// Quantizes \p real into \p fmt.
+  static FixedValue from_double(double real, FixedFormat fmt,
+                                Rounding rounding = Rounding::kNearest,
+                                Overflow overflow = Overflow::kSaturate);
+
+  double to_double() const;
+  std::int64_t raw() const { return raw_; }
+  const FixedFormat& format() const { return fmt_; }
+
+  /// Re-represents this value in another format (rounding/saturating).
+  FixedValue rescale(FixedFormat to, Rounding rounding = Rounding::kNearest,
+                     Overflow overflow = Overflow::kSaturate) const;
+
+  /// result = this + other, computed exactly then quantized into \p out_fmt.
+  FixedValue add(const FixedValue& other, FixedFormat out_fmt,
+                 Rounding rounding = Rounding::kNearest,
+                 Overflow overflow = Overflow::kSaturate) const;
+
+  FixedValue sub(const FixedValue& other, FixedFormat out_fmt,
+                 Rounding rounding = Rounding::kNearest,
+                 Overflow overflow = Overflow::kSaturate) const;
+
+  /// Full-precision integer product, then shift into \p out_fmt.
+  FixedValue mul(const FixedValue& other, FixedFormat out_fmt,
+                 Rounding rounding = Rounding::kNearest,
+                 Overflow overflow = Overflow::kSaturate) const;
+
+  /// Quotient via pre-scaling the dividend so the result carries
+  /// out_fmt.frac_bits fractional bits.
+  FixedValue div(const FixedValue& other, FixedFormat out_fmt,
+                 Rounding rounding = Rounding::kZero,
+                 Overflow overflow = Overflow::kSaturate) const;
+
+  FixedValue negate(Overflow overflow = Overflow::kSaturate) const;
+
+  /// Exact value comparison across formats.
+  bool equals(const FixedValue& other) const;
+  bool less_than(const FixedValue& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t raw_ = 0;
+  FixedFormat fmt_{};
+};
+
+/// Quantization error of representing \p real in \p fmt (signed, in real
+/// units).  Used by tests and the autoscaler.
+double quantization_error(double real, FixedFormat fmt,
+                          Rounding rounding = Rounding::kNearest);
+
+}  // namespace iecd::fixpt

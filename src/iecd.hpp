@@ -1,0 +1,69 @@
+/// \file iecd.hpp
+/// Umbrella header: the full public API of the integrated environment.
+/// Downstream users can include this one header; the library is organized
+/// so that including only the subsystems you use keeps compile times down.
+#pragma once
+
+// Simulation substrates.
+#include "sim/event_queue.hpp"      // deterministic discrete-event core
+#include "sim/serial_link.hpp"      // byte-timed RS232 / SPI links
+#include "sim/world.hpp"            // co-simulation world
+#include "sim/zoh_signal.hpp"       // zero-order-hold signals
+
+// Target hardware simulation.
+#include "mcu/derivative.hpp"       // CPU derivative registry
+#include "mcu/mcu.hpp"              // MCU: clock, IRQs, cycle-charged CPU
+#include "periph/adc.hpp"
+#include "periph/capture.hpp"
+#include "periph/gpio.hpp"
+#include "periph/pwm.hpp"
+#include "periph/quadrature_decoder.hpp"
+#include "periph/timer.hpp"
+#include "periph/uart.hpp"
+#include "periph/watchdog.hpp"
+
+// Component layer (Processor Expert analog).
+#include "beans/autosar.hpp"        // AUTOSAR driver variant
+#include "beans/bean_project.hpp"   // project + expert system
+#include "beans/adc_bean.hpp"
+#include "beans/bit_io_bean.hpp"
+#include "beans/capture_bean.hpp"
+#include "beans/pwm_bean.hpp"
+#include "beans/quad_dec_bean.hpp"
+#include "beans/serial_bean.hpp"
+#include "beans/timer_int_bean.hpp"
+#include "beans/watchdog_bean.hpp"
+
+// Modelling environment (Simulink analog).
+#include "blocks/continuous.hpp"
+#include "blocks/custom.hpp"
+#include "blocks/discontinuities.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/lookup.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/routing.hpp"
+#include "blocks/sinks.hpp"
+#include "blocks/sources.hpp"
+#include "fixpt/autoscale.hpp"
+#include "fixpt/fixed.hpp"
+#include "model/engine.hpp"
+#include "model/metrics.hpp"
+#include "model/statechart.hpp"
+#include "model/subsystem.hpp"
+
+// Code generation + real-time execution (RTW / PEERT analog).
+#include "codegen/generator.hpp"
+#include "rt/runtime.hpp"
+#include "rt/schedulability.hpp"
+
+// Plants and co-simulation sessions.
+#include "pil/pil_session.hpp"
+#include "plant/dc_motor.hpp"
+#include "plant/encoder.hpp"
+#include "plant/simple_plants.hpp"
+
+// The integration itself.
+#include "core/case_study.hpp"
+#include "core/model_sync.hpp"
+#include "core/pe_blocks.hpp"
+#include "core/peert.hpp"

@@ -1,0 +1,25 @@
+#include "mcu/clock.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iecd::mcu {
+
+Clock::Clock(double hz) : hz_(hz) {
+  if (!(hz > 0)) throw std::invalid_argument("Clock: frequency must be > 0");
+}
+
+sim::SimTime Clock::cycles_to_time(std::uint64_t cycles) const {
+  if (cycles == 0) return 0;
+  const double ns = static_cast<double>(cycles) * 1e9 / hz_;
+  const auto rounded = static_cast<sim::SimTime>(std::llround(ns));
+  return rounded > 0 ? rounded : 1;
+}
+
+std::uint64_t Clock::time_to_cycles(sim::SimTime duration) const {
+  if (duration <= 0) return 0;
+  return static_cast<std::uint64_t>(static_cast<double>(duration) * 1e-9 *
+                                    hz_);
+}
+
+}  // namespace iecd::mcu

@@ -1,0 +1,31 @@
+/// \file clock.hpp
+/// The MCU core clock: converts between CPU cycles and simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace iecd::mcu {
+
+class Clock {
+ public:
+  explicit Clock(double hz);
+
+  double hz() const { return hz_; }
+
+  /// Duration of \p cycles core cycles, rounded to the nearest ns (>= 1 ns
+  /// for any nonzero cycle count so events always make progress).
+  sim::SimTime cycles_to_time(std::uint64_t cycles) const;
+
+  /// Cycles elapsing in \p duration (floor).
+  std::uint64_t time_to_cycles(sim::SimTime duration) const;
+
+  /// Nanoseconds per cycle (may be fractional).
+  double cycle_ns() const { return 1e9 / hz_; }
+
+ private:
+  double hz_;
+};
+
+}  // namespace iecd::mcu

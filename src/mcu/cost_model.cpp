@@ -1,0 +1,52 @@
+#include "mcu/cost_model.hpp"
+
+namespace iecd::mcu {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  alu16 += o.alu16;
+  mul16 += o.mul16;
+  div16 += o.div16;
+  alu32 += o.alu32;
+  mul32 += o.mul32;
+  div32 += o.div32;
+  fadd += o.fadd;
+  fmul += o.fmul;
+  fdiv += o.fdiv;
+  mem += o.mem;
+  branch += o.branch;
+  return *this;
+}
+
+OpCounts OpCounts::operator*(std::uint32_t n) const {
+  OpCounts out;
+  out.alu16 = alu16 * n;
+  out.mul16 = mul16 * n;
+  out.div16 = div16 * n;
+  out.alu32 = alu32 * n;
+  out.mul32 = mul32 * n;
+  out.div32 = div32 * n;
+  out.fadd = fadd * n;
+  out.fmul = fmul * n;
+  out.fdiv = fdiv * n;
+  out.mem = mem * n;
+  out.branch = branch * n;
+  return out;
+}
+
+std::uint64_t CostModel::cycles(const OpCounts& ops) const {
+  std::uint64_t c = 0;
+  c += static_cast<std::uint64_t>(ops.alu16) * alu16;
+  c += static_cast<std::uint64_t>(ops.mul16) * mul16;
+  c += static_cast<std::uint64_t>(ops.div16) * div16;
+  c += static_cast<std::uint64_t>(ops.alu32) * alu32;
+  c += static_cast<std::uint64_t>(ops.mul32) * mul32;
+  c += static_cast<std::uint64_t>(ops.div32) * div32;
+  c += static_cast<std::uint64_t>(ops.fadd) * fadd;
+  c += static_cast<std::uint64_t>(ops.fmul) * fmul;
+  c += static_cast<std::uint64_t>(ops.fdiv) * fdiv;
+  c += static_cast<std::uint64_t>(ops.mem) * mem;
+  c += static_cast<std::uint64_t>(ops.branch) * branch;
+  return c;
+}
+
+}  // namespace iecd::mcu

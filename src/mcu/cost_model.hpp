@@ -1,0 +1,52 @@
+/// \file cost_model.hpp
+/// Per-CPU instruction cost model.  Generated block code is not interpreted
+/// instruction-by-instruction; instead each block step declares how many
+/// elementary operations of each class it performs, and the active CPU
+/// bean's cost model prices them in core cycles.  This is the same
+/// abstraction level TrueTime (cited by the paper as the simulation-based
+/// alternative) uses for execution-time modelling.
+#pragma once
+
+#include <cstdint>
+
+namespace iecd::mcu {
+
+/// Elementary operation counts for one block step (or one ISR body).
+struct OpCounts {
+  std::uint32_t alu16 = 0;    ///< 16-bit add/sub/logic/compare/shift
+  std::uint32_t mul16 = 0;    ///< 16x16 multiply
+  std::uint32_t div16 = 0;    ///< 16-bit divide
+  std::uint32_t alu32 = 0;    ///< 32-bit add/sub/logic (multi-word on 16-bit)
+  std::uint32_t mul32 = 0;    ///< 32x32 multiply
+  std::uint32_t div32 = 0;    ///< 32-bit divide
+  std::uint32_t fadd = 0;     ///< floating add/sub (sw-emulated if no FPU)
+  std::uint32_t fmul = 0;     ///< floating multiply
+  std::uint32_t fdiv = 0;     ///< floating divide
+  std::uint32_t mem = 0;      ///< load/store pairs
+  std::uint32_t branch = 0;   ///< taken branches / calls
+
+  OpCounts& operator+=(const OpCounts& o);
+  OpCounts operator*(std::uint32_t n) const;
+};
+
+/// Cycle prices for one CPU derivative.
+struct CostModel {
+  std::uint32_t alu16 = 1;
+  std::uint32_t mul16 = 1;
+  std::uint32_t div16 = 16;
+  std::uint32_t alu32 = 2;
+  std::uint32_t mul32 = 4;
+  std::uint32_t div32 = 34;
+  std::uint32_t fadd = 120;   ///< software double add on a no-FPU part
+  std::uint32_t fmul = 160;
+  std::uint32_t fdiv = 420;
+  std::uint32_t mem = 2;
+  std::uint32_t branch = 3;
+  std::uint32_t isr_entry = 14;  ///< vector fetch + context save
+  std::uint32_t isr_exit = 10;   ///< context restore + RTI
+  std::uint32_t task_dispatch = 8;  ///< kernel dispatch bookkeeping
+
+  std::uint64_t cycles(const OpCounts& ops) const;
+};
+
+}  // namespace iecd::mcu

@@ -1,0 +1,86 @@
+#include "mcu/cpu.hpp"
+
+#include <algorithm>
+
+namespace iecd::mcu {
+
+Cpu::Cpu(sim::EventQueue& queue, const Clock& clock, const CostModel& costs,
+         InterruptController& intc)
+    : queue_(queue), clock_(clock), costs_(costs), intc_(intc) {}
+
+void Cpu::set_background(std::function<std::uint64_t()> chunk) {
+  background_ = std::move(chunk);
+}
+
+void Cpu::set_dispatch_observer(
+    std::function<void(const DispatchRecord&)> obs) {
+  observer_ = std::move(obs);
+}
+
+void Cpu::set_main_stack_bytes(std::uint32_t bytes) {
+  main_stack_ = bytes;
+  max_stack_ = std::max(max_stack_, bytes);
+}
+
+void Cpu::kick() {
+  if (busy_) return;  // completion handler will re-check pending vectors
+  dispatch_next();
+}
+
+void Cpu::dispatch_next() {
+  const IrqVector vec = intc_.acknowledge();
+  if (vec < 0) {
+    run_background();
+    return;
+  }
+  const IsrHandler& handler = intc_.handler(vec);
+  busy_ = true;
+
+  DispatchRecord rec;
+  rec.vec = vec;
+  rec.name = handler.name;
+  rec.raise_time = intc_.last_raise_time();
+  rec.start_time = queue_.now();
+
+  max_stack_ = std::max(max_stack_, main_stack_ + handler.stack_bytes);
+
+  // The body runs logically at dispatch time (inputs sampled now); outputs
+  // commit when the ISR retires, entry + body + exit cycles later.
+  rec.body_cycles = handler.body();
+  const std::uint64_t total_cycles =
+      costs_.isr_entry + rec.body_cycles + costs_.isr_exit;
+  const sim::SimTime duration = clock_.cycles_to_time(total_cycles);
+  busy_time_ += duration;
+
+  queue_.schedule_in(duration, [this, rec]() mutable {
+    const IsrHandler& h = intc_.handler(rec.vec);
+    if (h.commit) h.commit();
+    rec.end_time = queue_.now();
+    busy_ = false;
+    ++dispatches_;
+    if (observer_) observer_(rec);
+    dispatch_next();
+  });
+}
+
+void Cpu::run_background() {
+  if (!background_) return;
+  const std::uint64_t cycles = background_();
+  if (cycles == 0) return;  // idle until next kick
+  busy_ = true;
+  const sim::SimTime duration = clock_.cycles_to_time(cycles);
+  busy_time_ += duration;
+  queue_.schedule_in(duration, [this] {
+    busy_ = false;
+    dispatch_next();
+  });
+}
+
+void Cpu::reset() {
+  busy_ = false;
+  busy_time_ = 0;
+  dispatches_ = 0;
+  max_stack_ = main_stack_;
+}
+
+}  // namespace iecd::mcu

@@ -1,0 +1,156 @@
+#include "mcu/derivative.hpp"
+
+#include <stdexcept>
+
+namespace iecd::mcu {
+
+namespace {
+
+std::vector<DerivativeSpec> build_registry() {
+  std::vector<DerivativeSpec> regs;
+
+  {
+    // 16-bit hybrid DSC (MC56F8367 analog): single-cycle MAC, no FPU.
+    DerivativeSpec d;
+    d.name = "DSC56F8367";
+    d.clock_hz = 60e6;
+    d.native_word_bits = 16;
+    d.has_fpu = false;
+    d.costs = CostModel{};  // defaults tuned for a 16-bit DSC
+    d.costs.mul16 = 1;      // hardware MAC
+    d.costs.div16 = 20;
+    d.memory = {512 * 1024, 32 * 1024};
+    d.adc_channels = 16;
+    d.adc_max_bits = 12;
+    d.adc_clock_hz = 5e6;
+    d.adc_cycles_per_sample = 8.5;
+    d.pwm_channels = 12;
+    d.pwm_counter_bits = 15;
+    d.timer_channels = 16;
+    d.timer_modulo_bits = 16;
+    d.timer_prescalers = {1, 2, 4, 8, 16, 32, 64, 128};
+    d.quadrature_decoders = 2;
+    d.uarts = 2;
+    d.uart_bauds = {9600, 19200, 38400, 57600, 115200, 230400, 460800};
+    d.gpio_pins = 49;
+    regs.push_back(d);
+  }
+  {
+    // 16-bit automotive MCU (HCS12X analog): slower clock, pricier mul/div.
+    DerivativeSpec d;
+    d.name = "HCS12X128";
+    d.clock_hz = 40e6;
+    d.native_word_bits = 16;
+    d.has_fpu = false;
+    d.costs = CostModel{};
+    d.costs.mul16 = 3;
+    d.costs.div16 = 12;
+    d.costs.fadd = 180;
+    d.costs.fmul = 240;
+    d.costs.fdiv = 600;
+    d.memory = {128 * 1024, 12 * 1024};
+    d.adc_channels = 16;
+    d.adc_max_bits = 10;
+    d.adc_clock_hz = 2e6;
+    d.adc_cycles_per_sample = 14;
+    d.pwm_channels = 8;
+    d.pwm_counter_bits = 16;
+    d.timer_channels = 8;
+    d.timer_modulo_bits = 16;
+    d.timer_prescalers = {1, 2, 4, 8, 16, 32, 64, 128};
+    d.quadrature_decoders = 0;
+    d.uarts = 2;
+    d.uart_bauds = {9600, 19200, 38400, 57600, 115200};
+    d.gpio_pins = 91;
+    regs.push_back(d);
+  }
+  {
+    // 32-bit ColdFire analog: wide ALU makes 32-bit and float cheaper.
+    DerivativeSpec d;
+    d.name = "MCF5235";
+    d.clock_hz = 150e6;
+    d.native_word_bits = 32;
+    d.has_fpu = false;
+    d.costs = CostModel{};
+    d.costs.alu16 = 1;
+    d.costs.alu32 = 1;
+    d.costs.mul16 = 1;
+    d.costs.mul32 = 2;
+    d.costs.div16 = 12;
+    d.costs.div32 = 18;
+    d.costs.fadd = 60;
+    d.costs.fmul = 90;
+    d.costs.fdiv = 220;
+    d.costs.isr_entry = 22;
+    d.costs.isr_exit = 16;
+    d.memory = {0, 64 * 1024};  // external flash: charge RAM only
+    d.memory.flash_bytes = 2 * 1024 * 1024;
+    d.adc_channels = 8;
+    d.adc_max_bits = 12;
+    d.adc_clock_hz = 8e6;
+    d.adc_cycles_per_sample = 10;
+    d.pwm_channels = 8;
+    d.pwm_counter_bits = 16;
+    d.timer_channels = 8;
+    d.timer_modulo_bits = 32;
+    d.timer_prescalers = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+    d.quadrature_decoders = 1;
+    d.uarts = 3;
+    d.uart_bauds = {9600, 19200, 38400, 57600, 115200, 230400, 460800,
+                    921600};
+    d.gpio_pins = 64;
+    regs.push_back(d);
+  }
+  {
+    // Small 8-bit part (HCS08 analog): everything is multi-word.
+    DerivativeSpec d;
+    d.name = "HCS08GB60";
+    d.clock_hz = 20e6;
+    d.native_word_bits = 8;
+    d.has_fpu = false;
+    d.costs = CostModel{};
+    d.costs.alu16 = 3;
+    d.costs.mul16 = 9;
+    d.costs.div16 = 40;
+    d.costs.alu32 = 8;
+    d.costs.mul32 = 40;
+    d.costs.div32 = 150;
+    d.costs.fadd = 400;
+    d.costs.fmul = 700;
+    d.costs.fdiv = 1800;
+    d.costs.isr_entry = 11;
+    d.costs.isr_exit = 9;
+    d.memory = {60 * 1024, 4 * 1024};
+    d.adc_channels = 8;
+    d.adc_max_bits = 10;
+    d.adc_clock_hz = 1e6;
+    d.adc_cycles_per_sample = 17;
+    d.pwm_channels = 5;
+    d.pwm_counter_bits = 16;
+    d.timer_channels = 5;
+    d.timer_modulo_bits = 16;
+    d.timer_prescalers = {1, 2, 4, 8, 16, 32, 64, 128};
+    d.quadrature_decoders = 0;
+    d.uarts = 1;
+    d.uart_bauds = {9600, 19200, 38400, 57600, 115200};
+    d.gpio_pins = 56;
+    regs.push_back(d);
+  }
+  return regs;
+}
+
+}  // namespace
+
+const std::vector<DerivativeSpec>& derivative_registry() {
+  static const std::vector<DerivativeSpec> registry = build_registry();
+  return registry;
+}
+
+const DerivativeSpec& find_derivative(const std::string& name) {
+  for (const auto& d : derivative_registry()) {
+    if (d.name == name) return d;
+  }
+  throw std::invalid_argument("unknown MCU derivative: " + name);
+}
+
+}  // namespace iecd::mcu

@@ -1,0 +1,29 @@
+#include "mcu/mcu.hpp"
+
+namespace iecd::mcu {
+
+Mcu::Mcu(sim::World& world, const DerivativeSpec& spec, std::string name)
+    : world_(world),
+      name_(std::move(name)),
+      spec_(spec),
+      clock_(spec.clock_hz),
+      cpu_(world.queue(), clock_, spec.costs, intc_),
+      memory_(spec.memory) {
+  world.attach(*this);
+}
+
+void Mcu::reset() {
+  intc_.reset();
+  cpu_.reset();
+  for (auto& hook : reset_hooks_) hook();
+}
+
+void Mcu::raise_irq(IrqVector vec) {
+  if (intc_.raise(vec, world_.now())) cpu_.kick();
+}
+
+void Mcu::add_reset_hook(std::function<void()> hook) {
+  reset_hooks_.push_back(std::move(hook));
+}
+
+}  // namespace iecd::mcu

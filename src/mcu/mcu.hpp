@@ -1,0 +1,59 @@
+/// \file mcu.hpp
+/// The simulated microcontroller: clock + interrupt controller + CPU +
+/// memory map, instantiated from a DerivativeSpec and living inside a
+/// co-simulation World.  Peripherals attach themselves to an Mcu.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcu/clock.hpp"
+#include "mcu/cpu.hpp"
+#include "mcu/derivative.hpp"
+#include "mcu/interrupt_controller.hpp"
+#include "mcu/memory.hpp"
+#include "sim/world.hpp"
+
+namespace iecd::mcu {
+
+class Mcu : public sim::Component {
+ public:
+  Mcu(sim::World& world, const DerivativeSpec& spec,
+      std::string name = "mcu");
+
+  const std::string& name() const override { return name_; }
+  void reset() override;
+
+  const DerivativeSpec& spec() const { return spec_; }
+  const Clock& clock() const { return clock_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  InterruptController& intc() { return intc_; }
+  MemoryMap& memory() { return memory_; }
+  const MemoryMap& memory() const { return memory_; }
+
+  sim::World& world() { return world_; }
+  sim::EventQueue& queue() { return world_.queue(); }
+  sim::SimTime now() const { return world_.now(); }
+
+  /// Raises an interrupt and wakes the CPU — the path every peripheral
+  /// uses to signal an event.
+  void raise_irq(IrqVector vec);
+
+  /// Registers a peripheral reset hook (peripherals own their state; the
+  /// MCU just forwards reset()).
+  void add_reset_hook(std::function<void()> hook);
+
+ private:
+  sim::World& world_;
+  std::string name_;
+  DerivativeSpec spec_;
+  Clock clock_;
+  InterruptController intc_;
+  Cpu cpu_;
+  MemoryMap memory_;
+  std::vector<std::function<void()>> reset_hooks_;
+};
+
+}  // namespace iecd::mcu

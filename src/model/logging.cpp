@@ -1,0 +1,47 @@
+#include "model/logging.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iecd::model {
+
+void SampleLog::record(double t, double value) {
+  if (!times_.empty() && t < times_.back()) {
+    throw std::invalid_argument("SampleLog: non-monotonic timestamp");
+  }
+  if (!times_.empty() && t == times_.back()) {
+    values_.back() = value;  // same-instant overwrite (minor re-evaluation)
+    return;
+  }
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+double SampleLog::last_value() const {
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double SampleLog::max_value() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleLog::min_value() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleLog::sample(double t) const {
+  if (times_.empty()) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return values_.front();
+  const auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return values_[idx];
+}
+
+void SampleLog::clear() {
+  times_.clear();
+  values_.clear();
+}
+
+}  // namespace iecd::model

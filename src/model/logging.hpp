@@ -1,0 +1,37 @@
+/// \file logging.hpp
+/// Time-series capture for scopes, PIL probes and experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace iecd::model {
+
+/// One recorded channel: strictly increasing timestamps with values.
+class SampleLog {
+ public:
+  void record(double t, double value);
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  double time_at(std::size_t i) const { return times_.at(i); }
+  double value_at(std::size_t i) const { return values_.at(i); }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double last_value() const;
+  double max_value() const;
+  double min_value() const;
+
+  /// Zero-order-hold interpolation at time \p t.
+  double sample(double t) const;
+
+  void clear();
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace iecd::model

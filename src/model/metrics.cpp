@@ -1,0 +1,98 @@
+#include "model/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iecd::model {
+
+StepMetrics analyze_step(const SampleLog& response, double reference,
+                         double step_time, double initial, double band) {
+  StepMetrics m;
+  if (response.empty()) return m;
+  const double step = reference - initial;
+  if (step == 0.0) return m;
+
+  const double lo_level = initial + 0.1 * step;
+  const double hi_level = initial + 0.9 * step;
+  double t_lo = -1.0;
+  double t_hi = -1.0;
+  double peak = initial;
+  double last_out_of_band = step_time;
+  const double band_abs = std::abs(step) * band;
+
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    const double t = response.time_at(i);
+    if (t < step_time) continue;
+    const double y = response.value_at(i);
+    const double toward = (step > 0) ? y : -y;
+    if (t_lo < 0 && toward >= ((step > 0) ? lo_level : -lo_level)) t_lo = t;
+    if (t_hi < 0 && toward >= ((step > 0) ? hi_level : -hi_level)) t_hi = t;
+    if (std::abs(y - initial) > std::abs(peak - initial)) peak = y;
+    if (std::abs(y - reference) > band_abs) last_out_of_band = t;
+  }
+
+  m.peak_value = peak;
+  if (t_lo >= 0 && t_hi >= 0) m.rise_time = t_hi - t_lo;
+  const double over = (step > 0) ? peak - reference : reference - peak;
+  m.overshoot_percent = std::max(0.0, over / std::abs(step) * 100.0);
+  m.settling_time = last_out_of_band - step_time;
+  m.settled =
+      std::abs(response.last_value() - reference) <= band_abs;
+
+  // Steady-state error from the final 10% of the record.
+  const std::size_t tail_start = response.size() * 9 / 10;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = tail_start; i < response.size(); ++i) {
+    acc += response.value_at(i);
+    ++n;
+  }
+  if (n) m.steady_state_error = std::abs(reference - acc / static_cast<double>(n));
+  return m;
+}
+
+namespace {
+
+template <typename ErrFn>
+double integrate_error(const SampleLog& response, ErrFn err) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < response.size(); ++i) {
+    const double dt = response.time_at(i) - response.time_at(i - 1);
+    const double e0 = err(i - 1);
+    const double e1 = err(i);
+    acc += 0.5 * (e0 + e1) * dt;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double integral_absolute_error(const SampleLog& response,
+                               const SampleLog& reference) {
+  return integrate_error(response, [&](std::size_t i) {
+    return std::abs(reference.sample(response.time_at(i)) -
+                    response.value_at(i));
+  });
+}
+
+double integral_absolute_error(const SampleLog& response, double reference) {
+  return integrate_error(response, [&](std::size_t i) {
+    return std::abs(reference - response.value_at(i));
+  });
+}
+
+double integral_squared_error(const SampleLog& response, double reference) {
+  return integrate_error(response, [&](std::size_t i) {
+    const double e = reference - response.value_at(i);
+    return e * e;
+  });
+}
+
+double integral_time_absolute_error(const SampleLog& response,
+                                    double reference) {
+  return integrate_error(response, [&](std::size_t i) {
+    return response.time_at(i) * std::abs(reference - response.value_at(i));
+  });
+}
+
+}  // namespace iecd::model

@@ -1,0 +1,41 @@
+/// \file metrics.hpp
+/// Control-quality metrics computed from simulation logs: step-response
+/// figures (rise time, overshoot, settling time, steady-state error) and
+/// integral cost criteria (IAE / ISE / ITAE).  These are the quantities the
+/// development cycle tracks from MIL through PIL to HIL, and the y-axes of
+/// the reproduced experiments.
+#pragma once
+
+#include "model/logging.hpp"
+
+namespace iecd::model {
+
+struct StepMetrics {
+  double rise_time = 0.0;        ///< 10% -> 90% of the step [s]
+  double overshoot_percent = 0;  ///< peak above final, % of step size
+  double settling_time = 0.0;    ///< last entry into the +-2% band [s]
+  double steady_state_error = 0; ///< |reference - mean(final 10%)|
+  double peak_value = 0.0;
+  bool settled = false;          ///< response stayed in the band at the end
+};
+
+/// Analyzes \p response to a step from \p initial to \p reference applied
+/// at \p step_time.
+StepMetrics analyze_step(const SampleLog& response, double reference,
+                         double step_time = 0.0, double initial = 0.0,
+                         double band = 0.02);
+
+/// Integral of |reference(t) - response(t)| dt over the log span
+/// (trapezoidal, reference piecewise constant).
+double integral_absolute_error(const SampleLog& response,
+                               const SampleLog& reference);
+double integral_absolute_error(const SampleLog& response, double reference);
+
+/// Integral of squared error.
+double integral_squared_error(const SampleLog& response, double reference);
+
+/// Time-weighted IAE (penalizes slow convergence).
+double integral_time_absolute_error(const SampleLog& response,
+                                    double reference);
+
+}  // namespace iecd::model

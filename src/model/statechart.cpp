@@ -1,0 +1,136 @@
+#include "model/statechart.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace iecd::model {
+
+double StateChart::ChartContext::in(int port) const {
+  return chart->in_value(port).as_double();
+}
+
+void StateChart::ChartContext::set_out(int port, double value) const {
+  chart->set_out(port, value);
+}
+
+StateChart::StateChart(std::string name, int data_inputs, int data_outputs)
+    : Block(std::move(name), data_inputs, data_outputs) {}
+
+void StateChart::add_state(const std::string& state, Action entry,
+                           Action during, Action exit) {
+  if (states_.count(state)) {
+    throw std::logic_error(name() + ": duplicate state " + state);
+  }
+  states_[state] = {std::move(entry), std::move(during), std::move(exit)};
+  if (initial_.empty()) initial_ = state;
+}
+
+void StateChart::add_transition(const std::string& from, const std::string& to,
+                                Guard guard, Action action,
+                                const std::string& event) {
+  if (!states_.count(from) || !states_.count(to)) {
+    throw std::logic_error(name() + ": transition references unknown state");
+  }
+  transitions_.push_back(
+      {from, to, event, std::move(guard), std::move(action)});
+}
+
+void StateChart::initialize(const SimContext& ctx) {
+  if (initial_.empty()) {
+    throw std::logic_error(name() + ": chart has no states");
+  }
+  active_.clear();
+  transitions_taken_ = 0;
+  enter(initial_, ChartContext{this, ctx.t});
+}
+
+void StateChart::enter(const std::string& state, const ChartContext& cctx) {
+  if (!active_.empty()) {
+    const auto& old = states_.at(active_);
+    if (old.exit) old.exit(cctx);
+  }
+  active_ = state;
+  const auto& s = states_.at(state);
+  if (s.entry) s.entry(cctx);
+}
+
+bool StateChart::try_transitions(const std::string& event,
+                                 const SimContext& ctx) {
+  const ChartContext cctx{this, ctx.t};
+  for (const auto& tr : transitions_) {
+    if (tr.from != active_) continue;
+    if (tr.event != event) continue;
+    if (tr.guard && !tr.guard(cctx)) continue;
+    if (tr.action) tr.action(cctx);
+    enter(tr.to, cctx);
+    ++transitions_taken_;
+    return true;
+  }
+  return false;
+}
+
+void StateChart::send_event(const std::string& event, const SimContext& ctx) {
+  if (event.empty()) {
+    throw std::invalid_argument(name() + ": event name must not be empty");
+  }
+  try_transitions(event, ctx);
+}
+
+void StateChart::output(const SimContext& ctx) {
+  if (ctx.minor) return;  // charts are discrete
+  // Condition transitions first, then the during action of the (possibly
+  // new) active state.
+  try_transitions("", ctx);
+  const ChartContext cctx{this, ctx.t};
+  const auto& s = states_.at(active_);
+  if (s.during) s.during(cctx);
+}
+
+std::string StateChart::emit_c(const EmitContext& ctx) const {
+  // Deterministic state numbering: declaration order (map is sorted by
+  // name, so walk transitions/initial to recover declaration intent is
+  // overkill — sorted order is stable and documented).
+  std::string out;
+  out += util::format("switch (%sstate) {  /* Chart %s */\n",
+                      ctx.state_prefix.c_str(), name().c_str());
+  int index = 0;
+  for (const auto& [state_name, state] : states_) {
+    (void)state;
+    out += util::format("  case %d: /* %s */\n", index, state_name.c_str());
+    int guard_index = 0;
+    for (const auto& tr : transitions_) {
+      if (tr.from != state_name) continue;
+      // Guards are host closures; the generated code references the
+      // condition the TLC layer would inline.
+      int target_index = 0;
+      for (const auto& [n2, s2] : states_) {
+        (void)s2;
+        if (n2 == tr.to) break;
+        ++target_index;
+      }
+      out += util::format(
+          "    if (%s_guard_%d()) { %sstate = %d; break; }  /* -> %s */\n",
+          name().c_str(), guard_index++, ctx.state_prefix.c_str(),
+          target_index, tr.to.c_str());
+    }
+    out += "    break;\n";
+    ++index;
+  }
+  out += "}\n";
+  return out;
+}
+
+mcu::OpCounts StateChart::step_ops(bool fixed_point) const {
+  // Guard evaluations + during action: a handful of compares and moves per
+  // transition out of the average state.
+  mcu::OpCounts ops;
+  const auto n = static_cast<std::uint32_t>(transitions_.size());
+  ops.alu16 = 4 * n + 4;
+  ops.branch = n + 1;
+  ops.mem = 4;
+  if (!fixed_point) ops.fadd = 2;
+  return ops;
+}
+
+}  // namespace iecd::model

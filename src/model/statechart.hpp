@@ -1,0 +1,86 @@
+/// \file statechart.hpp
+/// State chart block — the Stateflow analog.  Drives mode logic (the case
+/// study's manual/automatic switch) and event-driven behaviour: charts run
+/// at their sample time evaluating guarded transitions, and can also
+/// consume asynchronous events (from PE block interrupts) that change state
+/// immediately, as the paper describes ("an asynchronous change of a
+/// Stateflow chart state").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/block.hpp"
+
+namespace iecd::model {
+
+class StateChart : public Block {
+ public:
+  /// Chart context passed to actions and guards: read data inputs, write
+  /// data outputs, query time.
+  struct ChartContext {
+    StateChart* chart = nullptr;
+    double t = 0.0;
+    double in(int port) const;
+    void set_out(int port, double value) const;
+  };
+
+  using Guard = std::function<bool(const ChartContext&)>;
+  using Action = std::function<void(const ChartContext&)>;
+
+  StateChart(std::string name, int data_inputs, int data_outputs);
+
+  const char* type_name() const override { return "Chart"; }
+
+  /// Declares a state.  The first declared state is the initial one.
+  void add_state(const std::string& state, Action entry = nullptr,
+                 Action during = nullptr, Action exit = nullptr);
+
+  /// Declares a transition evaluated while \p from is active.  Transitions
+  /// are checked in declaration order; the first enabled one fires.
+  /// \p event empty = condition transition (checked every sample hit);
+  /// non-empty = fires only when that event is sent.
+  void add_transition(const std::string& from, const std::string& to,
+                      Guard guard = nullptr, Action action = nullptr,
+                      const std::string& event = "");
+
+  /// Sends an asynchronous event (from an ISR in the generated app, or a
+  /// simulated event source in MIL): evaluates that event's transitions of
+  /// the active state immediately.
+  void send_event(const std::string& event, const SimContext& ctx);
+
+  const std::string& active_state() const { return active_; }
+  std::uint64_t transitions_taken() const { return transitions_taken_; }
+
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+
+  mcu::OpCounts step_ops(bool fixed_point) const override;
+  std::uint32_t state_bytes() const override { return 2; }
+  /// Emits a switch-based flat FSM skeleton (the StateFlow Coder analog):
+  /// one case per state with its outgoing transitions as guarded gotos.
+  std::string emit_c(const EmitContext& ctx) const override;
+
+ private:
+  struct State {
+    Action entry, during, exit;
+  };
+  struct Transition {
+    std::string from, to, event;
+    Guard guard;
+    Action action;
+  };
+
+  bool try_transitions(const std::string& event, const SimContext& ctx);
+  void enter(const std::string& state, const ChartContext& cctx);
+
+  std::map<std::string, State> states_;
+  std::vector<Transition> transitions_;
+  std::string initial_;
+  std::string active_;
+  std::uint64_t transitions_taken_ = 0;
+};
+
+}  // namespace iecd::model

@@ -1,0 +1,135 @@
+#include "model/subsystem.hpp"
+
+#include <stdexcept>
+
+namespace iecd::model {
+
+Subsystem::Subsystem(std::string name, int inputs, int outputs)
+    : Block(std::move(name), inputs, outputs), inner_(this->name() + "/inner") {}
+
+void Subsystem::bind_ports(std::vector<Inport*> inports,
+                           std::vector<Outport*> outports) {
+  if (static_cast<int>(inports.size()) != input_count() ||
+      static_cast<int>(outports.size()) != output_count()) {
+    throw std::invalid_argument(name() +
+                                ": port binding does not match port counts");
+  }
+  inports_ = std::move(inports);
+  outports_ = std::move(outports);
+  ports_bound_ = true;
+}
+
+void Subsystem::initialize(const SimContext& ctx) {
+  if (!ports_bound_ && (input_count() > 0 || output_count() > 0)) {
+    throw std::logic_error(name() + ": bind_ports() not called");
+  }
+  for (Block* b : inner_.sorted()) {
+    // Interior blocks inherit the subsystem's resolved rate unless they
+    // declared something explicit.
+    if (b->sample_time().kind == SampleTime::Kind::kInherited) {
+      b->set_resolved_period(resolved_period());
+      b->set_resolved_continuous(resolved_continuous());
+    } else if (b->sample_time().kind == SampleTime::Kind::kDiscrete) {
+      b->set_resolved_period(b->sample_time().period);
+      b->set_resolved_continuous(false);
+    } else {
+      b->set_resolved_continuous(true);
+    }
+    b->initialize(ctx);
+  }
+}
+
+void Subsystem::run_outputs(const SimContext& ctx) {
+  for (int i = 0; i < input_count(); ++i) {
+    inports_[static_cast<std::size_t>(i)]->inject(in_value(i));
+  }
+  for (Block* b : inner_.sorted()) b->output(ctx);
+  for (int i = 0; i < output_count(); ++i) {
+    set_out_value(i, outports_[static_cast<std::size_t>(i)]->out(0));
+  }
+}
+
+void Subsystem::output(const SimContext& ctx) { run_outputs(ctx); }
+
+void Subsystem::update(const SimContext& ctx) {
+  for (Block* b : inner_.sorted()) b->update(ctx);
+}
+
+int Subsystem::continuous_state_count() const {
+  int n = 0;
+  for (const auto& b : inner_.blocks()) n += b->continuous_state_count();
+  return n;
+}
+
+void Subsystem::read_states(std::span<double> into) const {
+  std::size_t offset = 0;
+  for (const auto& b : inner_.blocks()) {
+    const auto n = static_cast<std::size_t>(b->continuous_state_count());
+    if (n) b->read_states(into.subspan(offset, n));
+    offset += n;
+  }
+}
+
+void Subsystem::write_states(std::span<const double> from) {
+  std::size_t offset = 0;
+  for (const auto& b : inner_.blocks()) {
+    const auto n = static_cast<std::size_t>(b->continuous_state_count());
+    if (n) b->write_states(from.subspan(offset, n));
+    offset += n;
+  }
+}
+
+void Subsystem::derivatives(const SimContext& ctx,
+                            std::span<double> dx) const {
+  // Re-propagate interior outputs at the candidate state before collecting
+  // slopes (the parent engine already injected fresh boundary inputs).
+  const_cast<Subsystem*>(this)->run_outputs(ctx);
+  std::size_t offset = 0;
+  for (const auto& b : inner_.blocks()) {
+    const auto n = static_cast<std::size_t>(b->continuous_state_count());
+    if (n) b->derivatives(ctx, dx.subspan(offset, n));
+    offset += n;
+  }
+}
+
+mcu::OpCounts Subsystem::step_ops(bool fixed_point) const {
+  mcu::OpCounts total;
+  for (const auto& b : inner_.blocks()) total += b->step_ops(fixed_point);
+  return total;
+}
+
+std::uint32_t Subsystem::state_bytes() const {
+  std::uint32_t total = 0;
+  for (const auto& b : inner_.blocks()) total += b->state_bytes();
+  return total;
+}
+
+FunctionCallSubsystem::FunctionCallSubsystem(std::string name, int inputs,
+                                             int outputs)
+    : Subsystem(std::move(name), inputs, outputs) {}
+
+void FunctionCallSubsystem::output(const SimContext& ctx) {
+  (void)ctx;  // outputs hold their last triggered values
+}
+
+void FunctionCallSubsystem::trigger(const SimContext& ctx) {
+  run_outputs(ctx);
+  for (Block* b : inner_.sorted()) b->update(ctx);
+  ++activations_;
+}
+
+void EventSource::attach(FunctionCallSubsystem& subsystem) {
+  FunctionCallSubsystem* target = &subsystem;
+  listeners_.push_back(
+      [target](const SimContext& ctx) { target->trigger(ctx); });
+}
+
+void EventSource::attach(std::function<void(const SimContext&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void EventSource::fire(const SimContext& ctx) {
+  for (auto& l : listeners_) l(ctx);
+}
+
+}  // namespace iecd::model

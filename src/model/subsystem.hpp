@@ -1,0 +1,117 @@
+/// \file subsystem.hpp
+/// Hierarchical composition: a Subsystem is a block containing a nested
+/// model with Inport/Outport boundary blocks.  The paper's "single model
+/// approach" builds on exactly two of these — the plant subsystem and the
+/// controller subsystem in a closed loop — with code generated for the
+/// controller subsystem only.  Function-call subsystems are not scheduled
+/// periodically: a bean event (interrupt) or chart transition triggers each
+/// execution, giving the event-driven part of the application.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "model/block.hpp"
+#include "model/model.hpp"
+
+namespace iecd::model {
+
+/// Boundary block: presents a subsystem input inside the nested model.
+class Inport : public Block {
+ public:
+  explicit Inport(std::string name) : Block(std::move(name), 0, 1) {}
+  const char* type_name() const override { return "Inport"; }
+  void output(const SimContext&) override {}  // value injected by the parent
+  void inject(const Value& v) { set_out_value(0, v); }
+};
+
+/// Boundary block: exposes a value as a subsystem output.
+class Outport : public Block {
+ public:
+  explicit Outport(std::string name) : Block(std::move(name), 1, 1) {}
+  const char* type_name() const override { return "Outport"; }
+  void output(const SimContext&) override { set_out_value(0, in_value(0)); }
+};
+
+/// An atomic subsystem: executes its whole interior when the parent engine
+/// executes it.  Interior blocks run at the subsystem's resolved rate.
+class Subsystem : public Block {
+ public:
+  Subsystem(std::string name, int inputs, int outputs);
+
+  const char* type_name() const override { return "SubSystem"; }
+
+  Model& inner() { return inner_; }
+  const Model& inner() const { return inner_; }
+
+  /// Subsystems conservatively report direct feedthrough; a purely dynamic
+  /// interior (e.g. a plant whose outputs come from states only) may clear
+  /// this to break the apparent loop in the closed-loop top model.
+  void set_direct_feedthrough(bool feedthrough) {
+    feedthrough_ = feedthrough;
+  }
+  bool has_direct_feedthrough() const override { return feedthrough_; }
+
+  /// Declares which interior blocks are the boundary ports, in port order.
+  /// Must be called once the interior is fully built.
+  void bind_ports(std::vector<Inport*> inports, std::vector<Outport*> outports);
+
+  void initialize(const SimContext& ctx) override;
+  void output(const SimContext& ctx) override;
+  void update(const SimContext& ctx) override;
+
+  // Continuous states aggregate over the interior.
+  int continuous_state_count() const override;
+  void read_states(std::span<double> into) const override;
+  void write_states(std::span<const double> from) override;
+  void derivatives(const SimContext& ctx, std::span<double> dx) const override;
+
+  mcu::OpCounts step_ops(bool fixed_point) const override;
+  std::uint32_t state_bytes() const override;
+
+ protected:
+  void run_outputs(const SimContext& ctx);
+
+  Model inner_;
+  std::vector<Inport*> inports_;
+  std::vector<Outport*> outports_;
+  bool ports_bound_ = false;
+  bool feedthrough_ = true;
+};
+
+/// A subsystem executed only when explicitly triggered (by a bean event in
+/// the generated application, or by the simulated event source in MIL).
+class FunctionCallSubsystem : public Subsystem {
+ public:
+  FunctionCallSubsystem(std::string name, int inputs, int outputs);
+
+  const char* type_name() const override { return "FunctionCallSubSystem"; }
+
+  /// Periodic execution does nothing; only trigger() runs the interior.
+  void output(const SimContext& ctx) override;
+  void update(const SimContext& ctx) override { (void)ctx; }
+
+  /// Executes one activation (outputs + updates of the interior).
+  void trigger(const SimContext& ctx);
+
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  std::uint64_t activations_ = 0;
+};
+
+/// An output event port: blocks that raise events (PE interrupt blocks,
+/// charts) hold one of these per event; wiring a FunctionCallSubsystem to
+/// it makes the event drive that subsystem.
+class EventSource {
+ public:
+  void attach(FunctionCallSubsystem& subsystem);
+  void attach(std::function<void(const SimContext&)> listener);
+  void fire(const SimContext& ctx);
+  std::size_t listener_count() const { return listeners_.size(); }
+
+ private:
+  std::vector<std::function<void(const SimContext&)>> listeners_;
+};
+
+}  // namespace iecd::model

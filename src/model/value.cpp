@@ -1,0 +1,181 @@
+#include "model/value.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace iecd::model {
+
+const char* to_string(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBool:
+      return "boolean";
+    case DataType::kInt8:
+      return "int8";
+    case DataType::kUint8:
+      return "uint8";
+    case DataType::kInt16:
+      return "int16";
+    case DataType::kUint16:
+      return "uint16";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kUint32:
+      return "uint32";
+    case DataType::kFixed:
+      return "fixdt";
+  }
+  return "?";
+}
+
+std::uint32_t storage_bytes(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return 8;
+    case DataType::kBool:
+    case DataType::kInt8:
+    case DataType::kUint8:
+      return 1;
+    case DataType::kInt16:
+    case DataType::kUint16:
+      return 2;
+    case DataType::kInt32:
+    case DataType::kUint32:
+    case DataType::kFixed:  // conservatively one 32-bit word
+      return 4;
+  }
+  return 4;
+}
+
+bool is_integer(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+    case DataType::kUint8:
+    case DataType::kInt16:
+    case DataType::kUint16:
+    case DataType::kInt32:
+    case DataType::kUint32:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t int_min_of(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+      return -128;
+    case DataType::kInt16:
+      return -32768;
+    case DataType::kInt32:
+      return INT32_MIN;
+    default:
+      return 0;
+  }
+}
+
+std::int64_t int_max_of(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+      return 127;
+    case DataType::kUint8:
+      return 255;
+    case DataType::kInt16:
+      return 32767;
+    case DataType::kUint16:
+      return 65535;
+    case DataType::kInt32:
+      return INT32_MAX;
+    case DataType::kUint32:
+      return UINT32_MAX;
+    default:
+      return 0;
+  }
+}
+
+Value Value::of_double(double v) {
+  Value out;
+  out.type_ = DataType::kDouble;
+  out.d_ = v;
+  return out;
+}
+
+Value Value::of_bool(bool v) {
+  Value out;
+  out.type_ = DataType::kBool;
+  out.i_ = v ? 1 : 0;
+  return out;
+}
+
+Value Value::of_int(DataType type, std::int64_t v) {
+  if (!is_integer(type)) {
+    throw std::invalid_argument("Value::of_int: not an integer type");
+  }
+  Value out;
+  out.type_ = type;
+  out.i_ = std::clamp(v, int_min_of(type), int_max_of(type));
+  return out;
+}
+
+Value Value::of_fixed(fixpt::FixedValue v) {
+  Value out;
+  out.type_ = DataType::kFixed;
+  out.fixed_ = v;
+  return out;
+}
+
+Value Value::quantize(double real, DataType type,
+                      const std::optional<fixpt::FixedFormat>& fmt) {
+  switch (type) {
+    case DataType::kDouble:
+      return of_double(real);
+    case DataType::kBool:
+      return of_bool(real != 0.0);
+    case DataType::kFixed:
+      if (!fmt) {
+        throw std::invalid_argument("Value::quantize: kFixed needs a format");
+      }
+      return of_fixed(fixpt::FixedValue::from_double(real, *fmt));
+    default: {
+      // Integer: round to nearest, saturate; guard huge doubles.
+      const double lo = static_cast<double>(int_min_of(type));
+      const double hi = static_cast<double>(int_max_of(type));
+      const double clamped = std::clamp(real, lo, hi);
+      return of_int(type, static_cast<std::int64_t>(std::llround(clamped)));
+    }
+  }
+}
+
+double Value::as_double() const {
+  switch (type_) {
+    case DataType::kDouble:
+      return d_;
+    case DataType::kFixed:
+      return fixed_.to_double();
+    default:
+      return static_cast<double>(i_);
+  }
+}
+
+bool Value::as_bool() const { return as_double() != 0.0; }
+
+std::int64_t Value::as_int() const {
+  switch (type_) {
+    case DataType::kDouble:
+      return static_cast<std::int64_t>(std::llround(d_));
+    case DataType::kFixed:
+      return static_cast<std::int64_t>(std::llround(fixed_.to_double()));
+    default:
+      return i_;
+  }
+}
+
+std::string Value::to_string() const {
+  return util::format("%s(%.9g)", iecd::model::to_string(type_), as_double());
+}
+
+}  // namespace iecd::model

@@ -1,0 +1,106 @@
+#include "periph/pwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iecd::periph {
+
+PwmPeripheral::PwmPeripheral(mcu::Mcu& mcu, PwmConfig config, std::string name)
+    : Peripheral(mcu, std::move(name)), config_(config) {
+  if (config.prescaler == 0) {
+    throw std::invalid_argument("PwmPeripheral: prescaler must be >= 1");
+  }
+  if (config.modulo == 0) {
+    throw std::invalid_argument("PwmPeripheral: modulo must be >= 1");
+  }
+}
+
+sim::SimTime PwmPeripheral::period() const {
+  const std::uint64_t cycles =
+      static_cast<std::uint64_t>(config_.prescaler) * config_.modulo;
+  return mcu().clock().cycles_to_time(cycles);
+}
+
+void PwmPeripheral::start() {
+  if (running_) return;
+  running_ = true;
+  on_period_start();
+}
+
+void PwmPeripheral::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (tick_scheduled_) {
+    queue().cancel(tick_event_);
+    tick_scheduled_ = false;
+  }
+  average_.set(now(), 0.0);
+}
+
+void PwmPeripheral::set_duty_counts(std::uint32_t counts) {
+  pending_duty_ = std::min(counts, config_.modulo);
+  if (!running_) {
+    // Counter stopped: the write lands directly in the active register.
+    active_duty_ = pending_duty_;
+  }
+}
+
+void PwmPeripheral::set_duty_ratio(double ratio) {
+  const double clamped = std::clamp(ratio, 0.0, 1.0);
+  set_duty_counts(static_cast<std::uint32_t>(
+      std::lround(clamped * static_cast<double>(config_.modulo))));
+}
+
+double PwmPeripheral::duty_ratio() const {
+  return static_cast<double>(active_duty_) /
+         static_cast<double>(config_.modulo);
+}
+
+void PwmPeripheral::set_edge_callback(
+    std::function<void(bool, sim::SimTime)> cb) {
+  edge_cb_ = std::move(cb);
+}
+
+void PwmPeripheral::on_period_start() {
+  if (!running_) return;
+  // Latch the double-buffered duty register at the period boundary.
+  active_duty_ = pending_duty_;
+  average_.set(now(), duty_ratio());
+  ++periods_;
+  // Keep the change log bounded for long runs; consumers integrate lazily
+  // and never look further back than a control period or two.
+  if ((periods_ & 0xFF) == 0) {
+    average_.prune_before(now() - sim::milliseconds(100));
+  }
+
+  if (config_.reload_vector >= 0) mcu().raise_irq(config_.reload_vector);
+
+  if (config_.edge_events && edge_cb_) {
+    if (active_duty_ > 0) edge_cb_(true, now());
+    if (active_duty_ < config_.modulo) {
+      const std::uint64_t high_cycles =
+          static_cast<std::uint64_t>(config_.prescaler) * active_duty_;
+      const sim::SimTime fall = now() + mcu().clock().cycles_to_time(high_cycles);
+      queue().schedule_at(fall, [this] {
+        if (running_ && edge_cb_) edge_cb_(false, now());
+      });
+    }
+  }
+
+  tick_event_ = queue().schedule_in(period(), [this] {
+    tick_scheduled_ = false;
+    on_period_start();
+  });
+  tick_scheduled_ = true;
+}
+
+void PwmPeripheral::reset() {
+  stop();
+  active_duty_ = 0;
+  pending_duty_ = 0;
+  periods_ = 0;
+  average_ = sim::ZohSignal{0.0};
+}
+
+}  // namespace iecd::periph

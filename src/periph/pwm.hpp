@@ -1,0 +1,77 @@
+/// \file pwm.hpp
+/// Pulse-width-modulation module.  The counter runs at core clock /
+/// prescaler and wraps at `modulo`; the duty register sets the compare
+/// point.  Duty writes are double-buffered: they take effect at the next
+/// period boundary, exactly as on the target hardware (this is visible in
+/// the servo case study as up to one PWM period of extra actuation delay).
+/// Consumers read either the cycle-averaged output (a ZohSignal the plant
+/// integrates) or subscribe to edge callbacks for waveform-level tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "periph/peripheral.hpp"
+#include "sim/zoh_signal.hpp"
+
+namespace iecd::periph {
+
+struct PwmConfig {
+  std::uint32_t prescaler = 1;
+  std::uint32_t modulo = 1000;     ///< counts per period
+  mcu::IrqVector reload_vector = -1;  ///< <0: no end-of-period interrupt
+  bool edge_events = false;        ///< invoke edge callbacks (slower)
+};
+
+class PwmPeripheral : public Peripheral {
+ public:
+  PwmPeripheral(mcu::Mcu& mcu, PwmConfig config, std::string name = "pwm");
+
+  const PwmConfig& config() const { return config_; }
+
+  /// Period of one PWM cycle in simulated time.
+  sim::SimTime period() const;
+
+  /// Starts the counter (idempotent).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Sets the compare value in counts [0, modulo]; latched at the next
+  /// period boundary (double-buffered duty register).
+  void set_duty_counts(std::uint32_t counts);
+
+  /// Sets duty as a ratio in [0, 1].
+  void set_duty_ratio(double ratio);
+
+  /// Currently *active* duty ratio (after latching).
+  double duty_ratio() const;
+  std::uint32_t duty_counts() const { return active_duty_; }
+
+  /// Cycle-averaged output level in [0, 1]: what an H-bridge + motor
+  /// effectively sees.  Updated at period boundaries when the latched duty
+  /// changes.
+  const sim::ZohSignal& average_output() const { return average_; }
+
+  /// Edge callback (level, time); only fired when config.edge_events.
+  void set_edge_callback(std::function<void(bool, sim::SimTime)> cb);
+
+  std::uint64_t periods_elapsed() const { return periods_; }
+
+  void reset() override;
+
+ private:
+  void on_period_start();
+
+  PwmConfig config_;
+  bool running_ = false;
+  std::uint32_t active_duty_ = 0;
+  std::uint32_t pending_duty_ = 0;
+  sim::ZohSignal average_{0.0};
+  std::function<void(bool, sim::SimTime)> edge_cb_;
+  std::uint64_t periods_ = 0;
+  sim::EventId tick_event_ = 0;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace iecd::periph

@@ -1,0 +1,66 @@
+#include "periph/timer.hpp"
+
+#include <stdexcept>
+
+namespace iecd::periph {
+
+TimerPeripheral::TimerPeripheral(mcu::Mcu& mcu, TimerConfig config,
+                                 std::string name)
+    : Peripheral(mcu, std::move(name)), config_(config) {
+  if (config.prescaler == 0 || config.modulo == 0) {
+    throw std::invalid_argument("TimerPeripheral: prescaler/modulo >= 1");
+  }
+}
+
+sim::SimTime TimerPeripheral::period() const {
+  const std::uint64_t cycles =
+      static_cast<std::uint64_t>(config_.prescaler) * config_.modulo;
+  return mcu().clock().cycles_to_time(cycles);
+}
+
+void TimerPeripheral::start() {
+  if (running_) return;
+  running_ = true;
+  epoch_ = now();
+  ticks_ = 0;
+  schedule_next();
+}
+
+void TimerPeripheral::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (scheduled_) {
+    queue().cancel(event_);
+    scheduled_ = false;
+  }
+}
+
+void TimerPeripheral::set_jitter_hook(
+    std::function<sim::SimTime(std::uint64_t)> hook) {
+  jitter_ = std::move(hook);
+}
+
+void TimerPeripheral::schedule_next() {
+  // Activations are anchored to the epoch (no drift accumulation): the
+  // k-th tick fires at epoch + k * period + jitter(k).
+  const std::uint64_t k = ticks_ + 1;
+  sim::SimTime when =
+      epoch_ + static_cast<sim::SimTime>(k) * period();
+  if (jitter_) when += jitter_(k);
+  if (when <= now()) when = now() + 1;  // keep time strictly advancing
+  event_ = queue().schedule_at(when, [this] {
+    scheduled_ = false;
+    if (!running_) return;
+    ++ticks_;
+    if (config_.overflow_vector >= 0) mcu().raise_irq(config_.overflow_vector);
+    schedule_next();
+  });
+  scheduled_ = true;
+}
+
+void TimerPeripheral::reset() {
+  stop();
+  ticks_ = 0;
+}
+
+}  // namespace iecd::periph

@@ -1,0 +1,69 @@
+#include "periph/uart.hpp"
+
+namespace iecd::periph {
+
+UartPeripheral::UartPeripheral(mcu::Mcu& mcu, UartConfig config,
+                               std::string name)
+    : Peripheral(mcu, std::move(name)), config_(config) {}
+
+void UartPeripheral::connect(sim::SerialChannel& tx, sim::SerialChannel& rx) {
+  tx_ = &tx;
+  rx.set_receiver([this](std::uint8_t byte, sim::SimTime when) {
+    on_rx_byte(byte, when);
+  });
+}
+
+bool UartPeripheral::send(std::uint8_t byte) {
+  if (!tx_) return false;
+  if (tx_in_flight_ >= config_.tx_fifo_depth) return false;
+  ++tx_in_flight_;
+  ++bytes_sent_;
+  tx_->transmit(byte);
+  // The channel serializes; model FIFO drain by scheduling the slot release
+  // after this byte's wire time multiplied by queue position is implicit in
+  // the channel.  We approximate the drain notification per byte:
+  queue().schedule_in(tx_->config().byte_time() *
+                          static_cast<sim::SimTime>(tx_in_flight_),
+                      [this] {
+                        if (tx_in_flight_ > 0) --tx_in_flight_;
+                        if (tx_in_flight_ == 0 && config_.tx_vector >= 0) {
+                          mcu().raise_irq(config_.tx_vector);
+                        }
+                      });
+  return true;
+}
+
+std::size_t UartPeripheral::send(const std::uint8_t* data, std::size_t len) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!send(data[i])) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+void UartPeripheral::on_rx_byte(std::uint8_t byte, sim::SimTime /*when*/) {
+  if (rx_valid_) {
+    ++overruns_;  // previous byte never read: hardware overrun flag
+  }
+  rx_data_ = byte;
+  rx_valid_ = true;
+  ++bytes_received_;
+  if (config_.rx_vector >= 0) mcu().raise_irq(config_.rx_vector);
+}
+
+std::optional<std::uint8_t> UartPeripheral::read() {
+  if (!rx_valid_) return std::nullopt;
+  rx_valid_ = false;
+  return rx_data_;
+}
+
+void UartPeripheral::reset() {
+  rx_valid_ = false;
+  overruns_ = 0;
+  bytes_sent_ = 0;
+  bytes_received_ = 0;
+  tx_in_flight_ = 0;
+}
+
+}  // namespace iecd::periph

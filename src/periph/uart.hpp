@@ -1,0 +1,60 @@
+/// \file uart.hpp
+/// Asynchronous serial interface (SCI).  Transmit bytes enter the TX FIFO
+/// and leave over a sim::SerialChannel at wire speed; received bytes land
+/// in a one-byte data register and raise the RX interrupt — reading too
+/// late overruns, exactly the failure mode a too-slow PIL controller would
+/// show on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "periph/peripheral.hpp"
+#include "sim/serial_link.hpp"
+
+namespace iecd::periph {
+
+struct UartConfig {
+  mcu::IrqVector rx_vector = -1;
+  mcu::IrqVector tx_vector = -1;  ///< raised when the TX FIFO drains
+  std::size_t tx_fifo_depth = 64;
+};
+
+class UartPeripheral : public Peripheral {
+ public:
+  UartPeripheral(mcu::Mcu& mcu, UartConfig config, std::string name = "uart");
+
+  /// Wires this UART to one direction pair of a SerialLink: \p tx is the
+  /// channel this UART transmits into, \p rx the channel it listens on.
+  void connect(sim::SerialChannel& tx, sim::SerialChannel& rx);
+
+  /// Queues a byte for transmission.  Returns false if the FIFO is full.
+  bool send(std::uint8_t byte);
+
+  /// Queues a buffer; returns bytes accepted.
+  std::size_t send(const std::uint8_t* data, std::size_t len);
+
+  /// Reads and clears the RX data register.
+  std::optional<std::uint8_t> read();
+
+  bool rx_full() const { return rx_valid_; }
+  std::uint64_t overruns() const { return overruns_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+  void reset() override;
+
+ private:
+  void on_rx_byte(std::uint8_t byte, sim::SimTime when);
+
+  UartConfig config_;
+  sim::SerialChannel* tx_ = nullptr;
+  std::uint8_t rx_data_ = 0;
+  bool rx_valid_ = false;
+  std::uint64_t overruns_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::size_t tx_in_flight_ = 0;
+};
+
+}  // namespace iecd::periph

@@ -1,0 +1,109 @@
+#include "pil/frame.hpp"
+
+#include <cstring>
+
+#include "util/crc16.hpp"
+
+namespace iecd::pil {
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.payload.size() + 6);
+  out.push_back(kSyncByte);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  out.push_back(frame.seq);
+  out.push_back(static_cast<std::uint8_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  // CRC over type..payload.
+  const std::uint16_t crc = util::crc16_ccitt(
+      std::span<const std::uint8_t>(out.data() + 1, out.size() - 1));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_signals(const std::vector<double>& values) {
+  std::vector<std::uint8_t> out;
+  out.reserve(values.size() * 4);
+  for (double v : values) {
+    const float f = static_cast<float>(v);
+    std::uint8_t bytes[4];
+    std::memcpy(bytes, &f, 4);
+    out.insert(out.end(), bytes, bytes + 4);
+  }
+  return out;
+}
+
+std::vector<double> decode_signals(const std::vector<std::uint8_t>& payload) {
+  std::vector<double> out;
+  out.reserve(payload.size() / 4);
+  for (std::size_t i = 0; i + 4 <= payload.size(); i += 4) {
+    float f;
+    std::memcpy(&f, payload.data() + i, 4);
+    out.push_back(static_cast<double>(f));
+  }
+  return out;
+}
+
+void FrameDecoder::set_callback(std::function<void(const Frame&)> on_frame) {
+  on_frame_ = std::move(on_frame);
+}
+
+void FrameDecoder::reset() {
+  state_ = State::kSync;
+  current_ = Frame{};
+  expected_len_ = 0;
+}
+
+bool FrameDecoder::feed(std::uint8_t byte) {
+  switch (state_) {
+    case State::kSync:
+      if (byte == kSyncByte) state_ = State::kType;
+      return false;
+    case State::kType:
+      current_.type = static_cast<FrameType>(byte);
+      state_ = State::kSeq;
+      return false;
+    case State::kSeq:
+      current_.seq = byte;
+      state_ = State::kLen;
+      return false;
+    case State::kLen:
+      expected_len_ = byte;
+      current_.payload.clear();
+      state_ = expected_len_ ? State::kPayload : State::kCrcHi;
+      return false;
+    case State::kPayload:
+      current_.payload.push_back(byte);
+      if (current_.payload.size() == expected_len_) state_ = State::kCrcHi;
+      return false;
+    case State::kCrcHi:
+      rx_crc_ = static_cast<std::uint16_t>(byte << 8);
+      state_ = State::kCrcLo;
+      return false;
+    case State::kCrcLo: {
+      rx_crc_ = static_cast<std::uint16_t>(rx_crc_ | byte);
+      std::uint16_t crc = 0xFFFF;
+      crc = util::crc16_ccitt_update(crc,
+                                     static_cast<std::uint8_t>(current_.type));
+      crc = util::crc16_ccitt_update(crc, current_.seq);
+      crc = util::crc16_ccitt_update(
+          crc, static_cast<std::uint8_t>(current_.payload.size()));
+      for (std::uint8_t b : current_.payload) {
+        crc = util::crc16_ccitt_update(crc, b);
+      }
+      const bool ok = crc == rx_crc_;
+      if (ok) {
+        ++frames_ok_;
+        if (on_frame_) on_frame_(current_);
+      } else {
+        ++crc_errors_;
+      }
+      reset();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace iecd::pil

@@ -1,0 +1,63 @@
+/// \file frame.hpp
+/// The PIL wire protocol: framed packets over the asynchronous serial
+/// line.  Layout: 0x7E | type | seq | len | payload[len] | crc16(2, BE).
+/// The CRC covers type..payload.  Signal payloads carry float32 LE values
+/// (adequate precision for plant/actuator exchange and 2.5x smaller than
+/// doubles on a line whose bandwidth dominates the step budget).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace iecd::pil {
+
+inline constexpr std::uint8_t kSyncByte = 0x7E;
+
+enum class FrameType : std::uint8_t {
+  kSensorData = 1,    ///< host -> target: plant outputs
+  kActuatorData = 2,  ///< target -> host: controller outputs
+};
+
+struct Frame {
+  FrameType type = FrameType::kSensorData;
+  std::uint8_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a frame (sync, header, payload, CRC).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Packs doubles as float32 LE payload.
+std::vector<std::uint8_t> encode_signals(const std::vector<double>& values);
+/// Unpacks a float32 LE payload.
+std::vector<double> decode_signals(const std::vector<std::uint8_t>& payload);
+
+/// Streaming decoder: feed bytes as they arrive; complete, CRC-valid
+/// frames invoke the callback.  Corrupted frames are dropped and counted;
+/// the decoder resynchronizes on the next sync byte.
+class FrameDecoder {
+ public:
+  void set_callback(std::function<void(const Frame&)> on_frame);
+
+  /// Feeds one byte; returns true if a frame completed (valid or not).
+  bool feed(std::uint8_t byte);
+
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t crc_errors() const { return crc_errors_; }
+
+  void reset();
+
+ private:
+  enum class State { kSync, kType, kSeq, kLen, kPayload, kCrcHi, kCrcLo };
+
+  State state_ = State::kSync;
+  Frame current_;
+  std::size_t expected_len_ = 0;
+  std::uint16_t rx_crc_ = 0;
+  std::function<void(const Frame&)> on_frame_;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t crc_errors_ = 0;
+};
+
+}  // namespace iecd::pil

@@ -1,0 +1,56 @@
+#include "pil/host_endpoint.hpp"
+
+namespace iecd::pil {
+
+HostEndpoint::HostEndpoint(sim::World& world, sim::SerialChannel& tx,
+                           sim::SerialChannel& rx, Options options)
+    : world_(world), tx_(tx), options_(options) {
+  decoder_.set_callback([this](const Frame& frame) {
+    if (frame.type != FrameType::kActuatorData) return;
+    if (apply_) apply_(decode_signals(frame.payload));
+    rtt_us_.add(sim::to_microseconds(world_.now() - sent_at_));
+    awaiting_response_ = false;
+  });
+  rx.set_receiver([this](std::uint8_t byte, sim::SimTime) {
+    decoder_.feed(byte);
+  });
+}
+
+void HostEndpoint::set_plant(
+    std::function<std::vector<double>()> sample,
+    std::function<void(const std::vector<double>&)> apply,
+    std::function<void(double)> advance) {
+  sample_ = std::move(sample);
+  apply_ = std::move(apply);
+  advance_ = std::move(advance);
+}
+
+void HostEndpoint::start() {
+  if (running_) return;
+  running_ = true;
+  world_.queue().schedule_at(options_.start + options_.period,
+                             [this] { exchange(); });
+}
+
+void HostEndpoint::exchange() {
+  if (!running_) return;
+  // The previous actuator frame should have arrived within the period;
+  // a late response is the PIL bench's deadline miss.
+  if (awaiting_response_) {
+    ++deadline_misses_;
+    awaiting_response_ = false;  // stale response applies late when it lands
+  }
+  if (advance_) advance_(sim::to_seconds(world_.now()));
+  Frame frame;
+  frame.type = FrameType::kSensorData;
+  frame.seq = seq_++;
+  frame.payload = encode_signals(sample_ ? sample_() : std::vector<double>{});
+  const auto bytes = encode_frame(frame);
+  tx_.transmit(bytes.data(), bytes.size());
+  sent_at_ = world_.now();
+  awaiting_response_ = true;
+  ++exchanges_;
+  world_.queue().schedule_in(options_.period, [this] { exchange(); });
+}
+
+}  // namespace iecd::pil

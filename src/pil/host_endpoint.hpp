@@ -1,0 +1,64 @@
+/// \file host_endpoint.hpp
+/// Simulator-PC side of the PIL bench (Fig. 6.2): at each control period it
+/// samples the plant model, ships the sensor frame down the serial line,
+/// and applies the actuator frame coming back.  The plant and the board
+/// exchange data "at the end of each simulation step (control period)".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pil/frame.hpp"
+#include "sim/serial_link.hpp"
+#include "sim/world.hpp"
+#include "util/statistics.hpp"
+
+namespace iecd::pil {
+
+class HostEndpoint {
+ public:
+  struct Options {
+    sim::SimTime period = sim::milliseconds(1);  ///< control period
+    sim::SimTime start = 0;
+  };
+
+  /// \p tx: channel toward the board, \p rx: channel from the board.
+  HostEndpoint(sim::World& world, sim::SerialChannel& tx,
+               sim::SerialChannel& rx, Options options);
+
+  /// Plant coupling: \p sample reads the plant outputs, \p apply writes
+  /// the actuator values, \p advance integrates the plant model up to the
+  /// given time [s].
+  void set_plant(std::function<std::vector<double>()> sample,
+                 std::function<void(const std::vector<double>&)> apply,
+                 std::function<void(double)> advance);
+
+  /// Starts the periodic exchange.
+  void start();
+  void stop() { running_ = false; }
+
+  const util::SampleSeries& round_trip_us() const { return rtt_us_; }
+  std::uint64_t exchanges() const { return exchanges_; }
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+  std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+
+ private:
+  void exchange();
+
+  sim::World& world_;
+  sim::SerialChannel& tx_;
+  Options options_;
+  std::function<std::vector<double>()> sample_;
+  std::function<void(const std::vector<double>&)> apply_;
+  std::function<void(double)> advance_;
+  FrameDecoder decoder_;
+  bool running_ = false;
+  bool awaiting_response_ = false;
+  sim::SimTime sent_at_ = 0;
+  std::uint8_t seq_ = 0;
+  util::SampleSeries rtt_us_;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+};
+
+}  // namespace iecd::pil

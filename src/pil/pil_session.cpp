@@ -1,0 +1,87 @@
+#include "pil/pil_session.hpp"
+
+#include "util/strings.hpp"
+
+namespace iecd::pil {
+
+std::string PilReport::to_string() const {
+  std::string out;
+  out += util::format("exchanges           %llu (misses %llu, crc errors %llu)\n",
+                      static_cast<unsigned long long>(exchanges),
+                      static_cast<unsigned long long>(deadline_misses),
+                      static_cast<unsigned long long>(crc_errors));
+  out += util::format("round trip          %.1f us mean, %.1f us p99\n",
+                      round_trip_us.mean(), round_trip_us.percentile(99));
+  out += util::format("comm per step       %.1f us (%.1f%% of the period)\n",
+                      comm_time_per_step_us, comm_overhead_ratio * 100.0);
+  out += util::format("controller exec     %.2f us mean, %.2f us max\n",
+                      controller_exec_us_mean, controller_exec_us_max);
+  out += util::format("observed stack      %u B\n", observed_stack_bytes);
+  return out;
+}
+
+PilSession::PilSession(sim::World& world, rt::Runtime& runtime,
+                       beans::SerialBean& serial,
+                       codegen::SignalBuffer& buffer, Options options)
+    : world_(world),
+      runtime_(runtime),
+      options_(options),
+      rx_profile_key_(rt::Runtime::profile_key(serial.name(), "OnRxChar")) {
+  const sim::SerialConfig cfg = options.link == LinkKind::kSpi
+                                    ? sim::SerialConfig::spi(options.baud)
+                                    : sim::SerialConfig::rs232(options.baud);
+  link_ = std::make_unique<sim::SerialLink>(
+      world, cfg, options.link == LinkKind::kSpi ? "pil_spi" : "pil_rs232");
+  // Host transmits on a2b; the board's UART listens there and answers on
+  // b2a.
+  serial.peripheral()->connect(link_->b_to_a(), link_->a_to_b());
+  agent_ = std::make_unique<TargetAgent>(runtime, serial, buffer);
+  HostEndpoint::Options hopts;
+  hopts.period = sim::from_seconds(options.period_s);
+  host_ = std::make_unique<HostEndpoint>(world, link_->a_to_b(),
+                                         link_->b_to_a(), hopts);
+}
+
+void PilSession::set_plant(
+    std::function<std::vector<double>()> sample,
+    std::function<void(const std::vector<double>&)> apply,
+    std::function<void(double)> advance) {
+  host_->set_plant(std::move(sample), std::move(apply), std::move(advance));
+}
+
+PilReport PilSession::run() {
+  runtime_.start();
+  agent_->start();
+  host_->start();
+  world_.run_for(sim::from_seconds(options_.duration_s));
+  host_->stop();
+
+  PilReport report;
+  report.exchanges = host_->exchanges();
+  report.frames_processed = agent_->frames_processed();
+  report.deadline_misses = host_->deadline_misses();
+  report.crc_errors = host_->crc_errors() + agent_->crc_errors();
+  report.round_trip_us = host_->round_trip_us();
+
+  // Wire time of one full exchange: the sensor frame down plus the
+  // actuator frame back at the configured frame sizes.
+  const sim::SimTime byte_time = link_->config().byte_time();
+  const double total_bytes =
+      static_cast<double>(link_->a_to_b().bytes_transferred() +
+                          link_->b_to_a().bytes_transferred());
+  if (report.exchanges > 0) {
+    report.comm_time_per_step_us =
+        sim::to_microseconds(byte_time) * total_bytes /
+        static_cast<double>(report.exchanges);
+    report.comm_overhead_ratio =
+        report.comm_time_per_step_us / (options_.period_s * 1e6);
+  }
+  if (const auto* prof = runtime_.profiler().task(rx_profile_key_)) {
+    // Execution time of the frame-completing ISR (which embeds the step).
+    report.controller_exec_us_mean = prof->exec_time_us.mean();
+    report.controller_exec_us_max = prof->exec_time_us.max();
+  }
+  return report;
+}
+
+}  // namespace iecd::pil

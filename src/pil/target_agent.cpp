@@ -1,0 +1,52 @@
+#include "pil/target_agent.hpp"
+
+namespace iecd::pil {
+
+TargetAgent::TargetAgent(rt::Runtime& runtime, beans::SerialBean& serial,
+                         codegen::SignalBuffer& buffer)
+    : runtime_(runtime), serial_(serial), buffer_(buffer) {
+  decoder_.set_callback([this](const Frame& frame) {
+    if (frame.type != FrameType::kSensorData) return;
+    buffer_.set_inputs(decode_signals(frame.payload));
+    respond_ = true;
+    respond_seq_ = frame.seq;
+  });
+}
+
+void TargetAgent::start() {
+  mcu::IsrHandler handler;
+  handler.name = "pil_rx";
+  handler.stack_bytes = 192;
+  handler.body = [this]() -> std::uint64_t {
+    std::uint64_t cycles = per_byte_cycles_;
+    const auto byte = serial_.RecvChar();
+    if (!byte) return cycles;
+    respond_ = false;
+    decoder_.feed(*byte);
+    if (respond_) {
+      // The completed sensor frame stands in for the sampling interrupt:
+      // run the whole controller step inside this ISR (reads from the
+      // buffer, computes, writes back to the buffer).
+      model::SimContext ctx;
+      ctx.t = runtime_.now_seconds();
+      ctx.dt = runtime_.period_s();
+      runtime_.step_once(ctx);
+      ++frames_processed_;
+      cycles += runtime_.step_cycles();
+    }
+    return cycles;
+  };
+  handler.commit = [this] {
+    if (!respond_) return;
+    // Response leaves the board when the ISR retires.
+    Frame response;
+    response.type = FrameType::kActuatorData;
+    response.seq = respond_seq_;
+    response.payload = encode_signals(buffer_.outputs());
+    for (std::uint8_t b : encode_frame(response)) serial_.SendChar(b);
+    respond_ = false;
+  };
+  serial_.set_event_handler("OnRxChar", std::move(handler));
+}
+
+}  // namespace iecd::pil

@@ -1,0 +1,39 @@
+/// \file target_agent.hpp
+/// Board-side PIL support (the special code variant of paper Section 6):
+/// the serial RX interrupt assembles sensor frames; a complete frame
+/// deposits the values into the controller's communication buffer and runs
+/// the model step in place of the timer/peripheral interrupts; the
+/// controller outputs return to the simulator in the response frame.
+#pragma once
+
+#include "beans/serial_bean.hpp"
+#include "codegen/signal_buffer.hpp"
+#include "pil/frame.hpp"
+#include "rt/runtime.hpp"
+
+namespace iecd::pil {
+
+class TargetAgent {
+ public:
+  TargetAgent(rt::Runtime& runtime, beans::SerialBean& serial,
+              codegen::SignalBuffer& buffer);
+
+  /// Installs the OnRxChar handler.  The runtime must be started (PIL
+  /// variant: its periodic task is not timer-driven).
+  void start();
+
+  std::uint64_t frames_processed() const { return frames_processed_; }
+  std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+
+ private:
+  rt::Runtime& runtime_;
+  beans::SerialBean& serial_;
+  codegen::SignalBuffer& buffer_;
+  FrameDecoder decoder_;
+  bool respond_ = false;
+  std::uint8_t respond_seq_ = 0;
+  std::uint64_t frames_processed_ = 0;
+  std::uint64_t per_byte_cycles_ = 40;
+};
+
+}  // namespace iecd::pil

@@ -1,0 +1,51 @@
+#include "plant/encoder.hpp"
+
+#include <numbers>
+
+namespace iecd::plant {
+
+IncrementalEncoder::IncrementalEncoder(sim::World& world, DcMotorSim& motor,
+                                       periph::QuadDecPeripheral& qdec,
+                                       EncoderParams params, std::string name)
+    : world_(world),
+      motor_(motor),
+      qdec_(qdec),
+      params_(params),
+      name_(std::move(name)) {
+  world.attach(*this);
+}
+
+void IncrementalEncoder::reset() {
+  running_ = false;
+  last_counts_ = 0;
+  last_index_rev_ = 0;
+}
+
+void IncrementalEncoder::start() {
+  if (running_) return;
+  running_ = true;
+  world_.queue().schedule_in(params_.poll_interval, [this] { poll(); });
+}
+
+void IncrementalEncoder::poll() {
+  if (!running_) return;
+  const double angle = motor_.angle_at(world_.now());
+  const double cpr = static_cast<double>(counts_per_rev());
+  const auto counts = static_cast<std::int64_t>(
+      std::floor(angle / (2.0 * std::numbers::pi) * cpr));
+  const std::int64_t delta = counts - last_counts_;
+  if (delta != 0) {
+    qdec_.add_counts(static_cast<std::int32_t>(delta));
+    last_counts_ = counts;
+  }
+  // Index pulse once per full revolution crossing.
+  const auto rev = static_cast<std::int64_t>(
+      std::floor(angle / (2.0 * std::numbers::pi)));
+  if (rev != last_index_rev_) {
+    qdec_.index_pulse();
+    last_index_rev_ = rev;
+  }
+  world_.queue().schedule_in(params_.poll_interval, [this] { poll(); });
+}
+
+}  // namespace iecd::plant

@@ -1,0 +1,70 @@
+#include "plant/simple_plants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iecd::plant {
+
+WaterTankBlock::WaterTankBlock(std::string name, Params params)
+    : Block(std::move(name), 1, 1), params_(params) {
+  set_sample_time(model::SampleTime::continuous());
+}
+
+void WaterTankBlock::initialize(const model::SimContext& ctx) {
+  level_ = params_.initial_level;
+  output(ctx);
+}
+
+void WaterTankBlock::output(const model::SimContext&) { set_out(0, level_); }
+
+void WaterTankBlock::read_states(std::span<double> into) const {
+  into[0] = level_;
+}
+
+void WaterTankBlock::write_states(std::span<const double> from) {
+  level_ = std::clamp(from[0], 0.0, params_.max_level);
+}
+
+void WaterTankBlock::derivatives(const model::SimContext&,
+                                 std::span<double> dx) const {
+  const double u = std::clamp(in(0), 0.0, 1.0);
+  const double h = std::max(level_, 0.0);
+  const double inflow = params_.inflow_gain * u;
+  const double outflow = params_.outlet_area * std::sqrt(2.0 * 9.81 * h);
+  dx[0] = (inflow - outflow) / params_.area;
+  // Hard limits: no further rise at the brim, no drain below empty.
+  if (level_ >= params_.max_level && dx[0] > 0) dx[0] = 0;
+  if (level_ <= 0 && dx[0] < 0) dx[0] = 0;
+}
+
+ThermalPlantBlock::ThermalPlantBlock(std::string name, Params params)
+    : Block(std::move(name), 1, 1), params_(params) {
+  set_sample_time(model::SampleTime::continuous());
+}
+
+void ThermalPlantBlock::initialize(const model::SimContext& ctx) {
+  temperature_ = params_.ambient;
+  output(ctx);
+}
+
+void ThermalPlantBlock::output(const model::SimContext&) {
+  set_out(0, temperature_);
+}
+
+void ThermalPlantBlock::read_states(std::span<double> into) const {
+  into[0] = temperature_;
+}
+
+void ThermalPlantBlock::write_states(std::span<const double> from) {
+  temperature_ = from[0];
+}
+
+void ThermalPlantBlock::derivatives(const model::SimContext&,
+                                    std::span<double> dx) const {
+  const double u = std::clamp(in(0), 0.0, 1.0);
+  dx[0] = (params_.heater_power * u -
+           (temperature_ - params_.ambient) / params_.thermal_resistance) /
+          params_.thermal_capacity;
+}
+
+}  // namespace iecd::plant

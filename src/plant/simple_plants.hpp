@@ -1,0 +1,67 @@
+/// \file simple_plants.hpp
+/// Additional plant models for the non-servo examples: a gravity-drained
+/// water tank (nonlinear first order) and a first-order thermal process.
+#pragma once
+
+#include "model/block.hpp"
+
+namespace iecd::plant {
+
+/// Tank level: A dh/dt = k_in * u - a * sqrt(2 g h); input 0 = valve
+/// command [0, 1], output 0 = level [m].
+class WaterTankBlock : public model::Block {
+ public:
+  struct Params {
+    double area = 0.5;            ///< tank cross-section [m^2]
+    double inflow_gain = 0.004;   ///< [m^3/s] at full valve
+    double outlet_area = 2.0e-4;  ///< drain orifice [m^2]
+    double initial_level = 0.0;   ///< [m]
+    double max_level = 2.0;       ///< physical tank height [m]
+  };
+
+  WaterTankBlock(std::string name, Params params);
+  const char* type_name() const override { return "WaterTank"; }
+  bool has_direct_feedthrough() const override { return false; }
+
+  void initialize(const model::SimContext& ctx) override;
+  void output(const model::SimContext& ctx) override;
+  int continuous_state_count() const override { return 1; }
+  void read_states(std::span<double> into) const override;
+  void write_states(std::span<const double> from) override;
+  void derivatives(const model::SimContext& ctx,
+                   std::span<double> dx) const override;
+
+ private:
+  Params params_;
+  double level_ = 0.0;
+};
+
+/// First-order thermal process: C dT/dt = P * u - (T - T_amb) / R_th;
+/// input 0 = heater command [0, 1], output 0 = temperature [deg C].
+class ThermalPlantBlock : public model::Block {
+ public:
+  struct Params {
+    double thermal_capacity = 150.0;   ///< [J/K]
+    double thermal_resistance = 2.0;   ///< [K/W]
+    double heater_power = 60.0;        ///< [W] at full command
+    double ambient = 25.0;             ///< [deg C]
+  };
+
+  ThermalPlantBlock(std::string name, Params params);
+  const char* type_name() const override { return "ThermalPlant"; }
+  bool has_direct_feedthrough() const override { return false; }
+
+  void initialize(const model::SimContext& ctx) override;
+  void output(const model::SimContext& ctx) override;
+  int continuous_state_count() const override { return 1; }
+  void read_states(std::span<double> into) const override;
+  void write_states(std::span<const double> from) override;
+  void derivatives(const model::SimContext& ctx,
+                   std::span<double> dx) const override;
+
+ private:
+  Params params_;
+  double temperature_ = 25.0;
+};
+
+}  // namespace iecd::plant

@@ -1,0 +1,66 @@
+#include "rt/profiler.hpp"
+
+#include <cmath>
+
+#include "sim/time.hpp"
+#include "util/strings.hpp"
+
+namespace iecd::rt {
+
+double TaskProfile::period_jitter_stddev_us() const {
+  if (start_times_s.count() < 3) return 0.0;
+  util::RunningStats intervals;
+  const auto& starts = start_times_s.samples();
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    intervals.add((starts[i] - starts[i - 1]) * 1e6);
+  }
+  return intervals.stddev();
+}
+
+double TaskProfile::period_jitter_peak_us(double nominal_period_s) const {
+  if (start_times_s.count() < 2) return 0.0;
+  const auto& starts = start_times_s.samples();
+  double peak = 0.0;
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    const double dev =
+        std::abs((starts[i] - starts[i - 1]) - nominal_period_s) * 1e6;
+    peak = std::max(peak, dev);
+  }
+  return peak;
+}
+
+void Profiler::record(const mcu::DispatchRecord& record) {
+  TaskProfile& p = tasks_[std::string(record.name)];
+  p.exec_time_us.add(
+      sim::to_microseconds(record.end_time - record.start_time));
+  p.response_time_us.add(
+      sim::to_microseconds(record.start_time - record.raise_time));
+  p.start_times_s.add(sim::to_seconds(record.start_time));
+  ++p.activations;
+}
+
+const TaskProfile* Profiler::task(const std::string& name) const {
+  const auto it = tasks_.find(name);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::string Profiler::report(double nominal_period_s) const {
+  std::string out;
+  for (const auto& [name, p] : tasks_) {
+    out += util::format(
+        "%-28s n=%-7llu exec %8.2f/%8.2f us (mean/max)  response "
+        "%7.2f/%7.2f us",
+        name.c_str(), static_cast<unsigned long long>(p.activations),
+        p.exec_time_us.mean(), p.exec_time_us.max(),
+        p.response_time_us.mean(), p.response_time_us.max());
+    if (nominal_period_s > 0) {
+      out += util::format("  jitter %6.2f us (peak %6.2f us)",
+                          p.period_jitter_stddev_us(),
+                          p.period_jitter_peak_us(nominal_period_s));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iecd::rt

@@ -1,0 +1,45 @@
+/// \file profiler.hpp
+/// Target-side execution profiling: per-task execution times, interrupt
+/// response times, and activation jitter — the quantities the paper says
+/// the PIL simulation exposes ("execution times of the implemented
+/// controller code, interrupts response times, sampling jitters, memory
+/// and stack requirements").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mcu/cpu.hpp"
+#include "util/statistics.hpp"
+
+namespace iecd::rt {
+
+struct TaskProfile {
+  util::SampleSeries exec_time_us;      ///< ISR body duration
+  util::SampleSeries response_time_us;  ///< raise -> service start
+  util::SampleSeries start_times_s;     ///< activation instants
+  std::uint64_t activations = 0;
+
+  /// Jitter of the activation period: stddev and worst |deviation| of the
+  /// inter-activation intervals [us].
+  double period_jitter_stddev_us() const;
+  double period_jitter_peak_us(double nominal_period_s) const;
+};
+
+class Profiler {
+ public:
+  /// Feeds one retired dispatch (wired to Cpu::set_dispatch_observer).
+  void record(const mcu::DispatchRecord& record);
+
+  const TaskProfile* task(const std::string& name) const;
+  const std::map<std::string, TaskProfile>& tasks() const { return tasks_; }
+
+  std::string report(double nominal_period_s = 0.0) const;
+
+  void reset() { tasks_.clear(); }
+
+ private:
+  std::map<std::string, TaskProfile> tasks_;
+};
+
+}  // namespace iecd::rt

@@ -1,0 +1,152 @@
+#include "rt/runtime.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace iecd::rt {
+
+Runtime::Runtime(mcu::Mcu& mcu, beans::BeanProject& project,
+                 codegen::GeneratedApplication& app)
+    : mcu_(mcu), project_(project), app_(app) {
+  if (!project.bound()) {
+    throw std::logic_error("Runtime: bean project must be bound to the MCU");
+  }
+  for (const auto& bean : project.beans()) {
+    if (auto* t = dynamic_cast<beans::TimerIntBean*>(bean.get())) {
+      if (!timer_) timer_ = t;
+    }
+    if (auto* w = dynamic_cast<beans::WatchdogBean*>(bean.get())) {
+      if (!watchdog_) watchdog_ = w;
+    }
+  }
+}
+
+std::string Runtime::periodic_profile_key() const {
+  return timer_ ? profile_key(timer_->name(), "OnInterrupt") : std::string();
+}
+
+model::SimContext Runtime::context_now() const {
+  model::SimContext ctx;
+  ctx.t = sim::to_seconds(mcu_.now());
+  ctx.dt = period_s();
+  return ctx;
+}
+
+double Runtime::period_s() const {
+  for (const auto& t : app_.tasks) {
+    if (t.trigger == codegen::TaskSpec::Trigger::kPeriodic) return t.period_s;
+  }
+  return 0.0;
+}
+
+std::uint64_t Runtime::step_cycles() const {
+  for (std::size_t i = 0; i < app_.tasks.size(); ++i) {
+    if (app_.tasks[i].trigger == codegen::TaskSpec::Trigger::kPeriodic) {
+      return app_.task_cycles(i, mcu_.spec().costs);
+    }
+  }
+  return 0;
+}
+
+void Runtime::step_once(const model::SimContext& ctx) {
+  for (auto& t : app_.tasks) {
+    if (t.trigger != codegen::TaskSpec::Trigger::kPeriodic) continue;
+    if (t.read) t.read(ctx);
+    if (t.compute) t.compute(ctx);
+    if (t.write) t.write(ctx);
+    ++periodic_activations_;
+    return;
+  }
+}
+
+void Runtime::install_periodic_task(std::size_t index) {
+  if (!timer_) {
+    throw std::logic_error(
+        "Runtime: no TimerInt bean in the project for the periodic task");
+  }
+  codegen::TaskSpec* task = &app_.tasks[index];
+  const std::uint64_t cycles = app_.task_cycles(index, mcu_.spec().costs);
+  mcu::IsrHandler handler;
+  handler.name = task->name;
+  handler.stack_bytes = task->stack_bytes;
+  handler.body = [this, task, cycles]() -> std::uint64_t {
+    const model::SimContext ctx = context_now();
+    if (task->read) task->read(ctx);
+    if (task->compute) task->compute(ctx);
+    ++periodic_activations_;
+    return cycles;
+  };
+  handler.commit = [this, task] {
+    // Outputs reach the peripherals when the ISR retires: the generated
+    // code's genuine sampling-to-actuation delay.
+    if (task->write) task->write(context_now());
+    // Service the COP from the model step: if the step stops running (or
+    // chronically overruns), the watchdog bites.
+    if (watchdog_) watchdog_->Clear();
+  };
+  timer_->set_event_handler("OnInterrupt", std::move(handler));
+}
+
+void Runtime::install_event_task(std::size_t index) {
+  codegen::TaskSpec* task = &app_.tasks[index];
+  beans::Bean* bean = project_.find(task->event_bean);
+  if (!bean) {
+    throw std::logic_error("Runtime: event task references unknown bean " +
+                           task->event_bean);
+  }
+  const std::uint64_t cycles = app_.task_cycles(index, mcu_.spec().costs);
+  mcu::IsrHandler handler;
+  handler.name = task->name;
+  handler.stack_bytes = task->stack_bytes;
+  handler.body = [this, task, cycles]() -> std::uint64_t {
+    const model::SimContext ctx = context_now();
+    if (task->read) task->read(ctx);
+    if (task->compute) task->compute(ctx);
+    return cycles;
+  };
+  handler.commit = [this, task] {
+    if (task->write) task->write(context_now());
+  };
+  bean->set_event_handler(task->event_name, std::move(handler));
+}
+
+void Runtime::set_background_task(std::function<std::uint64_t()> chunk) {
+  mcu_.cpu().set_background(std::move(chunk));
+  mcu_.cpu().kick();
+}
+
+void Runtime::start() {
+  if (started_) return;
+  started_ = true;
+
+  mcu_.cpu().set_dispatch_observer(
+      [this](const mcu::DispatchRecord& rec) { profiler_.record(rec); });
+
+  for (std::size_t i = 0; i < app_.tasks.size(); ++i) {
+    switch (app_.tasks[i].trigger) {
+      case codegen::TaskSpec::Trigger::kPeriodic:
+        if (!app_.pil_variant) install_periodic_task(i);
+        break;
+      case codegen::TaskSpec::Trigger::kEvent:
+        install_event_task(i);
+        break;
+    }
+  }
+
+  if (app_.init) app_.init(context_now());
+  if (watchdog_ && !app_.pil_variant) watchdog_->Enable();
+  if (timer_ && !app_.pil_variant) timer_->Enable();
+}
+
+std::string Runtime::memory_report() const {
+  std::string out = util::format(
+      "estimated: data %u B, code %u B, task stack %u B\n",
+      app_.memory.data_bytes, app_.memory.code_bytes,
+      app_.memory.stack_bytes);
+  out += util::format("observed worst-case stack on target: %u B\n",
+                      mcu_.cpu().max_stack_bytes());
+  return out;
+}
+
+}  // namespace iecd::rt

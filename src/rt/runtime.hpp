@@ -1,0 +1,87 @@
+/// \file runtime.hpp
+/// Deploys a GeneratedApplication onto the simulated MCU: the periodic
+/// model step runs inside the timer bean's interrupt (non-preemptively),
+/// event tasks inside their bean-event ISRs, initialization in main — the
+/// exact execution infrastructure the paper's target defines.  Inputs are
+/// sampled at ISR start, outputs commit at ISR end, so the generated
+/// application exhibits the true sampling-to-actuation delay.
+#pragma once
+
+#include <string>
+
+#include "beans/bean_project.hpp"
+#include "beans/timer_int_bean.hpp"
+#include "beans/watchdog_bean.hpp"
+#include "codegen/generated_app.hpp"
+#include "mcu/mcu.hpp"
+#include "rt/profiler.hpp"
+
+namespace iecd::rt {
+
+class Runtime {
+ public:
+  /// \p project must already be bound to \p mcu.
+  Runtime(mcu::Mcu& mcu, beans::BeanProject& project,
+          codegen::GeneratedApplication& app);
+
+  /// Installs ISR handlers, runs application init, and enables the timer.
+  /// For PIL variants the periodic task is NOT timer-driven; the PIL target
+  /// agent triggers it per received frame (call step_once() from there).
+  void start();
+
+  /// Executes one activation of the periodic task "by hand" — the PIL
+  /// path, where the communication ISR stands in for the timer (must be
+  /// invoked from ISR context; cost accounting happens in the caller).
+  void step_once(const model::SimContext& ctx);
+
+  /// Charges one periodic-step activation in cycles (for callers that
+  /// embed the step in their own ISR).
+  std::uint64_t step_cycles() const;
+
+  Profiler& profiler() { return profiler_; }
+  /// The project's watchdog bean, if any (the kernel services it from the
+  /// periodic task; a stuck or chronically overrunning step gets caught).
+  beans::WatchdogBean* watchdog() { return watchdog_; }
+  /// Current target time in seconds (the MCU's world clock).
+  double now_seconds() const { return sim::to_seconds(mcu_.now()); }
+
+  /// Profiler key of the periodic model step.  Dispatch records carry the
+  /// ISR trampoline name "<bean>.<event>", so the periodic task profiles
+  /// under the timer bean's interrupt.
+  std::string periodic_profile_key() const;
+  /// Profiler key for a bean-event ISR.
+  static std::string profile_key(const std::string& bean,
+                                 const std::string& event) {
+    return bean + "." + event;
+  }
+  beans::TimerIntBean* timer() { return timer_; }
+  double period_s() const;
+
+  /// Installs the manually-written background task (the paper: "There can
+  /// also be executed a manually written background task").  The callable
+  /// performs one chunk of work and returns its cycle cost; it runs only
+  /// while no interrupt is pending and yields at chunk boundaries.
+  void set_background_task(std::function<std::uint64_t()> chunk);
+
+  /// Memory/stack report combining the codegen estimate with the observed
+  /// worst-case stack on the simulated CPU.
+  std::string memory_report() const;
+
+  std::uint64_t periodic_activations() const { return periodic_activations_; }
+
+ private:
+  void install_periodic_task(std::size_t index);
+  void install_event_task(std::size_t index);
+  model::SimContext context_now() const;
+
+  mcu::Mcu& mcu_;
+  beans::BeanProject& project_;
+  codegen::GeneratedApplication& app_;
+  Profiler profiler_;
+  beans::TimerIntBean* timer_ = nullptr;
+  beans::WatchdogBean* watchdog_ = nullptr;
+  std::uint64_t periodic_activations_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace iecd::rt

@@ -1,0 +1,80 @@
+#include "sim/can_bus.hpp"
+
+#include <stdexcept>
+
+namespace iecd::sim {
+
+CanBus::CanBus(World& world, std::uint32_t bitrate_bps, std::string name)
+    : world_(world), name_(std::move(name)), bitrate_(bitrate_bps) {
+  if (bitrate_bps == 0) throw std::invalid_argument("CanBus: bitrate 0");
+  world.attach(*this);
+}
+
+void CanBus::reset() {
+  for (auto& n : nodes_) n.tx_queue.clear();
+  busy_ = false;
+  stats_ = Stats{};
+}
+
+CanBus::NodeId CanBus::attach_node(std::string node_name, RxCallback on_rx) {
+  nodes_.push_back({std::move(node_name), std::move(on_rx), {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SimTime CanBus::frame_time(int dlc) const {
+  // Standard frame: 47 overhead bits + 8*dlc data bits; worst-case bit
+  // stuffing adds ~1 bit per 5 (applied to the stuffable 34+8*dlc bits);
+  // plus 3 bits interframe space.
+  const double stuffable = 34.0 + 8.0 * dlc;
+  const double bits = 47.0 + 8.0 * dlc + stuffable / 5.0 + 3.0;
+  return static_cast<SimTime>(bits * 1e9 / bitrate_ + 0.5);
+}
+
+bool CanBus::transmit(NodeId node, CanFrame frame) {
+  if (frame.dlc() > 8) return false;
+  if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) {
+    throw std::out_of_range("CanBus: unknown node");
+  }
+  nodes_[static_cast<std::size_t>(node)].tx_queue.push_back(std::move(frame));
+  if (!busy_) try_start();
+  return true;
+}
+
+std::size_t CanBus::pending() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.tx_queue.size();
+  return n;
+}
+
+void CanBus::try_start() {
+  if (busy_) return;
+  // Arbitration: among the heads of all non-empty queues, the lowest
+  // identifier wins (ties: lowest node index, deterministic).
+  int winner = -1;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].tx_queue.empty()) continue;
+    if (winner < 0 ||
+        nodes_[i].tx_queue.front().id <
+            nodes_[static_cast<std::size_t>(winner)].tx_queue.front().id) {
+      winner = static_cast<int>(i);
+    }
+  }
+  if (winner < 0) return;
+  busy_ = true;
+  Node& tx = nodes_[static_cast<std::size_t>(winner)];
+  const CanFrame frame = tx.tx_queue.front();
+  tx.tx_queue.pop_front();
+  const SimTime wire = frame_time(frame.dlc());
+  stats_.busy_time += wire;
+  world_.queue().schedule_in(wire, [this, frame, winner] {
+    ++stats_.frames_delivered;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (static_cast<int>(i) == winner) continue;
+      if (nodes_[i].on_rx) nodes_[i].on_rx(frame, world_.now());
+    }
+    busy_ = false;
+    try_start();
+  });
+}
+
+}  // namespace iecd::sim

@@ -1,0 +1,74 @@
+/// \file event_queue.hpp
+/// Deterministic discrete-event scheduler.  Ties are broken by insertion
+/// order (FIFO at equal timestamps) so repeated runs of the same model are
+/// bit-identical — the property every regression test in this repo relies
+/// on.  Events are cancelable; cancellation is O(1) (lazy removal).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iecd::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules \p fn at absolute time \p when (must be >= now()).
+  /// Returns a handle usable with cancel().
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules \p fn \p delay after now().
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Current simulated time.  Advances only as events execute.
+  SimTime now() const { return now_; }
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t pending() const { return live_count_; }
+
+  /// Time of the next pending event, or kNever.
+  SimTime next_time() const;
+
+  /// Executes the single next event.  Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events with timestamp <= \p until; afterwards now() == max(now,
+  /// until).  Events scheduled during execution are honoured if they fall
+  /// inside the window.  Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Drains the queue completely (use with care: self-rescheduling
+  /// components make this unbounded).  Returns events executed.
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    // std::priority_queue is a max-heap; invert for earliest-first, with
+    // lower id (earlier insertion) winning ties.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+}  // namespace iecd::sim

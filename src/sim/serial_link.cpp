@@ -1,0 +1,78 @@
+#include "sim/serial_link.hpp"
+
+#include <stdexcept>
+
+namespace iecd::sim {
+
+SimTime SerialConfig::byte_time() const {
+  if (baud_rate == 0) throw std::invalid_argument("SerialConfig: baud 0");
+  const double bit_ns = 1e9 / static_cast<double>(baud_rate);
+  return static_cast<SimTime>(bit_ns * bits_per_byte() + 0.5);
+}
+
+SerialChannel::SerialChannel(EventQueue& queue, SerialConfig config,
+                             std::string name)
+    : queue_(queue), config_(config), name_(std::move(name)) {}
+
+void SerialChannel::set_receiver(
+    std::function<void(std::uint8_t, SimTime)> on_byte) {
+  on_byte_ = std::move(on_byte);
+}
+
+void SerialChannel::corrupt_next_byte(std::uint8_t xor_mask) {
+  pending_corruption_ = xor_mask;
+  corrupt_armed_ = true;
+}
+
+void SerialChannel::transmit(std::uint8_t byte) {
+  tx_fifo_.push_back(byte);
+  if (!shifting_) start_next();
+}
+
+void SerialChannel::transmit(const std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) transmit(data[i]);
+}
+
+void SerialChannel::start_next() {
+  if (tx_fifo_.empty()) {
+    shifting_ = false;
+    return;
+  }
+  shifting_ = true;
+  std::uint8_t byte = tx_fifo_.front();
+  tx_fifo_.pop_front();
+  if (corrupt_armed_) {
+    byte ^= pending_corruption_;
+    corrupt_armed_ = false;
+  }
+  const SimTime wire_time = config_.byte_time();
+  busy_time_ += wire_time;
+  queue_.schedule_in(wire_time, [this, byte] {
+    ++bytes_transferred_;
+    if (on_byte_) on_byte_(byte, queue_.now());
+    start_next();
+  });
+}
+
+void SerialChannel::reset() {
+  tx_fifo_.clear();
+  shifting_ = false;
+  corrupt_armed_ = false;
+  bytes_transferred_ = 0;
+  busy_time_ = 0;
+}
+
+SerialLink::SerialLink(World& world, SerialConfig config, std::string name)
+    : name_(std::move(name)),
+      config_(config),
+      a_to_b_(world.queue(), config, name_ + ".a2b"),
+      b_to_a_(world.queue(), config, name_ + ".b2a") {
+  world.attach(*this);
+}
+
+void SerialLink::reset() {
+  a_to_b_.reset();
+  b_to_a_.reset();
+}
+
+}  // namespace iecd::sim

@@ -1,0 +1,114 @@
+/// \file serial_link.hpp
+/// Byte-timed asynchronous serial line (the RS232 connection of Fig. 6.2).
+/// Each byte occupies start + data + stop bits at the configured baud rate;
+/// transmission is serialized per direction (a UART cannot start the next
+/// byte before the previous one left the shift register).  Delivery invokes
+/// the receiving endpoint's callback at the bit-accurate completion time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "sim/world.hpp"
+
+namespace iecd::sim {
+
+struct SerialConfig {
+  std::uint32_t baud_rate = 115200;  ///< bit clock (SPI: the SCK frequency)
+  int data_bits = 8;
+  int stop_bits = 1;
+  bool parity = false;
+  /// Synchronous (SPI-style) transfer: a clock line replaces start/stop
+  /// framing, so a byte costs exactly data_bits clocks.  The paper's
+  /// future-work item — "a support for new communications (e.g. SPI)".
+  bool synchronous = false;
+
+  /// Bits on the wire per byte (async: start + data + parity + stop;
+  /// synchronous: data only).
+  int bits_per_byte() const {
+    if (synchronous) return data_bits;
+    return 1 + data_bits + (parity ? 1 : 0) + stop_bits;
+  }
+
+  /// Wire time of a single byte.
+  SimTime byte_time() const;
+
+  static SerialConfig rs232(std::uint32_t baud) {
+    SerialConfig cfg;
+    cfg.baud_rate = baud;
+    return cfg;
+  }
+  static SerialConfig spi(std::uint32_t clock_hz) {
+    SerialConfig cfg;
+    cfg.baud_rate = clock_hz;
+    cfg.synchronous = true;
+    return cfg;
+  }
+};
+
+/// One direction of a serial line.  Two of these make a full-duplex link.
+class SerialChannel {
+ public:
+  SerialChannel(EventQueue& queue, SerialConfig config, std::string name);
+
+  /// Queues a byte for transmission; it arrives bits_per_byte()/baud later,
+  /// after any bytes already in flight.
+  void transmit(std::uint8_t byte);
+
+  /// Queues a whole buffer.
+  void transmit(const std::uint8_t* data, std::size_t len);
+
+  /// Receiver callback (byte, arrival_time).  Must be set before traffic.
+  void set_receiver(std::function<void(std::uint8_t, SimTime)> on_byte);
+
+  /// Introduces a per-byte error probability is not modelled here; instead
+  /// tests inject corruption deterministically via corrupt_next().
+  void corrupt_next_byte(std::uint8_t xor_mask);
+
+  const SerialConfig& config() const { return config_; }
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  /// Total wire time spent transferring (busy time), for overhead metrics.
+  SimTime busy_time() const { return busy_time_; }
+
+  void reset();
+
+ private:
+  void start_next();
+
+  EventQueue& queue_;
+  SerialConfig config_;
+  std::string name_;
+  std::function<void(std::uint8_t, SimTime)> on_byte_;
+  std::deque<std::uint8_t> tx_fifo_;
+  bool shifting_ = false;
+  std::uint8_t pending_corruption_ = 0;
+  bool corrupt_armed_ = false;
+  std::uint64_t bytes_transferred_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+/// Full-duplex point-to-point link: endpoint A <-> endpoint B.
+class SerialLink : public Component {
+ public:
+  SerialLink(World& world, SerialConfig config, std::string name = "rs232");
+
+  SerialChannel& a_to_b() { return a_to_b_; }
+  SerialChannel& b_to_a() { return b_to_a_; }
+
+  const std::string& name() const override { return name_; }
+  void reset() override;
+
+  const SerialConfig& config() const { return config_; }
+
+ private:
+  std::string name_;
+  SerialConfig config_;
+  SerialChannel a_to_b_;
+  SerialChannel b_to_a_;
+};
+
+}  // namespace iecd::sim

@@ -1,0 +1,42 @@
+/// \file time.hpp
+/// Simulated time.  All timing in the co-simulation world — MCU cycles,
+/// peripheral events, serial bytes, plant integration — is expressed as
+/// signed 64-bit nanoseconds, giving ±292 years of range at 1 ns resolution.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace iecd::sim {
+
+/// Simulated time / duration in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Sentinel for "no scheduled occurrence".
+inline constexpr SimTime kNever = INT64_MAX;
+
+inline constexpr SimTime nanoseconds(std::int64_t n) { return n; }
+inline constexpr SimTime microseconds(std::int64_t u) { return u * 1000; }
+inline constexpr SimTime milliseconds(std::int64_t m) {
+  return m * 1'000'000;
+}
+inline constexpr SimTime seconds_i(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts fractional seconds to SimTime, rounding to nearest ns.
+inline SimTime from_seconds(double s) {
+  return static_cast<SimTime>(std::llround(s * 1e9));
+}
+
+inline constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+
+inline constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+inline constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace iecd::sim

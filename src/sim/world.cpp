@@ -1,0 +1,21 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iecd::sim {
+
+void World::attach(Component& component) {
+  if (std::find(components_.begin(), components_.end(), &component) !=
+      components_.end()) {
+    throw std::logic_error("World: component attached twice: " +
+                           component.name());
+  }
+  components_.push_back(&component);
+}
+
+void World::reset_components() {
+  for (Component* c : components_) c->reset();
+}
+
+}  // namespace iecd::sim

@@ -1,0 +1,56 @@
+/// \file world.hpp
+/// A co-simulation world: one shared event queue plus the set of components
+/// living in it (MCU boards, plants, serial links, instrument probes).  The
+/// world corresponds to the whole Fig. 6.2 test bench — host PC, simulator
+/// PC and development board share simulated time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace iecd::sim {
+
+/// Anything that needs a reset at world start (peripherals, kernels).
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Component name for diagnostics and reports.
+  virtual const std::string& name() const = 0;
+  /// Called once before the event loop starts.
+  virtual void reset() {}
+};
+
+class World {
+ public:
+  EventQueue& queue() { return queue_; }
+  const EventQueue& queue() const { return queue_; }
+  SimTime now() const { return queue_.now(); }
+
+  /// Registers a component; the world does NOT take ownership (components
+  /// are usually owned by higher-level sessions that outlive the run).
+  void attach(Component& component);
+
+  /// Resets all attached components.  Call before the first run.
+  void reset_components();
+
+  /// Advances simulated time to \p until, executing due events.
+  std::size_t run_until(SimTime until) { return queue_.run_until(until); }
+
+  /// Advances by \p duration from the current time.
+  std::size_t run_for(SimTime duration) {
+    return queue_.run_until(queue_.now() + duration);
+  }
+
+  const std::vector<Component*>& components() const { return components_; }
+
+ private:
+  EventQueue queue_;
+  std::vector<Component*> components_;
+};
+
+}  // namespace iecd::sim

@@ -1,0 +1,88 @@
+/// \file zoh_signal.hpp
+/// Zero-order-hold signal: a piecewise-constant value with a change log.
+/// Producers (PWM average output, DAC-like actuators) write new values at
+/// simulation timestamps; consumers (the plant integrator) query the value
+/// at arbitrary times or integrate exactly across the change points.  Old
+/// history is pruned on demand so long runs stay O(1) in memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace iecd::sim {
+
+class ZohSignal {
+ public:
+  explicit ZohSignal(double initial = 0.0) { set(0, initial); }
+
+  /// Records a new value effective from \p when (must be monotonically
+  /// non-decreasing).  Setting an identical value is a no-op.
+  void set(SimTime when, double value) {
+    if (!changes_.empty()) {
+      if (when < changes_.back().when) {
+        throw std::invalid_argument("ZohSignal: non-monotonic write");
+      }
+      if (changes_.back().value == value) return;
+      if (changes_.back().when == when) {
+        changes_.back().value = value;
+        return;
+      }
+    }
+    changes_.push_back({when, value});
+  }
+
+  /// Value at time \p t (the most recent change at or before t).
+  double value_at(SimTime t) const {
+    double v = changes_.front().value;
+    for (const auto& c : changes_) {
+      if (c.when > t) break;
+      v = c.value;
+    }
+    return v;
+  }
+
+  /// Current (latest) value.
+  double value() const { return changes_.back().value; }
+
+  /// Exact integral of the signal over [t0, t1] in value * seconds.
+  double integrate(SimTime t0, SimTime t1) const {
+    if (t1 < t0) throw std::invalid_argument("ZohSignal: t1 < t0");
+    double acc = 0.0;
+    SimTime cursor = t0;
+    double current = value_at(t0);
+    for (const auto& c : changes_) {
+      if (c.when <= t0) {
+        current = c.value;
+        continue;
+      }
+      if (c.when >= t1) break;
+      acc += current * to_seconds(c.when - cursor);
+      cursor = c.when;
+      current = c.value;
+    }
+    acc += current * to_seconds(t1 - cursor);
+    return acc;
+  }
+
+  /// Drops change records strictly before \p t (keeping the value at t).
+  void prune_before(SimTime t) {
+    while (changes_.size() > 1 && changes_[1].when <= t) {
+      changes_.pop_front();
+    }
+    if (changes_.front().when < t) changes_.front().when = t;
+  }
+
+  std::size_t change_count() const { return changes_.size(); }
+
+ private:
+  struct Change {
+    SimTime when;
+    double value;
+  };
+  std::deque<Change> changes_;
+};
+
+}  // namespace iecd::sim

@@ -1,0 +1,24 @@
+#include "util/crc16.hpp"
+
+namespace iecd::util {
+
+std::uint16_t crc16_ccitt_update(std::uint16_t crc, std::uint8_t byte) {
+  crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(byte) << 8));
+  for (int i = 0; i < 8; ++i) {
+    if (crc & 0x8000) {
+      crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+    } else {
+      crc = static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data,
+                          std::uint16_t seed) {
+  std::uint16_t crc = seed;
+  for (std::uint8_t b : data) crc = crc16_ccitt_update(crc, b);
+  return crc;
+}
+
+}  // namespace iecd::util

@@ -1,0 +1,20 @@
+/// \file crc16.hpp
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) used to protect PIL frames
+/// on the simulated RS232 link.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iecd::util {
+
+/// Computes the CRC over \p data starting from \p seed (0xFFFF for a fresh
+/// message).  Feeding a message followed by its own big-endian CRC yields 0.
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data,
+                          std::uint16_t seed = 0xFFFF);
+
+/// Incremental form: folds a single byte into a running CRC.
+std::uint16_t crc16_ccitt_update(std::uint16_t crc, std::uint8_t byte);
+
+}  // namespace iecd::util

@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace iecd::util {
+
+std::string csv_escape(const std::string& field, char sep) {
+  const bool needs_quote =
+      field.find(sep) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+void CsvWriter::write_fields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) out_ << sep_;
+    out_ << csv_escape(f, sep_);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::header(std::initializer_list<std::string> names) {
+  write_fields(std::vector<std::string>(names));
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  write_fields(std::vector<std::string>(fields));
+}
+
+void CsvWriter::row_numeric(std::initializer_list<double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[32];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  write_fields(fields);
+}
+
+}  // namespace iecd::util

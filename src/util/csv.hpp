@@ -1,0 +1,36 @@
+/// \file csv.hpp
+/// Minimal CSV emission for experiment outputs (EXPERIMENTS.md data series).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iecd::util {
+
+/// Streams rows to any std::ostream; quotes fields containing separators.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  void header(std::initializer_list<std::string> names);
+  void row(std::initializer_list<std::string> fields);
+
+  /// Convenience numeric row; formats with %.6g.
+  void row_numeric(std::initializer_list<double> values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  char sep_;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field (quotes if it contains sep/quote/newline).
+std::string csv_escape(const std::string& field, char sep = ',');
+
+}  // namespace iecd::util

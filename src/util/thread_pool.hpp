@@ -1,0 +1,47 @@
+/// \file thread_pool.hpp
+/// Small work-stealing-free thread pool used by the benchmark harnesses to
+/// run independent simulation instances (parameter sweeps) across host
+/// cores.  Simulations themselves are deterministic and single-threaded;
+/// parallelism lives strictly at the sweep level.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iecd::util {
+
+class ThreadPool {
+ public:
+  /// \p threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports its completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace iecd::util

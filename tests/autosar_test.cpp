@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "beans/adc_bean.hpp"
+#include "beans/autosar.hpp"
+#include "beans/bean_project.hpp"
+#include "beans/bit_io_bean.hpp"
+#include "beans/pwm_bean.hpp"
+#include "beans/quad_dec_bean.hpp"
+#include "beans/serial_bean.hpp"
+#include "beans/timer_int_bean.hpp"
+#include "codegen/generator.hpp"
+#include "core/case_study.hpp"
+#include "core/model_sync.hpp"
+
+namespace iecd::beans {
+namespace {
+
+TEST(AutosarMapping, BeansMapToMcalModules) {
+  AdcBean adc("AD1");
+  PwmBean pwm("PWM1");
+  TimerIntBean timer("TI1");
+  BitIoBean bit("Key");
+  QuadDecBean qdec("QD1");
+  SerialBean serial("AS1");
+  EXPECT_EQ(autosar::mcal_module_of(adc), "Adc");
+  EXPECT_EQ(autosar::mcal_module_of(pwm), "Pwm");
+  EXPECT_EQ(autosar::mcal_module_of(timer), "Gpt");
+  EXPECT_EQ(autosar::mcal_module_of(bit), "Dio");
+  // No MCAL module exists -> complex device driver.
+  EXPECT_EQ(autosar::mcal_module_of(qdec), "Cdd_QuadDec");
+  EXPECT_EQ(autosar::mcal_module_of(serial), "Cdd_AsynchroSerial");
+}
+
+TEST(AutosarDrivers, StdTypesHeaderDefinesStandardReturnType) {
+  const DriverSource types = autosar::std_types_header();
+  EXPECT_EQ(types.header_name, "Std_Types.h");
+  EXPECT_NE(types.header.find("Std_ReturnType"), std::string::npos);
+  EXPECT_NE(types.header.find("E_OK"), std::string::npos);
+  EXPECT_NE(types.header.find("STD_HIGH"), std::string::npos);
+}
+
+TEST(AutosarDrivers, AdcDriverUsesGroupApi) {
+  AdcBean adc("AD1");
+  const DriverSource src = autosar::driver_source(adc);
+  EXPECT_NE(src.header.find("Adc_StartGroupConversion"), std::string::npos);
+  EXPECT_NE(src.header.find("Adc_ReadGroup"), std::string::npos);
+  EXPECT_NE(src.header.find("AdcConf_AdcGroup_AD1"), std::string::npos);
+  EXPECT_NE(src.source.find("E_NOT_OK"), std::string::npos);
+}
+
+TEST(AutosarDrivers, PwmDriverUses0x8000Convention) {
+  PwmBean pwm("PWM1");
+  const DriverSource src = autosar::driver_source(pwm);
+  EXPECT_NE(src.header.find("Pwm_SetDutyCycle"), std::string::npos);
+  EXPECT_NE(src.source.find("0x8000"), std::string::npos);  // SWS_Pwm duty
+}
+
+TEST(AutosarDrivers, GptDriverExposesNotification) {
+  TimerIntBean timer("TI1");
+  const DriverSource src = autosar::driver_source(timer);
+  EXPECT_NE(src.header.find("Gpt_StartTimer"), std::string::npos);
+  EXPECT_NE(src.header.find("Gpt_Notification_TI1"), std::string::npos);
+}
+
+TEST(AutosarDrivers, DioDriverUsesChannelApi) {
+  BitIoBean bit("Key");
+  util::DiagnosticList d;
+  bit.set_property("pin", std::int64_t{5}, d);
+  const DriverSource src = autosar::driver_source(bit);
+  EXPECT_NE(src.header.find("Dio_ReadChannel"), std::string::npos);
+  EXPECT_NE(src.header.find("DioConf_DioChannel_Key ((Dio_ChannelType)5)"),
+            std::string::npos);
+}
+
+TEST(AutosarDrivers, QuadDecBecomesComplexDeviceDriver) {
+  QuadDecBean qdec("QD1");
+  const DriverSource src = autosar::driver_source(qdec);
+  EXPECT_EQ(src.header_name, "Cdd_QuadDec.h");
+  EXPECT_NE(src.header.find("Cdd_QuadDec_GetPosition"), std::string::npos);
+  EXPECT_NE(src.source.find("complex device driver"), std::string::npos);
+}
+
+TEST(AutosarDrivers, ProjectLevelGenerationSwitchesApi) {
+  BeanProject project("p");
+  project.add<AdcBean>("AD1");
+  project.add<PwmBean>("PWM1");
+  project.validate();
+
+  const auto pe = project.generate_drivers(DriverApi::kProcessorExpert);
+  const auto ar = project.generate_drivers(DriverApi::kAutosar);
+  ASSERT_EQ(pe.size(), ar.size());
+  EXPECT_EQ(pe[0].header_name, "PE_Types.h");
+  EXPECT_EQ(ar[0].header_name, "Std_Types.h");
+  bool pe_has_measure = false;
+  (void)pe_has_measure;
+  bool ar_has_readgroup = false;
+  for (const auto& d : pe) {
+    if (d.header.find("_Measure") != std::string::npos) pe_has_measure = true;
+  }
+  for (const auto& d : ar) {
+    if (d.header.find("Adc_ReadGroup") != std::string::npos) {
+      ar_has_readgroup = true;
+    }
+    EXPECT_EQ(d.header.find("_Measure("), std::string::npos);
+  }
+  EXPECT_TRUE(ar_has_readgroup);
+}
+
+TEST(AutosarCodegen, GeneratedStepUsesAutosarCalls) {
+  core::ServoConfig cfg;
+  core::ServoSystem servo(cfg);
+  servo.validate();
+  codegen::GeneratorOptions opts;
+  opts.app_name = "servo";
+  opts.api = DriverApi::kAutosar;
+  codegen::Generator gen;
+  auto app = gen.generate(servo.controller(), servo.project(), opts);
+  const std::string& step = app.sources.at("servo.c");
+  EXPECT_NE(step.find("Cdd_QuadDec_GetPosition"), std::string::npos);
+  EXPECT_NE(step.find("Pwm_SetDutyCycle"), std::string::npos);
+  EXPECT_EQ(step.find("QD1_GetPosition"), std::string::npos);
+  EXPECT_EQ(step.find("PWM1_SetRatio16"), std::string::npos);
+  ASSERT_TRUE(app.sources.count("Std_Types.h"));
+  EXPECT_FALSE(app.sources.count("PE_Types.h"));
+}
+
+TEST(AutosarCodegen, VariantsAreFunctionallyIdentical) {
+  // Same model, both APIs: identical task structure, costs and behaviour —
+  // "the blocks of both variants are the same from the functional point of
+  // view".
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.4;
+
+  core::ServoSystem servo_pe(cfg);
+  servo_pe.validate();
+  codegen::Generator gen_pe;
+  auto app_pe = gen_pe.generate(servo_pe.controller(), servo_pe.project(),
+                                {.app_name = "servo"});
+
+  core::ServoSystem servo_ar(cfg);
+  servo_ar.validate();
+  codegen::GeneratorOptions ar_opts;
+  ar_opts.app_name = "servo";
+  ar_opts.api = DriverApi::kAutosar;
+  codegen::Generator gen_ar;
+  auto app_ar =
+      gen_ar.generate(servo_ar.controller(), servo_ar.project(), ar_opts);
+
+  const auto& costs = mcu::find_derivative("DSC56F8367").costs;
+  ASSERT_EQ(app_pe.tasks.size(), app_ar.tasks.size());
+  EXPECT_EQ(app_pe.task_cycles(0, costs), app_ar.task_cycles(0, costs));
+  EXPECT_EQ(app_pe.memory.data_bytes, app_ar.memory.data_bytes);
+
+  // And the closed-loop behaviour is bit-identical.
+  const auto hil_pe = servo_pe.run_hil();
+  const auto hil_ar = servo_ar.run_hil();
+  EXPECT_DOUBLE_EQ(hil_pe.iae, hil_ar.iae);
+  EXPECT_DOUBLE_EQ(hil_pe.speed.last_value(), hil_ar.speed.last_value());
+}
+
+TEST(AutosarCodegen, DioAccessEmittedForKeys) {
+  core::ServoConfig cfg;
+  core::ServoSystem servo(cfg);
+  servo.validate();
+  codegen::GeneratorOptions opts;
+  opts.app_name = "servo";
+  opts.api = DriverApi::kAutosar;
+  codegen::Generator gen;
+  auto app = gen.generate(servo.controller(), servo.project(), opts);
+  const std::string& step = app.sources.at("servo.c");
+  EXPECT_NE(step.find("Dio_ReadChannel(DioConf_DioChannel_KeyMode"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace iecd::beans

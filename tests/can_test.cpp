@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "beans/bean_project.hpp"
+#include "beans/can_bean.hpp"
+#include "mcu/derivative.hpp"
+#include "periph/can_controller.hpp"
+#include "sim/can_bus.hpp"
+#include "sim/world.hpp"
+
+namespace iecd {
+namespace {
+
+TEST(CanBus, FrameTimeScalesWithDlcAndBitrate) {
+  sim::World world;
+  sim::CanBus bus500(world, 500000);
+  // 0-byte frame: ~57 bits at 500 kbit/s ~ 114 us.
+  EXPECT_NEAR(static_cast<double>(bus500.frame_time(0)), 114e3, 1e3);
+  // 8-byte frame: ~134 bits ~ 268 us.
+  EXPECT_NEAR(static_cast<double>(bus500.frame_time(8)), 268e3, 3e3);
+  sim::CanBus bus125(world, 125000, "can125");
+  EXPECT_NEAR(static_cast<double>(bus125.frame_time(8)),
+              4.0 * static_cast<double>(bus500.frame_time(8)), 1e3);
+}
+
+TEST(CanBus, DeliversToAllOtherNodes) {
+  sim::World world;
+  sim::CanBus bus(world, 500000);
+  int rx_b = 0;
+  int rx_c = 0;
+  const auto a = bus.attach_node("a", nullptr);
+  bus.attach_node("b",
+                  [&](const sim::CanFrame& f, sim::SimTime) {
+                    EXPECT_EQ(f.id, 0x123u);
+                    ++rx_b;
+                  });
+  bus.attach_node("c", [&](const sim::CanFrame&, sim::SimTime) { ++rx_c; });
+  EXPECT_TRUE(bus.transmit(a, {0x123, {1, 2, 3}}));
+  world.run_for(sim::milliseconds(1));
+  EXPECT_EQ(rx_b, 1);
+  EXPECT_EQ(rx_c, 1);
+  EXPECT_EQ(bus.stats().frames_delivered, 1u);
+}
+
+TEST(CanBus, LowestIdentifierWinsArbitration) {
+  sim::World world;
+  sim::CanBus bus(world, 500000);
+  std::vector<std::uint32_t> order;
+  const auto a = bus.attach_node("a", nullptr);
+  const auto b = bus.attach_node("b", nullptr);
+  bus.attach_node("sniffer", [&](const sim::CanFrame& f, sim::SimTime) {
+    order.push_back(f.id);
+  });
+  // Queue in "wrong" priority order while the bus is busy with a first
+  // frame, so arbitration has to sort them out.
+  bus.transmit(a, {0x700, {}});
+  bus.transmit(a, {0x500, {}});
+  bus.transmit(b, {0x100, {}});
+  bus.transmit(b, {0x300, {}});
+  world.run_for(sim::milliseconds(5));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0x700u);  // already on the wire when others queued
+  EXPECT_EQ(order[1], 0x100u);  // then strict priority order
+  EXPECT_EQ(order[2], 0x300u);
+  EXPECT_EQ(order[3], 0x500u);
+}
+
+TEST(CanBus, RejectsOversizedFrames) {
+  sim::World world;
+  sim::CanBus bus(world, 500000);
+  const auto a = bus.attach_node("a", nullptr);
+  sim::CanFrame big;
+  big.data.assign(9, 0);
+  EXPECT_FALSE(bus.transmit(a, big));
+}
+
+TEST(CanBus, UtilisationTracksTraffic) {
+  sim::World world;
+  sim::CanBus bus(world, 125000);
+  const auto a = bus.attach_node("a", nullptr);
+  for (int i = 0; i < 50; ++i) {
+    sim::CanFrame f;
+    f.id = 0x200;
+    f.data.assign(8, static_cast<std::uint8_t>(i));
+    bus.transmit(a, f);
+  }
+  world.run_for(sim::milliseconds(100));
+  EXPECT_EQ(bus.stats().frames_delivered, 50u);
+  const double util = bus.stats().utilisation(sim::milliseconds(100));
+  EXPECT_GT(util, 0.5);  // 50 * ~1.07 ms of wire time in 100 ms
+  EXPECT_LT(util, 0.6);
+}
+
+class CanControllerFixture : public ::testing::Test {
+ protected:
+  sim::World world;
+  mcu::Mcu mcu{world, mcu::find_derivative("DSC56F8367")};
+  sim::CanBus bus{world, 500000};
+};
+
+TEST_F(CanControllerFixture, AcceptanceFilterSelectsIds) {
+  periph::CanControllerConfig cfg;
+  cfg.acceptance_id = 0x100;
+  cfg.acceptance_mask = 0x700;  // match 0x100..0x1FF
+  periph::CanController ctrl(mcu, cfg);
+  ctrl.connect(bus);
+  const auto peer = bus.attach_node("peer", nullptr);
+  bus.transmit(peer, {0x123, {7}});
+  bus.transmit(peer, {0x223, {8}});  // filtered out
+  world.run_for(sim::milliseconds(5));
+  EXPECT_EQ(ctrl.frames_received(), 1u);
+  const auto frame = ctrl.read();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->id, 0x123u);
+  EXPECT_FALSE(ctrl.read().has_value());
+}
+
+TEST_F(CanControllerFixture, OverrunWhenBufferNotDrained) {
+  periph::CanController ctrl(mcu, {});
+  ctrl.connect(bus);
+  const auto peer = bus.attach_node("peer", nullptr);
+  bus.transmit(peer, {0x100, {}});
+  bus.transmit(peer, {0x101, {}});
+  world.run_for(sim::milliseconds(5));
+  EXPECT_EQ(ctrl.overruns(), 1u);
+  EXPECT_EQ(ctrl.read()->id, 0x101u);  // newest frame survives
+}
+
+TEST_F(CanControllerFixture, RxInterruptRaised) {
+  periph::CanControllerConfig cfg;
+  cfg.rx_vector = 120;
+  periph::CanController ctrl(mcu, cfg);
+  ctrl.connect(bus);
+  int rx_isrs = 0;
+  mcu::IsrHandler h;
+  h.name = "can_rx";
+  h.body = [&]() -> std::uint64_t {
+    ++rx_isrs;
+    (void)ctrl.read();
+    return 80;
+  };
+  mcu.intc().register_vector(120, 0, std::move(h));
+  const auto peer = bus.attach_node("peer", nullptr);
+  bus.transmit(peer, {0x050, {1, 2}});
+  world.run_for(sim::milliseconds(5));
+  EXPECT_EQ(rx_isrs, 1);
+}
+
+TEST(CanBeanTest, ValidatesFilterConsistency) {
+  beans::BeanProject project("p");
+  project.add<beans::CanBean>("CAN1");
+  // Code bits outside the mask: warn.
+  project.set_property("CAN1", "acceptance_mask", std::int64_t{0x700});
+  auto diags = project.set_property("CAN1", "acceptance_id",
+                                    std::int64_t{0x123});
+  EXPECT_TRUE(diags.has_warnings());
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(CanBeanTest, SendReceiveThroughBoundBean) {
+  sim::World world;
+  mcu::Mcu mcu_a(world, mcu::find_derivative("DSC56F8367"), "node_a");
+  mcu::Mcu mcu_b(world, mcu::find_derivative("DSC56F8367"), "node_b");
+  sim::CanBus bus(world, 500000);
+
+  beans::BeanProject project_a("a");
+  auto& can_a = project_a.add<beans::CanBean>("CAN1");
+  project_a.validate();
+  project_a.bind(mcu_a);
+  can_a.peripheral()->connect(bus);
+
+  beans::BeanProject project_b("b");
+  auto& can_b = project_b.add<beans::CanBean>("CAN1");
+  project_b.validate();
+  project_b.bind(mcu_b);
+  can_b.peripheral()->connect(bus);
+
+  std::vector<std::uint8_t> received;
+  mcu::IsrHandler h;
+  h.body = [&]() -> std::uint64_t {
+    if (auto f = can_b.ReadFrame()) received = f->data;
+    return 100;
+  };
+  can_b.set_event_handler("OnReceive", std::move(h));
+
+  EXPECT_TRUE(can_a.SendFrame({0x42, {0xDE, 0xAD}}));
+  world.run_for(sim::milliseconds(5));
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{0xDE, 0xAD}));
+}
+
+TEST(CanBeanTest, AutosarVariantIsCanModule) {
+  beans::CanBean bean("CAN1");
+  EXPECT_EQ(beans::autosar::mcal_module_of(bean), "Can");
+  const auto src = beans::autosar::driver_source(bean);
+  EXPECT_NE(src.header.find("Can_Write"), std::string::npos);
+  EXPECT_NE(src.header.find("CanIf_RxIndication_CAN1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iecd

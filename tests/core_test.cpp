@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/case_study.hpp"
+#include "core/model_sync.hpp"
+#include "core/pe_blocks.hpp"
+#include "core/peert.hpp"
+#include "mcu/derivative.hpp"
+#include "rt/runtime.hpp"
+
+namespace iecd::core {
+namespace {
+
+// ----------------------------------------------------------- PE block MIL
+
+class PeBlockFixture : public ::testing::Test {
+ protected:
+  beans::BeanProject project{"p"};
+};
+
+TEST_F(PeBlockFixture, AdcBlockQuantizesTo12BitsInMil) {
+  auto& bean = project.add<beans::AdcBean>("AD1");
+  AdcPeBlock block("AD1", bean);
+  model::Model m("host");
+  auto& src = m.add<blocks::ConstantBlock>("v", 1.65);
+  auto& adc = m.add<AdcPeBlock>("adc", bean);
+  m.connect(src, 0, adc, 0);
+  src.output(model::SimContext{});
+  adc.output(model::SimContext{});
+  // 1.65 / 3.3 full scale at 12 bits = code 2048, left justified: 0x8000.
+  EXPECT_NEAR(adc.out(0).as_double(), 2048.0 * 16.0, 16.0);
+  // Resolution visible: small voltage change below 1 LSB does not move it.
+  const double code1 = adc.out(0).as_double();
+  src.set_value(1.65 + 0.0001);
+  src.output(model::SimContext{});
+  adc.output(model::SimContext{});
+  EXPECT_EQ(adc.out(0).as_double(), code1);
+}
+
+TEST_F(PeBlockFixture, PwmBlockLimitsDutyResolutionInMil) {
+  auto& bean = project.add<beans::PwmBean>("PWM1");
+  util::DiagnosticList diags;
+  bean.set_property("frequency_hz", 500000.0, diags);  // few counts/period
+  project.validate();
+  const auto modulo = bean.properties().get_int("modulo");
+  ASSERT_GT(modulo, 0);
+  ASSERT_LT(modulo, 200);
+  model::Model m("host");
+  auto& src = m.add<blocks::ConstantBlock>("d", 0.5012345);
+  auto& pwm = m.add<PwmPeBlock>("pwm", bean);
+  m.connect(src, 0, pwm, 0);
+  src.output(model::SimContext{});
+  pwm.output(model::SimContext{});
+  const double q = pwm.out(0).as_double();
+  // Quantized to 1/modulo steps.
+  EXPECT_NEAR(q * static_cast<double>(modulo),
+              std::round(q * static_cast<double>(modulo)), 1e-9);
+  EXPECT_NE(q, 0.5012345);
+}
+
+TEST_F(PeBlockFixture, QuadDecBlockWrapsLikeHardware) {
+  auto& bean = project.add<beans::QuadDecBean>("QD1");
+  model::Model m("host");
+  auto& src = m.add<blocks::ConstantBlock>("angle", 0.0);
+  auto& qd = m.add<QuadDecPeBlock>("qd", bean);
+  m.connect(src, 0, qd, 0);
+  // 100 revolutions = 40000 counts -> wraps into int16.
+  src.set_value(100.0 * 2.0 * 3.14159265358979);
+  src.output(model::SimContext{});
+  qd.output(model::SimContext{});
+  const double counts = qd.out(0).as_double();
+  EXPECT_GE(counts, -32768.0);
+  EXPECT_LE(counts, 32767.0);
+  EXPECT_NEAR(counts, 40000.0 - 65536.0, 2.0);  // wrapped value
+}
+
+TEST_F(PeBlockFixture, BitIoBlockFiresEdgeEventInMil) {
+  auto& bean = project.add<beans::BitIoBean>("Key");
+  util::DiagnosticList d;
+  bean.set_property("edge", std::string("rising"), d);
+  model::Model m("host");
+  auto& src = m.add<blocks::ConstantBlock>("level", 0.0);
+  auto& key = m.add<BitIoPeBlock>("key", bean);
+  m.connect(src, 0, key, 0);
+  int fires = 0;
+  key.event("OnInterrupt").attach(
+      [&](const model::SimContext&) { ++fires; });
+  model::SimContext ctx;
+  src.output(ctx);
+  key.output(ctx);
+  EXPECT_EQ(fires, 0);
+  src.set_value(1.0);
+  src.output(ctx);
+  key.output(ctx);
+  EXPECT_EQ(fires, 1);  // rising edge
+  src.set_value(0.0);
+  src.output(ctx);
+  key.output(ctx);
+  EXPECT_EQ(fires, 1);  // falling edge ignored
+}
+
+// -------------------------------------------------------------- ModelSync
+
+TEST(ModelSync, BlockInsertionCreatesBean) {
+  model::Model m("ctrl");
+  beans::BeanProject project("p");
+  ModelSync sync(m, project);
+  sync.add_adc("AD1");
+  sync.add_pwm("PWM1");
+  EXPECT_NE(project.find("AD1"), nullptr);
+  EXPECT_NE(project.find("PWM1"), nullptr);
+  EXPECT_NE(m.find("AD1"), nullptr);
+  EXPECT_EQ(project.find("AD1")->type_name(), "ADC");
+}
+
+TEST(ModelSync, RemovalAndRenamePropagateModelToProject) {
+  model::Model m("ctrl");
+  beans::BeanProject project("p");
+  ModelSync sync(m, project);
+  sync.add_adc("AD1");
+  EXPECT_TRUE(sync.rename_pe_block("AD1", "AD_speed"));
+  EXPECT_EQ(project.find("AD1"), nullptr);
+  EXPECT_NE(project.find("AD_speed"), nullptr);
+  EXPECT_NE(m.find("AD_speed"), nullptr);
+  EXPECT_TRUE(sync.remove_pe_block("AD_speed"));
+  EXPECT_EQ(project.find("AD_speed"), nullptr);
+  EXPECT_EQ(m.find("AD_speed"), nullptr);
+}
+
+TEST(ModelSync, ProjectSideChangesPropagateToModel) {
+  model::Model m("ctrl");
+  beans::BeanProject project("p");
+  ModelSync sync(m, project);
+  sync.add_pwm("PWM1");
+  // Rename from the PE project window.
+  project.rename("PWM1", "PWM_drive");
+  EXPECT_NE(m.find("PWM_drive"), nullptr);
+  EXPECT_EQ(m.find("PWM1"), nullptr);
+  // Remove from the PE project window.
+  project.remove("PWM_drive");
+  EXPECT_EQ(m.find("PWM_drive"), nullptr);
+}
+
+TEST(ModelSync, PropertyEditValidatesImmediately) {
+  model::Model m("ctrl");
+  beans::BeanProject project("p");
+  ModelSync sync(m, project);
+  sync.add_timer_int("TI1");
+  auto diags = sync.set_block_property("TI1", "period_s", 10.0);
+  EXPECT_TRUE(diags.has_errors());  // not achievable on the 16-bit timer
+  diags = sync.set_block_property("TI1", "period_s", 0.001);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// ----------------------------------------------------- Servo case study
+
+class ServoFixture : public ::testing::Test {
+ protected:
+  static ServoConfig quick_config() {
+    ServoConfig cfg;
+    cfg.duration_s = 0.6;
+    cfg.setpoint_time = 0.05;
+    return cfg;
+  }
+};
+
+TEST_F(ServoFixture, ProjectValidatesCleanOnDsc) {
+  ServoSystem servo(quick_config());
+  auto diags = servo.validate();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+}
+
+TEST_F(ServoFixture, MilReachesSetpoint) {
+  ServoSystem servo(quick_config());
+  const auto result = servo.run_mil();
+  EXPECT_TRUE(result.metrics.settled)
+      << "final speed " << result.speed.last_value();
+  EXPECT_LT(result.metrics.steady_state_error, 3.0);
+  EXPECT_GT(result.metrics.rise_time, 0.0);
+  EXPECT_LT(result.metrics.rise_time, 0.2);
+}
+
+TEST_F(ServoFixture, MilFixedPointTracksDoubleWithinQuantization) {
+  auto cfg = quick_config();
+  ServoSystem servo_double(cfg);
+  cfg.fixed_point = true;
+  ServoSystem servo_fixed(cfg);
+  const auto rd = servo_double.run_mil();
+  const auto rf = servo_fixed.run_mil();
+  EXPECT_TRUE(rf.metrics.settled);
+  // Fixed-point controller lands close to the double one.
+  EXPECT_NEAR(rf.speed.last_value(), rd.speed.last_value(), 2.0);
+  EXPECT_NEAR(rf.iae, rd.iae, rd.iae * 0.25 + 0.1);
+}
+
+TEST_F(ServoFixture, TargetBuildEmitsServoSources) {
+  ServoSystem servo(quick_config());
+  auto build = servo.build_target("servo");
+  EXPECT_TRUE(build.ok()) << build.diagnostics.to_string();
+  EXPECT_GE(build.app.tasks.size(), 2u);  // step + key event task
+  bool has_event_task = false;
+  for (const auto& t : build.app.tasks) {
+    if (t.trigger == codegen::TaskSpec::Trigger::kEvent) {
+      has_event_task = true;
+      EXPECT_EQ(t.event_bean, "KeyUp");
+    }
+  }
+  EXPECT_TRUE(has_event_task);
+  EXPECT_NE(build.app.sources.at("servo.c").find("QD1_GetPosition"),
+            std::string::npos);
+}
+
+TEST_F(ServoFixture, HilMatchesMilShape) {
+  ServoSystem servo(quick_config());
+  const auto mil = servo.run_mil();
+  const auto hil = servo.run_hil();
+  EXPECT_TRUE(hil.metrics.settled)
+      << "final speed " << hil.speed.last_value();
+  EXPECT_NEAR(hil.speed.last_value(), mil.speed.last_value(), 5.0);
+  EXPECT_GT(hil.activations, 500u);
+  EXPECT_GT(hil.exec_us_mean, 0.0);
+  EXPECT_LT(hil.cpu_utilisation, 0.5);
+  EXPECT_EQ(hil.overruns, 0u);
+}
+
+TEST_F(ServoFixture, HilKeyPressRaisesSetpoint) {
+  auto cfg = quick_config();
+  cfg.duration_s = 1.0;
+  ServoSystem servo(cfg);
+  ServoSystem::HilOptions opts;
+  opts.key_up_presses = {sim::milliseconds(500), sim::milliseconds(600)};
+  const auto hil = servo.run_hil(opts);
+  // Two presses of +10 rad/s land above the base set-point.  The push
+  // button bounces (as real contacts do), so each press can fire the edge
+  // interrupt several times — the undebounced event task sees >= 1
+  // activation per press.
+  EXPECT_GT(hil.speed.last_value(), cfg.setpoint + 12.0);
+  EXPECT_GE(servo.setpoint_bump().activations(), 2u);
+  EXPECT_LE(servo.setpoint_bump().activations(), 12u);
+}
+
+TEST_F(ServoFixture, PilTracksMilThroughSerialLoop) {
+  auto cfg = quick_config();
+  ServoSystem servo(cfg);
+  const auto mil = servo.run_mil();
+  const auto pil = servo.run_pil({.baud = 460800});
+  EXPECT_GT(pil.report.exchanges, 400u);
+  EXPECT_EQ(pil.report.crc_errors, 0u);
+  EXPECT_TRUE(pil.metrics.settled)
+      << "final speed " << pil.speed.last_value();
+  EXPECT_NEAR(pil.speed.last_value(), mil.speed.last_value(), 8.0);
+  EXPECT_GT(pil.report.round_trip_us.mean(), 0.0);
+}
+
+TEST_F(ServoFixture, PilSlowBaudDegradesOrMissesDeadlines) {
+  auto cfg = quick_config();
+  cfg.duration_s = 0.3;
+  ServoSystem servo(cfg);
+  const auto pil = servo.run_pil({.baud = 9600});
+  // 1 kHz exchange over 9600 baud cannot close in time:
+  // the frames alone take > 1 ms of wire time.
+  EXPECT_GT(pil.report.deadline_misses, 0u);
+  EXPECT_GT(pil.report.comm_overhead_ratio, 0.9);
+}
+
+TEST_F(ServoFixture, JitterInjectionDegradesControlQuality) {
+  auto cfg = quick_config();
+  ServoSystem base(cfg);
+  const auto clean = base.run_hil();
+  ServoSystem jittered(cfg);
+  ServoSystem::HilOptions opts;
+  // Deterministic +-40% period jitter.
+  opts.timer_jitter = [](std::uint64_t k) {
+    return (k % 2 == 0) ? sim::microseconds(400) : -sim::microseconds(400);
+  };
+  const auto noisy = jittered.run_hil(opts);
+  EXPECT_GE(noisy.iae, clean.iae * 0.9);
+  EXPECT_GT(noisy.jitter_us, clean.jitter_us + 100.0);
+}
+
+TEST_F(ServoFixture, ModeChartSwitchesToManualDuty) {
+  // Drive the mode key high in MIL: the chart must select the manual duty.
+  ServoConfig cfg = quick_config();
+  ServoSystem servo(cfg);
+  auto* key_src = dynamic_cast<blocks::ConstantBlock*>(
+      servo.controller().inner().find("key_mode_src"));
+  ASSERT_NE(key_src, nullptr);
+  key_src->set_value(1.0);
+  const auto result = servo.run_mil();
+  EXPECT_EQ(servo.mode_chart().active_state(), "manual");
+  // Manual duty 0.2 -> steady speed near 0.2 * no-load speed.
+  const double expected =
+      0.2 * cfg.motor.supply_voltage * cfg.motor.kt /
+      (cfg.motor.resistance * cfg.motor.damping + cfg.motor.kt * cfg.motor.ke);
+  EXPECT_NEAR(result.speed.last_value(), expected, expected * 0.1);
+}
+
+TEST_F(ServoFixture, HwFidelityMakesMilPredictive) {
+  // The ablation of the paper's central fidelity claim: with a coarse
+  // encoder, the PE-block MIL predicts the HIL reality; the "trivial
+  // pass-through" simulation of other targets does not.
+  auto cfg = quick_config();
+  cfg.duration_s = 0.8;
+  cfg.encoder_lines = 16;  // speed LSB ~98 rad/s before filtering
+  core::ServoSystem hw_servo(cfg);
+  const auto hil = hw_servo.run_hil();
+  const auto mil_hw = hw_servo.run_mil();
+  cfg.mil_hw_fidelity = false;
+  core::ServoSystem ideal_servo(cfg);
+  const auto mil_ideal = ideal_servo.run_mil();
+
+  const double err_hw = std::abs(mil_hw.iae - hil.iae);
+  const double err_ideal = std::abs(mil_ideal.iae - hil.iae);
+  EXPECT_LT(err_hw, err_ideal / 5.0);
+  // The ideal simulation predicts no quantization-induced overshoot at
+  // all; the hardware-faithful one sees what the HIL run sees.
+  EXPECT_LT(mil_ideal.metrics.overshoot_percent, 1.0);
+  EXPECT_NEAR(mil_hw.metrics.overshoot_percent,
+              hil.metrics.overshoot_percent, 2.0);
+}
+
+TEST_F(ServoFixture, PortToMcuWithoutDecoderFailsValidation) {
+  auto cfg = quick_config();
+  ServoSystem servo(cfg);
+  auto diags = servo.project().select_derivative("HCS08GB60");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("quadrature"), std::string::npos);
+}
+
+TEST_F(ServoFixture, PortToColdFireRevalidatesAndRuns) {
+  auto cfg = quick_config();
+  cfg.derivative = "MCF5235";
+  ServoSystem servo(cfg);
+  auto diags = servo.validate();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  const auto hil = servo.run_hil();
+  EXPECT_TRUE(hil.metrics.settled);
+}
+
+}  // namespace
+}  // namespace iecd::core

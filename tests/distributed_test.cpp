@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/distributed.hpp"
+
+namespace iecd::core {
+namespace {
+
+DistributedConfig quick() {
+  DistributedConfig cfg;
+  cfg.duration_s = 0.6;
+  return cfg;
+}
+
+TEST(DistributedServo, TracksSetpointOverHealthyBus) {
+  const auto r = run_distributed_servo(quick());
+  EXPECT_TRUE(r.metrics.settled) << "final " << r.speed.last_value();
+  EXPECT_NEAR(r.speed.last_value(), 100.0, 3.0);
+  // One sensor and one actuator frame per control period.
+  EXPECT_NEAR(static_cast<double>(r.sensor_frames), 599.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(r.actuator_frames),
+              static_cast<double>(r.sensor_frames), 2.0);
+  EXPECT_EQ(r.controller_rx_overruns, 0u);
+}
+
+TEST(DistributedServo, LatencyIsTwoFrameHops) {
+  const auto r = run_distributed_servo(quick());
+  // Two 3-byte frames at 500 kbit/s: ~2 * 170 us of wire time plus ISR
+  // executions.
+  EXPECT_GT(r.loop_latency_us_mean, 250.0);
+  EXPECT_LT(r.loop_latency_us_mean, 500.0);
+  EXPECT_GE(r.loop_latency_us_max + 1e-9, r.loop_latency_us_mean);
+}
+
+TEST(DistributedServo, FasterBusShortensLatency) {
+  auto cfg = quick();
+  cfg.can_bitrate = 1000000;
+  const auto fast = run_distributed_servo(cfg);
+  cfg.can_bitrate = 250000;
+  const auto slow = run_distributed_servo(cfg);
+  EXPECT_LT(fast.loop_latency_us_mean, slow.loop_latency_us_mean / 2.5);
+  EXPECT_LT(fast.bus_utilisation, slow.bus_utilisation);
+}
+
+TEST(DistributedServo, SaturatedBusLosesTheLoop) {
+  auto cfg = quick();
+  cfg.can_bitrate = 100000;  // frames no longer fit the period
+  const auto r = run_distributed_servo(cfg);
+  EXPECT_FALSE(r.metrics.settled);
+  EXPECT_GT(r.iae, 10.0);
+  EXPECT_GT(r.bus_utilisation, 0.98);
+}
+
+TEST(DistributedServo, BackgroundTrafficRaisesLatency) {
+  const auto clean = run_distributed_servo(quick());
+  auto cfg = quick();
+  cfg.background_frames_per_s = 1500.0;
+  const auto loaded = run_distributed_servo(cfg);
+  EXPECT_GT(loaded.loop_latency_us_mean,
+            clean.loop_latency_us_mean + 100.0);
+  EXPECT_GT(loaded.bus_utilisation, clean.bus_utilisation + 0.2);
+  EXPECT_GT(loaded.background_frames, 800u);
+  // The loop still holds at this load level.
+  EXPECT_TRUE(loaded.metrics.settled);
+}
+
+TEST(DistributedServo, DeterministicAcrossRuns) {
+  const auto a = run_distributed_servo(quick());
+  const auto b = run_distributed_servo(quick());
+  EXPECT_EQ(a.iae, b.iae);
+  EXPECT_EQ(a.loop_latency_us_mean, b.loop_latency_us_mean);
+  EXPECT_EQ(a.sensor_frames, b.sensor_frames);
+}
+
+}  // namespace
+}  // namespace iecd::core

@@ -1,0 +1,136 @@
+// Tests for the C emission details: output/update phase split, event-task
+// functions, state-chart FSM skeletons, and custom user hooks in the
+// generation pipeline.
+#include <gtest/gtest.h>
+
+#include "blocks/discrete.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "codegen/generator.hpp"
+#include "core/case_study.hpp"
+#include "core/model_sync.hpp"
+#include "model/statechart.hpp"
+
+namespace iecd::codegen {
+namespace {
+
+TEST(EmissionPhases, UpdateStatementsFollowAllOutputs) {
+  core::ServoConfig cfg;
+  core::ServoSystem servo(cfg);
+  servo.validate();
+  Generator gen;
+  auto app = gen.generate(servo.controller(), servo.project(),
+                          {.app_name = "servo"});
+  const std::string& step = app.sources.at("servo.c");
+  // The delay's state update must come after the diff that consumes the
+  // delayed value.
+  const auto update_pos = step.find("UnitDelay prev_cnt (update)");
+  const auto consumer_pos = step.find("cnt_diff (S-Function)");
+  ASSERT_NE(update_pos, std::string::npos);
+  ASSERT_NE(consumer_pos, std::string::npos);
+  EXPECT_GT(update_pos, consumer_pos);
+}
+
+TEST(EmissionPhases, EventTaskFunctionEmitted) {
+  core::ServoConfig cfg;
+  core::ServoSystem servo(cfg);
+  servo.validate();
+  Generator gen;
+  auto app = gen.generate(servo.controller(), servo.project(),
+                          {.app_name = "servo"});
+  const std::string& step = app.sources.at("servo.c");
+  EXPECT_NE(step.find("void SpUp_task(void)"), std::string::npos);
+  // Inside the task: accumulate-then-update ordering.
+  const auto add_pos = step.find("rtb_SpUp_add = rtb_SpUp_inc");
+  const auto upd_pos = step.find("rtDW_SpUp_acc_state = rtb_SpUp_add");
+  ASSERT_NE(add_pos, std::string::npos);
+  ASSERT_NE(upd_pos, std::string::npos);
+  EXPECT_GT(upd_pos, add_pos);
+  // Output latch for the value the periodic code reads.
+  EXPECT_NE(step.find("rtb_SpUp = rtb_SpUp_acc"), std::string::npos);
+}
+
+TEST(EmissionPhases, UnitDelaySplitEmitters) {
+  blocks::UnitDelayBlock z("z1", 0.0);
+  model::EmitContext ctx;
+  ctx.inputs = {"rtb_u"};
+  ctx.outputs = {"rtb_z1"};
+  ctx.state_prefix = "rtDW_z1_";
+  const std::string out = z.emit_c(ctx);
+  const std::string upd = z.emit_c_update(ctx);
+  EXPECT_NE(out.find("rtb_z1 = rtDW_z1_state"), std::string::npos);
+  EXPECT_EQ(out.find("rtDW_z1_state ="), std::string::npos);
+  EXPECT_NE(upd.find("rtDW_z1_state = rtb_u"), std::string::npos);
+}
+
+TEST(EmissionPhases, StatelessBlocksHaveNoUpdate) {
+  blocks::GainBlock g("g", 2.0);
+  model::EmitContext ctx;
+  ctx.inputs = {"a"};
+  ctx.outputs = {"b"};
+  EXPECT_TRUE(g.emit_c_update(ctx).empty());
+}
+
+TEST(StateChartEmission, SwitchSkeletonWithTransitions) {
+  model::Model m("host");
+  auto& chart = m.add<model::StateChart>("modes", 1, 1);
+  chart.add_state("automatic");
+  chart.add_state("manual");
+  chart.add_transition("automatic", "manual",
+                       [](const model::StateChart::ChartContext& c) {
+                         return c.in(0) > 0.5;
+                       });
+  model::EmitContext ctx;
+  ctx.inputs = {"rtb_key"};
+  ctx.outputs = {"rtb_mode"};
+  ctx.state_prefix = "rtDW_modes_";
+  const std::string code = chart.emit_c(ctx);
+  EXPECT_NE(code.find("switch (rtDW_modes_state)"), std::string::npos);
+  EXPECT_NE(code.find("/* automatic */"), std::string::npos);
+  EXPECT_NE(code.find("/* manual */"), std::string::npos);
+  EXPECT_NE(code.find("modes_guard_0()"), std::string::npos);
+  EXPECT_NE(code.find("-> manual"), std::string::npos);
+}
+
+// Custom user hook: the paper's "several points in this process, where
+// user defined hooks can be called".
+class BannerHook : public RtwHook {
+ public:
+  const char* name() const override { return "banner"; }
+  void before_generate(GenContext& ctx) override {
+    ctx.diagnostics.info("hooks.banner", "before_generate ran");
+    before_ran = true;
+  }
+  void after_generate(GenContext& ctx, GeneratedApplication& app) override {
+    (void)ctx;
+    for (auto& [file, text] : app.sources) {
+      text.insert(0, "/* built by the banner hook */\n");
+    }
+    after_ran = true;
+  }
+  bool before_ran = false;
+  bool after_ran = false;
+};
+
+TEST(CustomHooks, RunInOrderAndCanPatchSources) {
+  core::ServoConfig cfg;
+  core::ServoSystem servo(cfg);
+  servo.validate();
+  Generator gen;
+  auto hook = std::make_unique<BannerHook>();
+  BannerHook* raw = hook.get();
+  gen.add_hook(std::move(hook));
+  util::DiagnosticList diags;
+  auto app = gen.generate(servo.controller(), servo.project(),
+                          {.app_name = "servo"}, &diags);
+  EXPECT_TRUE(raw->before_ran);
+  EXPECT_TRUE(raw->after_ran);
+  EXPECT_NE(diags.to_string().find("before_generate ran"),
+            std::string::npos);
+  EXPECT_EQ(app.sources.at("servo.c").rfind("/* built by the banner hook */",
+                                            0),
+            0u);
+}
+
+}  // namespace
+}  // namespace iecd::codegen

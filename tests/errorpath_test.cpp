@@ -1,0 +1,125 @@
+// Error-path and contract tests: invalid configurations must fail loudly
+// and precisely, never silently.
+#include <gtest/gtest.h>
+
+#include "beans/adc_bean.hpp"
+#include "beans/bean_project.hpp"
+#include "mcu/derivative.hpp"
+#include "model/model.hpp"
+#include "model/statechart.hpp"
+#include "periph/pwm.hpp"
+#include "periph/timer.hpp"
+#include "periph/watchdog.hpp"
+#include "pil/frame.hpp"
+#include "sim/can_bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/world.hpp"
+
+namespace iecd {
+namespace {
+
+TEST(EventQueueContract, RunAllHonoursEventCap) {
+  sim::EventQueue q;
+  int executed = 0;
+  // A self-perpetuating event: the cap is the only way out.
+  std::function<void()> loop = [&] {
+    ++executed;
+    q.schedule_in(1, loop);
+  };
+  q.schedule_at(1, loop);
+  EXPECT_EQ(q.run_all(100), 100u);
+  EXPECT_EQ(executed, 100);
+}
+
+TEST(ClockContract, NegativeDurationsYieldZeroCycles) {
+  mcu::Clock clk(60e6);
+  EXPECT_EQ(clk.time_to_cycles(-5), 0u);
+}
+
+TEST(PeriphContracts, InvalidConfigurationsThrow) {
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  EXPECT_THROW(periph::PwmPeripheral(mcu, {.prescaler = 0}, "p0"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      periph::PwmPeripheral(mcu, {.prescaler = 1, .modulo = 0}, "p1"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      periph::TimerPeripheral(mcu, {.prescaler = 0, .modulo = 100}, "t0"),
+      std::invalid_argument);
+  EXPECT_THROW(periph::WatchdogPeripheral(mcu, {.timeout = 0}, "w0"),
+               std::invalid_argument);
+  EXPECT_THROW(sim::CanBus(world, 0, "c0"), std::invalid_argument);
+}
+
+TEST(StateChartContracts, InvalidConstructionsThrow) {
+  model::Model m("h");
+  auto& empty_chart = m.add<model::StateChart>("empty", 0, 0);
+  EXPECT_THROW(empty_chart.initialize(model::SimContext{}),
+               std::logic_error);
+
+  auto& chart = m.add<model::StateChart>("c", 0, 0);
+  chart.add_state("a");
+  EXPECT_THROW(chart.add_state("a"), std::logic_error);  // duplicate
+  EXPECT_THROW(chart.add_transition("a", "nowhere"), std::logic_error);
+  chart.initialize(model::SimContext{});
+  EXPECT_THROW(chart.send_event("", model::SimContext{}),
+               std::invalid_argument);
+}
+
+TEST(BeanContracts, RenameValidationAndUnknownEvents) {
+  beans::AdcBean bean("AD1");
+  EXPECT_THROW(bean.rename("bad name"), std::invalid_argument);
+  bean.rename("AD_speed");
+  EXPECT_EQ(bean.name(), "AD_speed");
+  EXPECT_EQ(bean.event_vector("OnEnd"), -1);  // not bound yet
+}
+
+TEST(BeanProjectContracts, SetPropertyOnUnknownBeanReportsError) {
+  beans::BeanProject project("p");
+  const auto diags = project.set_property("ghost", "x", std::int64_t{1});
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("unknown bean"), std::string::npos);
+}
+
+TEST(BeanProjectContracts, CpuBeanCannotBeRenamedOrRemoved) {
+  beans::BeanProject project("p");
+  EXPECT_FALSE(project.rename("CPU", "CPU2"));
+  EXPECT_FALSE(project.remove("CPU"));
+  EXPECT_NE(project.find("CPU"), nullptr);
+}
+
+TEST(PilFrameContracts, TruncatedStreamProducesNothing) {
+  pil::Frame frame;
+  frame.payload = pil::encode_signals({1.0, 2.0});
+  auto bytes = pil::encode_frame(frame);
+  bytes.resize(bytes.size() - 3);  // drop payload tail + CRC
+  pil::FrameDecoder decoder;
+  int delivered = 0;
+  decoder.set_callback([&](const pil::Frame&) { ++delivered; });
+  for (std::uint8_t b : bytes) decoder.feed(b);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(decoder.crc_errors(), 0u);  // incomplete, not corrupt
+}
+
+TEST(PilFrameContracts, EmptySignalVectorsRoundTrip) {
+  EXPECT_TRUE(pil::encode_signals({}).empty());
+  EXPECT_TRUE(pil::decode_signals({}).empty());
+  // Trailing partial float is ignored.
+  EXPECT_TRUE(pil::decode_signals({1, 2, 3}).empty());
+}
+
+TEST(CanBusContracts, UnknownNodeRejected) {
+  sim::World world;
+  sim::CanBus bus(world, 500000);
+  EXPECT_THROW(bus.transmit(7, sim::CanFrame{}), std::out_of_range);
+}
+
+TEST(DerivativeContracts, DefaultDerivativeExists) {
+  EXPECT_NO_THROW(mcu::find_derivative(mcu::kDefaultDerivative));
+  EXPECT_EQ(mcu::find_derivative(mcu::kDefaultDerivative).name,
+            "DSC56F8367");
+}
+
+}  // namespace
+}  // namespace iecd

@@ -1,0 +1,162 @@
+// Tests for the paper's extension points: the SPI communication link for
+// PIL (future work in the paper's conclusions) and the watchdog (COP)
+// safety net in the real-time kernel.
+#include <gtest/gtest.h>
+
+#include "beans/autosar.hpp"
+#include "beans/watchdog_bean.hpp"
+#include "core/case_study.hpp"
+#include "mcu/derivative.hpp"
+#include "periph/watchdog.hpp"
+#include "sim/serial_link.hpp"
+#include "sim/world.hpp"
+
+namespace iecd {
+namespace {
+
+// ------------------------------------------------------------------- SPI
+
+TEST(SpiLink, SynchronousByteTimeHasNoFraming) {
+  const auto spi = sim::SerialConfig::spi(1'000'000);
+  EXPECT_EQ(spi.bits_per_byte(), 8);  // no start/stop bits
+  EXPECT_EQ(spi.byte_time(), 8000);   // 8 us at 1 MHz
+  const auto rs232 = sim::SerialConfig::rs232(1'000'000);
+  EXPECT_EQ(rs232.bits_per_byte(), 10);
+  EXPECT_GT(rs232.byte_time(), spi.byte_time());
+}
+
+TEST(SpiLink, TransfersBytesLikeAsyncChannel) {
+  sim::World world;
+  sim::SerialLink link(world, sim::SerialConfig::spi(4'000'000), "spi");
+  std::vector<std::uint8_t> rx;
+  std::vector<sim::SimTime> at;
+  link.a_to_b().set_receiver([&](std::uint8_t b, sim::SimTime t) {
+    rx.push_back(b);
+    at.push_back(t);
+  });
+  const std::uint8_t msg[] = {1, 2, 3, 4};
+  link.a_to_b().transmit(msg, sizeof msg);
+  world.run_for(sim::milliseconds(1));
+  ASSERT_EQ(rx.size(), 4u);
+  EXPECT_EQ(at[0], 2000);  // 8 bits at 4 MHz
+  EXPECT_EQ(at[3], 8000);
+}
+
+TEST(SpiPil, SpiBeatsRs232AtTheSameBitClock) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.3;
+
+  core::ServoSystem rs232(cfg);
+  const auto r = rs232.run_pil({.baud = 115200});
+
+  core::ServoSystem spi(cfg);
+  core::ServoSystem::PilRunOptions opts;
+  opts.baud = 115200;
+  opts.link = pil::PilSession::LinkKind::kSpi;
+  const auto s = spi.run_pil(opts);
+
+  // 8 vs 10 bits per byte: 20% less wire time, same controller.
+  EXPECT_LT(s.report.comm_time_per_step_us, r.report.comm_time_per_step_us);
+  EXPECT_NEAR(s.report.comm_time_per_step_us /
+                  r.report.comm_time_per_step_us,
+              0.8, 0.02);
+}
+
+TEST(SpiPil, FastSpiClosesTheLoopWithMargin) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.4;
+  core::ServoSystem servo(cfg);
+  core::ServoSystem::PilRunOptions opts;
+  opts.baud = 4'000'000;
+  opts.link = pil::PilSession::LinkKind::kSpi;
+  const auto pil = servo.run_pil(opts);
+  EXPECT_EQ(pil.report.deadline_misses, 0u);
+  EXPECT_LT(pil.report.comm_overhead_ratio, 0.1);
+  EXPECT_TRUE(pil.metrics.settled);
+}
+
+// -------------------------------------------------------------- Watchdog
+
+class WatchdogFixture : public ::testing::Test {
+ protected:
+  sim::World world;
+  mcu::Mcu mcu{world, mcu::find_derivative("DSC56F8367")};
+};
+
+TEST_F(WatchdogFixture, BitesWhenNotRefreshed) {
+  periph::WatchdogPeripheral wdog(mcu, {sim::milliseconds(5)});
+  std::vector<sim::SimTime> bites;
+  wdog.set_bite_handler([&](sim::SimTime t) { bites.push_back(t); });
+  wdog.enable();
+  world.run_for(sim::milliseconds(21));
+  ASSERT_EQ(bites.size(), 4u);  // 5, 10, 15, 20 ms
+  EXPECT_EQ(bites[0], sim::milliseconds(5));
+  EXPECT_EQ(bites[3], sim::milliseconds(20));
+}
+
+TEST_F(WatchdogFixture, RefreshKeepsItQuiet) {
+  periph::WatchdogPeripheral wdog(mcu, {sim::milliseconds(5)});
+  wdog.enable();
+  // Refresh every 2 ms: never expires.
+  std::function<void()> service = [&] {
+    wdog.refresh();
+    world.queue().schedule_in(sim::milliseconds(2), service);
+  };
+  world.queue().schedule_in(sim::milliseconds(2), service);
+  world.run_for(sim::milliseconds(50));
+  EXPECT_EQ(wdog.bites(), 0u);
+  EXPECT_GT(wdog.refreshes(), 20u);
+}
+
+TEST_F(WatchdogFixture, DisabledWatchdogNeverBites) {
+  periph::WatchdogPeripheral wdog(mcu, {sim::milliseconds(5)});
+  world.run_for(sim::milliseconds(50));
+  EXPECT_EQ(wdog.bites(), 0u);
+}
+
+TEST(WatchdogBeanTest, ValidateWarnsOnTightTimeout) {
+  beans::WatchdogBean bean("WDog1");
+  util::DiagnosticList diags;
+  bean.set_property("timeout_s", 0.0005, diags);
+  bean.validate(mcu::find_derivative("DSC56F8367"), diags);
+  EXPECT_TRUE(diags.has_warnings());
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(WatchdogBeanTest, AutosarVariantIsWdgModule) {
+  beans::WatchdogBean bean("WDog1");
+  EXPECT_EQ(beans::autosar::mcal_module_of(bean), "Wdg");
+  const auto src = beans::autosar::driver_source(bean);
+  EXPECT_EQ(src.header_name, "Wdg.h");
+  EXPECT_NE(src.header.find("Wdg_SetTriggerCondition"), std::string::npos);
+}
+
+TEST(WatchdogRuntime, HealthyLoopServicesTheCop) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.3;
+  core::ServoSystem servo(cfg);
+  auto& wdog = servo.project().add<beans::WatchdogBean>("WDog1");
+  const auto hil = servo.run_hil();
+  EXPECT_TRUE(hil.metrics.settled);
+  EXPECT_EQ(wdog.peripheral()->bites(), 0u);
+  EXPECT_GT(wdog.peripheral()->refreshes(), 250u);
+}
+
+TEST(WatchdogRuntime, OverrunningStepGetsCaught) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.3;
+  core::ServoSystem servo(cfg);
+  auto& wdog = servo.project().add<beans::WatchdogBean>("WDog1");
+  util::DiagnosticList d;
+  wdog.set_property("timeout_s", 0.002, d);
+  core::ServoSystem::HilOptions opts;
+  // ~3.3 ms of busy-wait per 1 ms period: the step overruns chronically
+  // and cannot service the 2 ms watchdog window.
+  opts.extra_latency_cycles = 200000;
+  const auto hil = servo.run_hil(opts);
+  EXPECT_GT(wdog.peripheral()->bites(), 10u);
+  EXPECT_GT(hil.overruns, 0u);
+}
+
+}  // namespace
+}  // namespace iecd

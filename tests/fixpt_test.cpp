@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fixpt/autoscale.hpp"
+#include "fixpt/fixed.hpp"
+#include "fixpt/format.hpp"
+#include "fixpt/value.hpp"
+
+namespace iecd::fixpt {
+namespace {
+
+TEST(FixedFormat, RangesForCommonFormats) {
+  const FixedFormat q15 = FixedFormat::s16(15);
+  EXPECT_EQ(q15.max_raw(), 32767);
+  EXPECT_EQ(q15.min_raw(), -32768);
+  EXPECT_NEAR(q15.max_value(), 1.0 - std::ldexp(1.0, -15), 1e-12);
+  EXPECT_DOUBLE_EQ(q15.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(q15.resolution(), std::ldexp(1.0, -15));
+
+  const FixedFormat u16 = FixedFormat::u16(0);
+  EXPECT_EQ(u16.max_raw(), 65535);
+  EXPECT_EQ(u16.min_raw(), 0);
+}
+
+TEST(FixedFormat, NamesMatchSimulinkConvention) {
+  EXPECT_EQ(FixedFormat::s16(7).to_string(), "sfix16_En7");
+  EXPECT_EQ(FixedFormat::u16(0).to_string(), "ufix16_En0");
+  EXPECT_EQ((FixedFormat{16, -2, true}).to_string(), "sfix16_E2");
+}
+
+TEST(FixedFormat, ValidityBounds) {
+  EXPECT_TRUE(FixedFormat::s16(15).valid());
+  EXPECT_FALSE((FixedFormat{1, 0, true}).valid());
+  EXPECT_FALSE((FixedFormat{40, 0, true}).valid());
+}
+
+TEST(ApplyOverflow, SaturateClampsWrapWraps) {
+  const FixedFormat f{8, 0, true};  // range [-128, 127]
+  EXPECT_EQ(apply_overflow(200, f, Overflow::kSaturate), 127);
+  EXPECT_EQ(apply_overflow(-200, f, Overflow::kSaturate), -128);
+  EXPECT_EQ(apply_overflow(100, f, Overflow::kSaturate), 100);
+  EXPECT_EQ(apply_overflow(128, f, Overflow::kWrap), -128);
+  EXPECT_EQ(apply_overflow(256, f, Overflow::kWrap), 0);
+  EXPECT_EQ(apply_overflow(-129, f, Overflow::kWrap), 127);
+}
+
+TEST(ShiftWithRounding, RoundingModes) {
+  // 13 / 4 = 3.25 ; -13 / 4 = -3.25
+  EXPECT_EQ(shift_with_rounding(13, 2, Rounding::kNearest), 3);
+  EXPECT_EQ(shift_with_rounding(-13, 2, Rounding::kNearest), -3);
+  EXPECT_EQ(shift_with_rounding(14, 2, Rounding::kNearest), 4);   // 3.5 -> 4
+  EXPECT_EQ(shift_with_rounding(-14, 2, Rounding::kNearest), -4); // away from 0
+  EXPECT_EQ(shift_with_rounding(13, 2, Rounding::kFloor), 3);
+  EXPECT_EQ(shift_with_rounding(-13, 2, Rounding::kFloor), -4);
+  EXPECT_EQ(shift_with_rounding(13, 2, Rounding::kZero), 3);
+  EXPECT_EQ(shift_with_rounding(-13, 2, Rounding::kZero), -3);
+  EXPECT_EQ(shift_with_rounding(5, -3, Rounding::kNearest), 40);  // left shift
+}
+
+TEST(FixedValue, RoundTripWithinHalfLsb) {
+  const FixedFormat fmt = FixedFormat::s16(10);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-30.0, 30.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    const FixedValue v = FixedValue::from_double(x, fmt);
+    EXPECT_LE(std::abs(v.to_double() - x), fmt.resolution() / 2 + 1e-15);
+  }
+}
+
+TEST(FixedValue, SaturatesOutOfRangeInput) {
+  const FixedFormat q15 = FixedFormat::s16(15);
+  EXPECT_DOUBLE_EQ(FixedValue::from_double(5.0, q15).to_double(),
+                   q15.max_value());
+  EXPECT_DOUBLE_EQ(FixedValue::from_double(-5.0, q15).to_double(), -1.0);
+  // Extreme doubles must not overflow the int64 conversion.
+  EXPECT_DOUBLE_EQ(FixedValue::from_double(1e300, q15).to_double(),
+                   q15.max_value());
+  EXPECT_DOUBLE_EQ(FixedValue::from_double(-1e300, q15).to_double(), -1.0);
+}
+
+TEST(FixedValue, AddSubExactWhenRepresentable) {
+  const FixedFormat fmt = FixedFormat::s16(8);
+  const FixedValue a = FixedValue::from_double(3.5, fmt);
+  const FixedValue b = FixedValue::from_double(1.25, fmt);
+  EXPECT_DOUBLE_EQ(a.add(b, fmt).to_double(), 4.75);
+  EXPECT_DOUBLE_EQ(a.sub(b, fmt).to_double(), 2.25);
+}
+
+TEST(FixedValue, AddAcrossDifferentFormats) {
+  const FixedValue a = FixedValue::from_double(1.5, FixedFormat::s16(4));
+  const FixedValue b = FixedValue::from_double(0.25, FixedFormat::s16(12));
+  const FixedValue sum = a.add(b, FixedFormat::s32(12));
+  EXPECT_DOUBLE_EQ(sum.to_double(), 1.75);
+}
+
+TEST(FixedValue, AddSaturatesAtFormatLimit) {
+  const FixedFormat q15 = FixedFormat::s16(15);
+  const FixedValue a = FixedValue::from_double(0.9, q15);
+  const FixedValue b = FixedValue::from_double(0.9, q15);
+  EXPECT_DOUBLE_EQ(a.add(b, q15).to_double(), q15.max_value());
+}
+
+TEST(FixedValue, MulMatchesRealProduct) {
+  const FixedFormat fmt = FixedFormat::s16(8);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  for (int i = 0; i < 500; ++i) {
+    const double xa = dist(rng);
+    const double xb = dist(rng);
+    const FixedValue a = FixedValue::from_double(xa, fmt);
+    const FixedValue b = FixedValue::from_double(xb, fmt);
+    const FixedValue p = a.mul(b, FixedFormat::s32(16));
+    // Product of quantized inputs is exact in the wider format.
+    EXPECT_NEAR(p.to_double(), a.to_double() * b.to_double(), 1e-9);
+  }
+}
+
+TEST(FixedValue, DivApproximatesRealQuotient) {
+  const FixedFormat fmt = FixedFormat::s16(8);
+  const FixedValue a = FixedValue::from_double(10.0, fmt);
+  const FixedValue b = FixedValue::from_double(4.0, fmt);
+  const FixedValue q = a.div(b, FixedFormat::s16(8));
+  EXPECT_NEAR(q.to_double(), 2.5, fmt.resolution());
+}
+
+TEST(FixedValue, DivByZeroSaturates) {
+  const FixedFormat fmt = FixedFormat::s16(8);
+  const FixedValue a = FixedValue::from_double(1.0, fmt);
+  const FixedValue zero = FixedValue::from_double(0.0, fmt);
+  EXPECT_DOUBLE_EQ(a.div(zero, fmt).to_double(), fmt.max_value());
+  EXPECT_DOUBLE_EQ(a.negate().div(zero, fmt).to_double(), fmt.min_value());
+}
+
+TEST(FixedValue, NegateSaturatesAsymmetricMin) {
+  const FixedFormat fmt = FixedFormat::s16(15);
+  const FixedValue min = FixedValue(fmt.min_raw(), fmt);
+  EXPECT_EQ(min.negate().raw(), fmt.max_raw());  // -(-1.0) saturates
+}
+
+TEST(FixedValue, ComparisonAcrossFormats) {
+  const FixedValue a = FixedValue::from_double(1.5, FixedFormat::s16(4));
+  const FixedValue b = FixedValue::from_double(1.5, FixedFormat::s32(20));
+  EXPECT_TRUE(a.equals(b));
+  const FixedValue c = FixedValue::from_double(2.0, FixedFormat::s16(4));
+  EXPECT_TRUE(a.less_than(c));
+  EXPECT_FALSE(c.less_than(a));
+}
+
+TEST(FixedValue, RescalePreservesValueWhenPrecisionAllows) {
+  const FixedValue a = FixedValue::from_double(0.75, FixedFormat::s16(8));
+  const FixedValue b = a.rescale(FixedFormat::s32(20));
+  EXPECT_DOUBLE_EQ(b.to_double(), 0.75);
+  const FixedValue c = b.rescale(FixedFormat::s16(2));
+  EXPECT_NEAR(c.to_double(), 0.75, FixedFormat::s16(2).resolution());
+}
+
+TEST(FixedTemplate, Q15Arithmetic) {
+  const Q15 a = Q15::from_double(0.5);
+  const Q15 b = Q15::from_double(0.25);
+  EXPECT_NEAR((a + b).to_double(), 0.75, 1e-4);
+  EXPECT_NEAR((a * b).to_double(), 0.125, 1e-4);
+  EXPECT_NEAR((a - b).to_double(), 0.25, 1e-4);
+  EXPECT_NEAR((-a).to_double(), -0.5, 1e-4);
+  EXPECT_TRUE(b < a);
+}
+
+TEST(FixedTemplate, SaturationOnOverflow) {
+  const Q15 a = Q15::from_double(0.9);
+  const Q15 sum = a + a;
+  EXPECT_NEAR(sum.to_double(), Q15::format().max_value(), 1e-4);
+}
+
+TEST(FixedTemplate, StorageMatchesWordSize) {
+  static_assert(sizeof(Q15::Storage) == 2);
+  static_assert(sizeof(Q31::Storage) == 4);
+  static_assert(sizeof(Fixed<8, 4>::Storage) == 1);
+}
+
+TEST(Autoscale, PicksMaxFracThatCoversRange) {
+  RangeObservation r{-3.0, 5.0};
+  const FixedFormat fmt = choose_format(r, 16);
+  // Needs 3 integer bits (+sign) for |5|; best is frac = 12.
+  EXPECT_EQ(fmt.frac_bits, 12);
+  EXPECT_GE(fmt.max_value(), 5.0);
+  EXPECT_LE(fmt.min_value(), -3.0);
+  // One more fractional bit must NOT cover the range.
+  const FixedFormat finer{16, fmt.frac_bits + 1, true};
+  EXPECT_LT(finer.max_value(), 5.0);
+}
+
+TEST(Autoscale, UnitRangeGetsNearQ15) {
+  RangeObservation r{-1.0, 0.999};
+  const FixedFormat fmt = choose_format(r, 16);
+  EXPECT_EQ(fmt.frac_bits, 15);
+}
+
+TEST(Autoscale, MarginWidensRange) {
+  RangeObservation r{-1.0, 1.0};
+  const RangeObservation wide = r.with_margin(2.0);
+  EXPECT_LE(wide.min, -2.0 + 1e-12);
+  EXPECT_GE(wide.max, 2.0 - 1e-12);
+}
+
+TEST(Autoscale, ImpossibleRangeReportsDiagnostic) {
+  RangeObservation r{-1e40, 1e40};
+  util::DiagnosticList diags;
+  choose_format(r, 16, &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Autoscale, WorstCaseErrorIsHalfLsb) {
+  EXPECT_DOUBLE_EQ(worst_case_error(FixedFormat::s16(15)),
+                   std::ldexp(1.0, -16));
+}
+
+class QuantizationErrorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizationErrorSweep, ErrorBoundedByHalfLsbAcrossFracBits) {
+  const int frac = GetParam();
+  const FixedFormat fmt{16, frac, true};
+  std::mt19937 rng(static_cast<unsigned>(frac) + 1);
+  std::uniform_real_distribution<double> dist(fmt.min_value() * 0.99,
+                                              fmt.max_value() * 0.99);
+  for (int i = 0; i < 200; ++i) {
+    const double x = dist(rng);
+    EXPECT_LE(std::abs(quantization_error(x, fmt)),
+              fmt.resolution() / 2 + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, QuantizationErrorSweep,
+                         ::testing::Values(0, 3, 7, 10, 12, 15));
+
+}  // namespace
+}  // namespace iecd::fixpt

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "blocks/sources.hpp"
+#include "blocks/math_blocks.hpp"
+#include "mcu/derivative.hpp"
+#include "mcu/mcu.hpp"
+#include "model/engine.hpp"
+#include "periph/quadrature_decoder.hpp"
+#include "plant/dc_motor.hpp"
+#include "plant/encoder.hpp"
+#include "plant/simple_plants.hpp"
+#include "sim/world.hpp"
+#include "sim/zoh_signal.hpp"
+
+namespace iecd::plant {
+namespace {
+
+double no_load_speed(const DcMotorParams& p, double voltage) {
+  // Steady state: i = (u - Ke w)/R, Kt i = b w  =>
+  // w = u Kt / (R b + Kt Ke).
+  return voltage * p.kt / (p.resistance * p.damping + p.kt * p.ke);
+}
+
+TEST(DcMotorBlock, SteadyStateSpeedMatchesClosedForm) {
+  model::Model m("motor");
+  DcMotorParams params;
+  auto& u = m.add<blocks::ConstantBlock>("u", 12.0);
+  auto& motor = m.add<DcMotorBlock>("motor", params);
+  m.connect(u, 0, motor, 0);
+  model::Engine eng(m, {.stop_time = 1.0, .base_period = 1e-4});
+  eng.run();
+  model::SimContext ctx{1.0, 1e-4, false};
+  motor.output(ctx);
+  EXPECT_NEAR(motor.out(0).as_double(), no_load_speed(params, 12.0), 0.5);
+}
+
+TEST(DcMotorBlock, AngleIsIntegralOfSpeed) {
+  model::Model m("motor");
+  auto& u = m.add<blocks::ConstantBlock>("u", 12.0);
+  auto& motor = m.add<DcMotorBlock>("motor", DcMotorParams{});
+  m.connect(u, 0, motor, 0);
+  model::Engine eng(m, {.stop_time = 2.0, .base_period = 1e-4});
+  eng.run();
+  model::SimContext ctx{2.0, 1e-4, false};
+  motor.output(ctx);
+  const double w_ss = motor.out(0).as_double();
+  const double theta = motor.out(1).as_double();
+  // After the short transient the angle grows at w_ss; 2 s of mostly
+  // steady rotation.
+  EXPECT_NEAR(theta, w_ss * 2.0, w_ss * 0.1);
+}
+
+TEST(DcMotorBlock, LoadTorqueSlowsTheShaft) {
+  model::Model m("motor");
+  auto& u = m.add<blocks::ConstantBlock>("u", 12.0);
+  auto& motor = m.add<DcMotorBlock>("motor", DcMotorParams{});
+  motor.set_load([](double, double) { return 0.01; });  // N m
+  m.connect(u, 0, motor, 0);
+  model::Engine eng(m, {.stop_time = 1.0, .base_period = 1e-4});
+  eng.run();
+  model::SimContext ctx{1.0, 1e-4, false};
+  motor.output(ctx);
+  // Steady-state droop = tau * R / (R b + Kt Ke) ~ 7.9 rad/s here.
+  EXPECT_LT(motor.out(0).as_double(),
+            no_load_speed(DcMotorParams{}, 12.0) - 5.0);
+}
+
+TEST(DcMotorSim, MatchesBlockDynamics) {
+  // The event-world integrator and the model block must agree.
+  DcMotorParams params;
+  sim::World world;
+  DcMotorSim sim_motor(world, params);
+  sim::ZohSignal duty(0.5);
+  sim_motor.drive_from_duty(&duty);
+
+  model::Model m("ref");
+  auto& u = m.add<blocks::ConstantBlock>("u", 0.5 * params.supply_voltage);
+  auto& block_motor = m.add<DcMotorBlock>("motor", params);
+  m.connect(u, 0, block_motor, 0);
+  model::Engine eng(m, {.stop_time = 0.2, .base_period = 1e-4});
+  eng.run();
+  model::SimContext ctx{0.2, 1e-4, false};
+  block_motor.output(ctx);
+
+  const double ref_speed = block_motor.out(0).as_double();
+  EXPECT_NEAR(sim_motor.speed_at(sim::milliseconds(200)), ref_speed,
+              std::abs(ref_speed) * 0.01);
+}
+
+TEST(DcMotorSim, RespondsToDutyChanges) {
+  sim::World world;
+  DcMotorSim motor(world, DcMotorParams{});
+  sim::ZohSignal duty(0.0);
+  motor.drive_from_duty(&duty);
+  EXPECT_NEAR(motor.speed_at(sim::milliseconds(100)), 0.0, 1e-9);
+  duty.set(sim::milliseconds(100), 1.0);
+  const double w = motor.speed_at(sim::milliseconds(400));
+  EXPECT_GT(w, 100.0);
+}
+
+TEST(DcMotorSim, DirectionSourceFlipsSign) {
+  sim::World world;
+  DcMotorSim motor(world, DcMotorParams{});
+  sim::ZohSignal duty(0.6);
+  motor.drive_from_duty(&duty);
+  motor.set_direction_source([] { return -1.0; });
+  EXPECT_LT(motor.speed_at(sim::milliseconds(300)), -50.0);
+}
+
+TEST(Encoder, CountsMatchRevolutions) {
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  periph::QuadDecPeripheral qdec(mcu, periph::QuadDecConfig{});
+  DcMotorSim motor(world, DcMotorParams{});
+  sim::ZohSignal duty(0.5);
+  motor.drive_from_duty(&duty);
+  IncrementalEncoder encoder(world, motor, qdec,
+                             {100, sim::microseconds(50)});
+  encoder.start();
+  world.run_for(sim::seconds_i(1));
+  const double revs = motor.angle() / (2.0 * std::numbers::pi);
+  EXPECT_GT(revs, 5.0);
+  EXPECT_NEAR(static_cast<double>(qdec.extended_position()), revs * 400.0,
+              2.0);
+  EXPECT_EQ(qdec.index_pulses(), static_cast<std::uint64_t>(revs));
+}
+
+TEST(Encoder, TracksReversal) {
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  periph::QuadDecPeripheral qdec(mcu, periph::QuadDecConfig{});
+  DcMotorSim motor(world, DcMotorParams{});
+  sim::ZohSignal duty(0.5);
+  motor.drive_from_duty(&duty);
+  double dir = 1.0;
+  motor.set_direction_source([&dir] { return dir; });
+  IncrementalEncoder encoder(world, motor, qdec,
+                             {100, sim::microseconds(50)});
+  encoder.start();
+  world.run_for(sim::milliseconds(500));
+  const auto fwd = qdec.extended_position();
+  dir = -1.0;
+  world.run_for(sim::seconds_i(2));
+  EXPECT_LT(qdec.extended_position(), fwd);
+}
+
+TEST(WaterTank, FillsTowardEquilibrium) {
+  model::Model m("tank");
+  auto& u = m.add<blocks::ConstantBlock>("valve", 0.5);
+  WaterTankBlock::Params params;
+  params.outlet_area = 4.0e-4;  // equilibrium ~1.27 m, inside the tank
+  auto& tank = m.add<WaterTankBlock>("tank", params);
+  m.connect(u, 0, tank, 0);
+  model::Engine eng(m, {.stop_time = 4000.0, .base_period = 0.1});
+  eng.run();
+  model::SimContext ctx{4000.0, 0.1, false};
+  tank.output(ctx);
+  // Equilibrium: inflow = outflow -> h = (q / (a sqrt(2g)))^2.
+  const double q = params.inflow_gain * 0.5;
+  const double h_eq =
+      std::pow(q / (params.outlet_area * std::sqrt(2 * 9.81)), 2.0);
+  EXPECT_NEAR(tank.out(0).as_double(), h_eq, h_eq * 0.02);
+}
+
+TEST(WaterTank, NeverOverflowsOrGoesNegative) {
+  model::Model m("tank");
+  auto& u = m.add<blocks::ConstantBlock>("valve", 1.0);
+  WaterTankBlock::Params params;
+  params.outlet_area = 1e-6;  // nearly plugged: must clamp at the brim
+  auto& tank = m.add<WaterTankBlock>("tank", params);
+  m.connect(u, 0, tank, 0);
+  model::Engine eng(m, {.stop_time = 1200.0, .base_period = 0.05});
+  eng.run();
+  model::SimContext ctx{1200.0, 0.05, false};
+  tank.output(ctx);
+  EXPECT_LE(tank.out(0).as_double(), params.max_level + 1e-9);
+}
+
+TEST(ThermalPlant, HeatsToStaticGain) {
+  model::Model m("thermal");
+  auto& u = m.add<blocks::ConstantBlock>("heater", 0.5);
+  ThermalPlantBlock::Params params;
+  auto& plant = m.add<ThermalPlantBlock>("p", params);
+  m.connect(u, 0, plant, 0);
+  // tau = C * R = 300 s; run 5 tau.
+  model::Engine eng(m, {.stop_time = 1500.0, .base_period = 0.1});
+  eng.run();
+  model::SimContext ctx{1500.0, 0.1, false};
+  plant.output(ctx);
+  const double t_eq =
+      params.ambient + params.heater_power * 0.5 * params.thermal_resistance;
+  EXPECT_NEAR(plant.out(0).as_double(), t_eq, 0.5);
+}
+
+}  // namespace
+}  // namespace iecd::plant

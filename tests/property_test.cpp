@@ -1,0 +1,318 @@
+// Property-based suites: invariants checked across parameter sweeps and
+// randomized inputs (fixed seeds — everything in this repo is
+// deterministic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "beans/solvers.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sinks.hpp"
+#include "blocks/sources.hpp"
+#include "core/case_study.hpp"
+#include "fixpt/value.hpp"
+#include "mcu/derivative.hpp"
+#include "model/engine.hpp"
+#include "periph/adc.hpp"
+#include "periph/pwm.hpp"
+#include "sim/serial_link.hpp"
+#include "sim/world.hpp"
+
+namespace iecd {
+namespace {
+
+// -------------------------------------------------- solver properties
+
+class TimerSolverProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TimerSolverProperty, SolutionsAreValidAndWithinTolerance) {
+  const auto& cpu = mcu::find_derivative(GetParam());
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> log_period(-5.5, 0.5);
+  const double tolerance = 0.01;
+  int solved = 0;
+  for (int i = 0; i < 300; ++i) {
+    const double period = std::pow(10.0, log_period(rng));
+    const auto sol = beans::solve_timer_period(cpu, period, tolerance);
+    if (!sol) continue;
+    ++solved;
+    // The reported pair really produces the reported period.
+    const double achieved = static_cast<double>(sol->prescaler) *
+                            static_cast<double>(sol->modulo) / cpu.clock_hz;
+    EXPECT_NEAR(achieved, sol->achieved_period_s, 1e-15);
+    // Within tolerance of the request.
+    EXPECT_LE(std::abs(achieved - period) / period, tolerance + 1e-12);
+    // Register-level feasibility.
+    EXPECT_NE(std::find(cpu.timer_prescalers.begin(),
+                        cpu.timer_prescalers.end(), sol->prescaler),
+              cpu.timer_prescalers.end());
+    EXPECT_LE(sol->modulo, (1ull << cpu.timer_modulo_bits) - 1);
+    EXPECT_GE(sol->modulo, 1u);
+  }
+  EXPECT_GT(solved, 150);  // most of the sweep range is coverable
+}
+
+TEST_P(TimerSolverProperty, RejectionsAreGenuine) {
+  const auto& cpu = mcu::find_derivative(GetParam());
+  // Anything beyond max prescaler * max modulo / clock must be rejected,
+  // and anything below one clock tick as well.
+  const double max_period = static_cast<double>(cpu.timer_prescalers.back()) *
+                            static_cast<double>((1ull << cpu.timer_modulo_bits) - 1) /
+                            cpu.clock_hz;
+  EXPECT_FALSE(beans::solve_timer_period(cpu, max_period * 1.5, 0.01));
+  EXPECT_FALSE(beans::solve_timer_period(cpu, 0.1 / cpu.clock_hz, 0.01));
+  EXPECT_FALSE(beans::solve_timer_period(cpu, -1.0, 0.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDerivatives, TimerSolverProperty,
+                         ::testing::Values("DSC56F8367", "HCS12X128",
+                                           "MCF5235", "HCS08GB60"));
+
+class PwmSolverProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PwmSolverProperty, AchievedFrequencyAndResolutionConsistent) {
+  const auto& cpu = mcu::find_derivative(GetParam());
+  std::mt19937 rng(777);
+  std::uniform_real_distribution<double> log_freq(2.0, 6.0);
+  for (int i = 0; i < 200; ++i) {
+    const double freq = std::pow(10.0, log_freq(rng));
+    const auto sol = beans::solve_pwm_frequency(cpu, freq, 0.01);
+    if (!sol) continue;
+    const double achieved =
+        cpu.clock_hz /
+        (static_cast<double>(sol->prescaler) * sol->modulo);
+    EXPECT_NEAR(achieved, sol->achieved_frequency_hz, 1e-9);
+    EXPECT_LE(std::abs(achieved - freq) / freq, 0.01 + 1e-12);
+    EXPECT_EQ(sol->duty_resolution_bits,
+              static_cast<int>(std::floor(std::log2(sol->modulo))));
+    EXPECT_LE(sol->modulo, (1ull << cpu.pwm_counter_bits) - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDerivatives, PwmSolverProperty,
+                         ::testing::Values("DSC56F8367", "HCS12X128",
+                                           "MCF5235", "HCS08GB60"));
+
+// ------------------------------------------------ peripheral properties
+
+class AdcQuantizationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcQuantizationProperty, CodeIsMonotoneAndBounded) {
+  const int bits = GetParam();
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  periph::AdcConfig cfg;
+  cfg.resolution_bits = bits;
+  periph::AdcPeripheral adc(mcu, cfg);
+  std::uint32_t prev = 0;
+  for (double v = -0.5; v <= 4.0; v += 0.01) {
+    const std::uint32_t code = adc.volts_to_code(v);
+    EXPECT_LE(code, adc.max_code());
+    EXPECT_GE(code, prev);  // monotone non-decreasing in the input
+    prev = code;
+    // Round trip within one LSB inside the reference range.
+    if (v >= 0.0 && v <= 3.3) {
+      EXPECT_NEAR(adc.code_to_volts(code), v,
+                  3.3 / static_cast<double>(adc.max_code()) + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AdcQuantizationProperty,
+                         ::testing::Values(8, 10, 12, 14, 16));
+
+class PwmGranularityProperty : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(PwmGranularityProperty, DutySnapsToCounterSteps) {
+  const std::uint32_t modulo = GetParam();
+  sim::World world;
+  mcu::Mcu mcu(world, mcu::find_derivative("DSC56F8367"));
+  periph::PwmConfig cfg;
+  cfg.modulo = modulo;
+  periph::PwmPeripheral pwm(mcu, cfg);
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> duty(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    const double d = duty(rng);
+    pwm.set_duty_ratio(d);  // counter stopped: lands directly
+    const double q = pwm.duty_ratio();
+    // Quantized to the nearest counter step.
+    EXPECT_NEAR(q * modulo, std::round(q * modulo), 1e-9);
+    EXPECT_LE(std::abs(q - d), 0.5 / modulo + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, PwmGranularityProperty,
+                         ::testing::Values(64u, 256u, 3000u, 30000u));
+
+class SerialTimingProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SerialTimingProperty, NByteMessageTakesNByteTimes) {
+  const std::uint32_t baud = GetParam();
+  sim::World world;
+  sim::SerialLink link(world, sim::SerialConfig::rs232(baud));
+  std::vector<sim::SimTime> arrivals;
+  link.a_to_b().set_receiver(
+      [&](std::uint8_t, sim::SimTime t) { arrivals.push_back(t); });
+  const int n = 23;
+  for (int i = 0; i < n; ++i) {
+    link.a_to_b().transmit(static_cast<std::uint8_t>(i));
+  }
+  world.run_for(sim::seconds_i(2));
+  ASSERT_EQ(arrivals.size(), static_cast<std::size_t>(n));
+  const sim::SimTime byte_time = link.config().byte_time();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(arrivals[static_cast<std::size_t>(i)],
+              static_cast<sim::SimTime>(i + 1) * byte_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bauds, SerialTimingProperty,
+                         ::testing::Values(9600u, 57600u, 115200u, 460800u,
+                                           921600u));
+
+// ----------------------------------------------------- fixpt properties
+
+class FixedArithmeticProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedArithmeticProperty, AddIsCommutativeMulSignCorrect) {
+  const auto fmt = fixpt::FixedFormat::s16(GetParam());
+  std::mt19937 rng(42 + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> dist(fmt.min_value() * 0.45,
+                                              fmt.max_value() * 0.45);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = fixpt::FixedValue::from_double(dist(rng), fmt);
+    const auto b = fixpt::FixedValue::from_double(dist(rng), fmt);
+    // Commutativity (exact).
+    EXPECT_EQ(a.add(b, fmt).raw(), b.add(a, fmt).raw());
+    EXPECT_EQ(a.mul(b, fmt).raw(), b.mul(a, fmt).raw());
+    // a - a == 0.
+    EXPECT_EQ(a.sub(a, fmt).raw(), 0);
+    // Sign of the product (away from the rounding dead-zone).
+    if (std::abs(a.to_double() * b.to_double()) > 4 * fmt.resolution()) {
+      const bool expect_negative =
+          (a.to_double() < 0) != (b.to_double() < 0);
+      EXPECT_EQ(a.mul(b, fmt).to_double() < 0, expect_negative);
+    }
+    // Bounded error versus real arithmetic (half LSB for the sum of two
+    // representable values that stays in range).
+    EXPECT_NEAR(a.add(b, fmt).to_double(), a.to_double() + b.to_double(),
+                fmt.resolution());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, FixedArithmeticProperty,
+                         ::testing::Values(4, 8, 12, 15));
+
+// -------------------------------------------------- engine properties
+
+class DiscreteIntegratorAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiscreteIntegratorAccuracy, RampIntegralErrorBoundedByPeriod) {
+  const double period = GetParam();
+  model::Model m("t");
+  auto& ramp = m.add<blocks::RampBlock>("u", 2.0);
+  auto& integ = m.add<blocks::DiscreteIntegratorBlock>("i", 1.0);
+  integ.set_sample_time(model::SampleTime::discrete(period));
+  auto& scope = m.add<blocks::ScopeBlock>("s");
+  scope.set_sample_time(model::SampleTime::discrete(period));
+  m.connect(ramp, 0, integ, 0);
+  m.connect(integ, 0, scope, 0);
+  model::Engine eng(m, {.stop_time = 1.0});
+  eng.run();
+  // Integral of 2t over [0,1] = 1; forward Euler error ~ period.
+  EXPECT_NEAR(scope.log().last_value(), 1.0, 3.0 * period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, DiscreteIntegratorAccuracy,
+                         ::testing::Values(0.01, 0.005, 0.002, 0.001));
+
+TEST(EngineDeterminism, TwoRunsAreBitIdentical) {
+  auto run = [] {
+    core::ServoConfig cfg;
+    cfg.duration_s = 0.4;
+    core::ServoSystem servo(cfg);
+    return servo.run_mil();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.speed.size(), b.speed.size());
+  for (std::size_t i = 0; i < a.speed.size(); ++i) {
+    ASSERT_EQ(a.speed.value_at(i), b.speed.value_at(i)) << "sample " << i;
+  }
+  EXPECT_EQ(a.iae, b.iae);
+}
+
+TEST(HilDeterminism, TwoRunsAreBitIdentical) {
+  auto run = [] {
+    core::ServoConfig cfg;
+    cfg.duration_s = 0.3;
+    core::ServoSystem servo(cfg);
+    return servo.run_hil();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.iae, b.iae);
+  EXPECT_EQ(a.activations, b.activations);
+  EXPECT_EQ(a.exec_us_mean, b.exec_us_mean);
+  EXPECT_EQ(a.speed.last_value(), b.speed.last_value());
+}
+
+// ------------------------------------------------- metrics properties
+
+TEST(MetricsProperty, StepMetricsInvariantUnderTimeShift) {
+  // Shifting the whole record and the step time together must not change
+  // rise/settle/overshoot.
+  model::SampleLog base;
+  model::SampleLog shifted;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = i * 1e-3;
+    const double y = 1.0 - std::exp(-t / 0.05);
+    base.record(t, y);
+    shifted.record(t + 0.3, y);
+  }
+  const auto m0 = model::analyze_step(base, 1.0, 0.0);
+  const auto m1 = model::analyze_step(shifted, 1.0, 0.3);
+  EXPECT_NEAR(m0.rise_time, m1.rise_time, 1e-9);
+  EXPECT_NEAR(m0.settling_time, m1.settling_time, 1e-9);
+  EXPECT_NEAR(m0.overshoot_percent, m1.overshoot_percent, 1e-9);
+}
+
+TEST(MetricsProperty, IaeScalesLinearlyWithError) {
+  model::SampleLog y1;
+  model::SampleLog y2;
+  for (int i = 0; i <= 100; ++i) {
+    y1.record(i * 0.01, 0.8);  // error 0.2
+    y2.record(i * 0.01, 0.6);  // error 0.4
+  }
+  EXPECT_NEAR(model::integral_absolute_error(y2, 1.0),
+              2.0 * model::integral_absolute_error(y1, 1.0), 1e-9);
+}
+
+// ----------------------------------------------- count-wrap property
+
+TEST(WrapDiffProperty, RecoversTrueDeltaThroughInt16Wrap) {
+  // The servo's speed path: wrapped int16 positions, remainder-based diff.
+  auto wrap16 = [](std::int64_t x) {
+    return static_cast<std::int16_t>(static_cast<std::uint16_t>(x & 0xFFFF));
+  };
+  auto diff = [](double now, double prev) {
+    return std::remainder(now - prev, 65536.0);
+  };
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<std::int64_t> pos(-2'000'000, 2'000'000);
+  std::uniform_int_distribution<int> step(-30000, 30000);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t p0 = pos(rng);
+    const int d = step(rng);
+    const std::int64_t p1 = p0 + d;
+    const double recovered = diff(wrap16(p1), wrap16(p0));
+    EXPECT_NEAR(recovered, d, 1e-9) << "p0=" << p0 << " d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace iecd

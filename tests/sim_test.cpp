@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/serial_link.hpp"
+#include "sim/time.hpp"
+#include "sim/world.hpp"
+
+namespace iecd::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(microseconds(3), 3'000);
+  EXPECT_EQ(seconds_i(2), 2'000'000'000);
+  EXPECT_EQ(from_seconds(0.5), 500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds_i(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(microseconds(1500)), 1.5);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel reports failure
+  q.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilHonoursWindowAndAdvancesClock) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] { ++count; });
+  q.schedule_at(20, [&] { ++count; });
+  q.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.run_until(100), 1u);
+  EXPECT_EQ(q.now(), 100);  // clock advances to the window edge
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAreHonoured) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule_at(10, [&] {
+    times.push_back(q.now());
+    q.schedule_in(5, [&] { times.push_back(q.now()); });
+  });
+  q.run_until(20);
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(EventQueue, SelfReschedulingComponentTicksPeriodically) {
+  EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    q.schedule_in(100, tick);
+  };
+  q.schedule_at(100, tick);
+  q.run_until(1000);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(EventQueue, RejectsPastSchedulingAndEmptyActions) {
+  EventQueue q;
+  q.schedule_at(50, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(10, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(100, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+class NamedComponent : public Component {
+ public:
+  explicit NamedComponent(std::string n) : name_(std::move(n)) {}
+  const std::string& name() const override { return name_; }
+  void reset() override { ++resets; }
+  int resets = 0;
+
+ private:
+  std::string name_;
+};
+
+TEST(World, AttachRejectsDuplicatesAndResetsAll) {
+  World w;
+  NamedComponent c1("a");
+  NamedComponent c2("b");
+  w.attach(c1);
+  w.attach(c2);
+  EXPECT_THROW(w.attach(c1), std::logic_error);
+  w.reset_components();
+  EXPECT_EQ(c1.resets, 1);
+  EXPECT_EQ(c2.resets, 1);
+}
+
+TEST(SerialConfig, ByteTimeMatchesBaud) {
+  SerialConfig cfg;
+  cfg.baud_rate = 115200;
+  EXPECT_EQ(cfg.bits_per_byte(), 10);  // 8N1
+  // 10 bits at 115200 baud = 86.805... us.
+  EXPECT_NEAR(static_cast<double>(cfg.byte_time()), 86805.0, 1.0);
+  cfg.parity = true;
+  cfg.stop_bits = 2;
+  EXPECT_EQ(cfg.bits_per_byte(), 12);
+}
+
+TEST(SerialLink, DeliversBytesInOrderWithWireTiming) {
+  World w;
+  SerialConfig cfg;
+  cfg.baud_rate = 9600;
+  SerialLink link(w, cfg);
+  std::vector<std::uint8_t> rx;
+  std::vector<SimTime> at;
+  link.a_to_b().set_receiver([&](std::uint8_t b, SimTime t) {
+    rx.push_back(b);
+    at.push_back(t);
+  });
+  const std::uint8_t msg[] = {0x11, 0x22, 0x33};
+  link.a_to_b().transmit(msg, sizeof msg);
+  w.run_for(seconds_i(1));
+  ASSERT_EQ(rx.size(), 3u);
+  EXPECT_EQ(rx[0], 0x11);
+  EXPECT_EQ(rx[2], 0x33);
+  const SimTime byte_time = cfg.byte_time();
+  EXPECT_EQ(at[0], byte_time);
+  EXPECT_EQ(at[1], 2 * byte_time);  // serialized, not parallel
+  EXPECT_EQ(at[2], 3 * byte_time);
+  EXPECT_EQ(link.a_to_b().bytes_transferred(), 3u);
+  EXPECT_EQ(link.a_to_b().busy_time(), 3 * byte_time);
+}
+
+TEST(SerialLink, FullDuplexDirectionsAreIndependent) {
+  World w;
+  SerialLink link(w, SerialConfig{});
+  int a_rx = 0;
+  int b_rx = 0;
+  link.a_to_b().set_receiver([&](std::uint8_t, SimTime) { ++b_rx; });
+  link.b_to_a().set_receiver([&](std::uint8_t, SimTime) { ++a_rx; });
+  link.a_to_b().transmit(1);
+  link.b_to_a().transmit(2);
+  link.b_to_a().transmit(3);
+  w.run_for(seconds_i(1));
+  EXPECT_EQ(b_rx, 1);
+  EXPECT_EQ(a_rx, 2);
+}
+
+TEST(SerialLink, CorruptionInjectionFlipsExactlyOneByte) {
+  World w;
+  SerialLink link(w, SerialConfig{});
+  std::vector<std::uint8_t> rx;
+  link.a_to_b().set_receiver([&](std::uint8_t b, SimTime) { rx.push_back(b); });
+  link.a_to_b().corrupt_next_byte(0xFF);
+  link.a_to_b().transmit(0x0F);
+  link.a_to_b().transmit(0x0F);
+  w.run_for(seconds_i(1));
+  ASSERT_EQ(rx.size(), 2u);
+  EXPECT_EQ(rx[0], 0xF0);
+  EXPECT_EQ(rx[1], 0x0F);
+}
+
+TEST(SerialLink, LowerBaudIsProportionallySlower) {
+  World w;
+  SerialConfig slow;
+  slow.baud_rate = 9600;
+  SerialConfig fast;
+  fast.baud_rate = 115200;
+  EXPECT_NEAR(static_cast<double>(slow.byte_time()) /
+                  static_cast<double>(fast.byte_time()),
+              12.0, 0.01);
+}
+
+}  // namespace
+}  // namespace iecd::sim

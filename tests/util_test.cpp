@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "util/crc16.hpp"
+#include "util/csv.hpp"
+#include "util/diagnostics.hpp"
+#include "util/statistics.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace iecd::util {
+namespace {
+
+TEST(Diagnostics, SeverityClassification) {
+  DiagnosticList list;
+  EXPECT_FALSE(list.has_errors());
+  list.info("a", "note");
+  list.warning("b", "careful");
+  EXPECT_FALSE(list.has_errors());
+  EXPECT_TRUE(list.has_warnings());
+  list.error("c", "broken");
+  EXPECT_TRUE(list.has_errors());
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(Diagnostics, RenderingIncludesComponentAndSeverity) {
+  DiagnosticList list;
+  list.error("beans.PWM1.period", "period not achievable");
+  const std::string text = list.to_string();
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("beans.PWM1.period"), std::string::npos);
+}
+
+TEST(Diagnostics, MergeConcatenates) {
+  DiagnosticList a;
+  DiagnosticList b;
+  a.info("x", "1");
+  b.error("y", "2");
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.has_errors());
+}
+
+TEST(RunningStats, MeanAndStddevMatchClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Population variance of 1..100 is (n^2-1)/12 = 833.25.
+  EXPECT_NEAR(s.variance(), 833.25, 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  std::mt19937 rng(42);
+  std::normal_distribution<double> dist(3.0, 2.0);
+  RunningStats whole;
+  RunningStats part1;
+  RunningStats part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    whole.add(x);
+    (i < 400 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(part1.count(), whole.count());
+}
+
+TEST(SampleSeries, PercentilesAreOrdered) {
+  SampleSeries s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_LE(s.percentile(25), s.percentile(75));
+}
+
+TEST(SampleSeries, PeakDeviationIsMaxAbsOffset) {
+  SampleSeries s;
+  s.add(10);
+  s.add(10);
+  s.add(16);  // mean 12, peak dev 4
+  EXPECT_NEAR(s.peak_deviation(), 4.0, 1e-12);
+}
+
+TEST(Histogram, BinsAndSaturation) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // saturates into bin 0
+  h.add(100.0);  // saturates into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") == 0x29B1.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(msg), 0x29B1);
+}
+
+TEST(Crc16, AppendingCrcYieldsZeroResidual) {
+  std::vector<std::uint8_t> msg = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  const std::uint16_t crc = crc16_ccitt(msg);
+  msg.push_back(static_cast<std::uint8_t>(crc >> 8));
+  msg.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  EXPECT_EQ(crc16_ccitt(msg), 0);
+}
+
+TEST(Crc16, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint16_t good = crc16_ccitt(msg);
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto bad = msg;
+      bad[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16_ccitt(bad), good);
+    }
+  }
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"t", "y"});
+  w.row_numeric({0.0, 1.5});
+  w.row({"end", "yes,really"});
+  EXPECT_EQ(out.str(), "t,y\n0,1.5\nend,\"yes,really\"\n");
+  EXPECT_EQ(w.rows_written(), 3u);
+}
+
+TEST(Strings, FormatAndJoin) {
+  EXPECT_EQ(format("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, CIdentifierChecks) {
+  EXPECT_TRUE(is_c_identifier("model_step"));
+  EXPECT_TRUE(is_c_identifier("_x9"));
+  EXPECT_FALSE(is_c_identifier("9x"));
+  EXPECT_FALSE(is_c_identifier("a-b"));
+  EXPECT_FALSE(is_c_identifier(""));
+  EXPECT_EQ(sanitize_c_identifier("PWM 1/out"), "PWM_1_out");
+  EXPECT_EQ(sanitize_c_identifier("9lives"), "_9lives");
+  EXPECT_TRUE(is_c_identifier(sanitize_c_identifier("x – ü")));
+}
+
+TEST(Strings, IndentPreservesStructure) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");  // blank lines stay blank
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  ThreadPool pool(1);
+  std::atomic<int> x{0};
+  auto f = pool.submit([&] { x = 7; });
+  f.get();
+  EXPECT_EQ(x.load(), 7);
+}
+
+}  // namespace
+}  // namespace iecd::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_bean_inspector.dir/bench_e1_bean_inspector.cpp.o"
+  "CMakeFiles/bench_e1_bean_inspector.dir/bench_e1_bean_inspector.cpp.o.d"
+  "bench_e1_bean_inspector"
+  "bench_e1_bean_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_bean_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

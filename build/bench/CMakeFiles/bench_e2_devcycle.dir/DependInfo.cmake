@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_devcycle.cpp" "bench/CMakeFiles/bench_e2_devcycle.dir/bench_e2_devcycle.cpp.o" "gcc" "bench/CMakeFiles/bench_e2_devcycle.dir/bench_e2_devcycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iecd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pil/CMakeFiles/iecd_pil.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/iecd_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/iecd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/iecd_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/iecd_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iecd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/beans/CMakeFiles/iecd_beans.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/iecd_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

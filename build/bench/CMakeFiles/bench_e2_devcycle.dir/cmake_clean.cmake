@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_devcycle.dir/bench_e2_devcycle.cpp.o"
+  "CMakeFiles/bench_e2_devcycle.dir/bench_e2_devcycle.cpp.o.d"
+  "bench_e2_devcycle"
+  "bench_e2_devcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_devcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

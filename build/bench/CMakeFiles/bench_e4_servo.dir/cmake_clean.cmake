@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_servo.dir/bench_e4_servo.cpp.o"
+  "CMakeFiles/bench_e4_servo.dir/bench_e4_servo.cpp.o.d"
+  "bench_e4_servo"
+  "bench_e4_servo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_servo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

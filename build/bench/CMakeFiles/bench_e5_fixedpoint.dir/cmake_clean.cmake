@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_fixedpoint.dir/bench_e5_fixedpoint.cpp.o"
+  "CMakeFiles/bench_e5_fixedpoint.dir/bench_e5_fixedpoint.cpp.o.d"
+  "bench_e5_fixedpoint"
+  "bench_e5_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_portability.dir/bench_e7_portability.cpp.o"
+  "CMakeFiles/bench_e7_portability.dir/bench_e7_portability.cpp.o.d"
+  "bench_e7_portability"
+  "bench_e7_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

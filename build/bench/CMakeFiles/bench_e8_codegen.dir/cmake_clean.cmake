@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_codegen.dir/bench_e8_codegen.cpp.o"
+  "CMakeFiles/bench_e8_codegen.dir/bench_e8_codegen.cpp.o.d"
+  "bench_e8_codegen"
+  "bench_e8_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

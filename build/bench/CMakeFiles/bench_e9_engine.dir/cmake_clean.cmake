@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_engine.dir/bench_e9_engine.cpp.o"
+  "CMakeFiles/bench_e9_engine.dir/bench_e9_engine.cpp.o.d"
+  "bench_e9_engine"
+  "bench_e9_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

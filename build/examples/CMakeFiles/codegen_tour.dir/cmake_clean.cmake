@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tour.dir/codegen_tour.cpp.o"
+  "CMakeFiles/codegen_tour.dir/codegen_tour.cpp.o.d"
+  "codegen_tour"
+  "codegen_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

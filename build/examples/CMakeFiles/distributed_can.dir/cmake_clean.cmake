@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_can.dir/distributed_can.cpp.o"
+  "CMakeFiles/distributed_can.dir/distributed_can.cpp.o.d"
+  "distributed_can"
+  "distributed_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_to_another_mcu.dir/port_to_another_mcu.cpp.o"
+  "CMakeFiles/port_to_another_mcu.dir/port_to_another_mcu.cpp.o.d"
+  "port_to_another_mcu"
+  "port_to_another_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_to_another_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

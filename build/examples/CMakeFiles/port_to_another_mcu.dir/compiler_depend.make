@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for port_to_another_mcu.
+# This may be replaced when dependencies are built.

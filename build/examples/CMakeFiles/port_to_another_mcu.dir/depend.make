@@ -1,0 +1,2 @@
+# Empty dependencies file for port_to_another_mcu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_safety.dir/production_safety.cpp.o"
+  "CMakeFiles/production_safety.dir/production_safety.cpp.o.d"
+  "production_safety"
+  "production_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/servo_case_study.dir/servo_case_study.cpp.o"
+  "CMakeFiles/servo_case_study.dir/servo_case_study.cpp.o.d"
+  "servo_case_study"
+  "servo_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/servo_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tank_level_control.dir/tank_level_control.cpp.o"
+  "CMakeFiles/tank_level_control.dir/tank_level_control.cpp.o.d"
+  "tank_level_control"
+  "tank_level_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tank_level_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tank_level_control.
+# This may be replaced when dependencies are built.

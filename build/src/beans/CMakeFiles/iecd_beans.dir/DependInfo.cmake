@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beans/adc_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/adc_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/adc_bean.cpp.o.d"
+  "/root/repo/src/beans/autosar.cpp" "src/beans/CMakeFiles/iecd_beans.dir/autosar.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/autosar.cpp.o.d"
+  "/root/repo/src/beans/bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/bean.cpp.o.d"
+  "/root/repo/src/beans/bean_project.cpp" "src/beans/CMakeFiles/iecd_beans.dir/bean_project.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/bean_project.cpp.o.d"
+  "/root/repo/src/beans/bit_io_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/bit_io_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/bit_io_bean.cpp.o.d"
+  "/root/repo/src/beans/can_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/can_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/can_bean.cpp.o.d"
+  "/root/repo/src/beans/capture_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/capture_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/capture_bean.cpp.o.d"
+  "/root/repo/src/beans/cpu_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/cpu_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/cpu_bean.cpp.o.d"
+  "/root/repo/src/beans/free_cntr_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/free_cntr_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/free_cntr_bean.cpp.o.d"
+  "/root/repo/src/beans/property.cpp" "src/beans/CMakeFiles/iecd_beans.dir/property.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/property.cpp.o.d"
+  "/root/repo/src/beans/pwm_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/pwm_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/pwm_bean.cpp.o.d"
+  "/root/repo/src/beans/quad_dec_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/quad_dec_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/quad_dec_bean.cpp.o.d"
+  "/root/repo/src/beans/serial_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/serial_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/serial_bean.cpp.o.d"
+  "/root/repo/src/beans/solvers.cpp" "src/beans/CMakeFiles/iecd_beans.dir/solvers.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/solvers.cpp.o.d"
+  "/root/repo/src/beans/timer_int_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/timer_int_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/timer_int_bean.cpp.o.d"
+  "/root/repo/src/beans/watchdog_bean.cpp" "src/beans/CMakeFiles/iecd_beans.dir/watchdog_bean.cpp.o" "gcc" "src/beans/CMakeFiles/iecd_beans.dir/watchdog_bean.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/periph/CMakeFiles/iecd_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

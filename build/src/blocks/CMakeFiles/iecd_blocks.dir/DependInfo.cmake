@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/continuous.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/continuous.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/continuous.cpp.o.d"
+  "/root/repo/src/blocks/custom.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/custom.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/custom.cpp.o.d"
+  "/root/repo/src/blocks/discontinuities.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/discontinuities.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/discontinuities.cpp.o.d"
+  "/root/repo/src/blocks/discrete.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/discrete.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/discrete.cpp.o.d"
+  "/root/repo/src/blocks/lookup.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/lookup.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/lookup.cpp.o.d"
+  "/root/repo/src/blocks/math_blocks.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/math_blocks.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/math_blocks.cpp.o.d"
+  "/root/repo/src/blocks/routing.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/routing.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/routing.cpp.o.d"
+  "/root/repo/src/blocks/sinks.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/sinks.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/sinks.cpp.o.d"
+  "/root/repo/src/blocks/sources.cpp" "src/blocks/CMakeFiles/iecd_blocks.dir/sources.cpp.o" "gcc" "src/blocks/CMakeFiles/iecd_blocks.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/iecd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_blocks.dir/continuous.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/continuous.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/custom.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/custom.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/discontinuities.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/discontinuities.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/discrete.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/discrete.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/lookup.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/lookup.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/math_blocks.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/math_blocks.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/routing.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/routing.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/sinks.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/sinks.cpp.o.d"
+  "CMakeFiles/iecd_blocks.dir/sources.cpp.o"
+  "CMakeFiles/iecd_blocks.dir/sources.cpp.o.d"
+  "libiecd_blocks.a"
+  "libiecd_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_codegen.dir/c_emitter.cpp.o"
+  "CMakeFiles/iecd_codegen.dir/c_emitter.cpp.o.d"
+  "CMakeFiles/iecd_codegen.dir/generated_app.cpp.o"
+  "CMakeFiles/iecd_codegen.dir/generated_app.cpp.o.d"
+  "CMakeFiles/iecd_codegen.dir/generator.cpp.o"
+  "CMakeFiles/iecd_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/iecd_codegen.dir/hooks.cpp.o"
+  "CMakeFiles/iecd_codegen.dir/hooks.cpp.o.d"
+  "CMakeFiles/iecd_codegen.dir/signal_buffer.cpp.o"
+  "CMakeFiles/iecd_codegen.dir/signal_buffer.cpp.o.d"
+  "libiecd_codegen.a"
+  "libiecd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

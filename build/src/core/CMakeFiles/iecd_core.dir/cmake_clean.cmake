@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_core.dir/case_study.cpp.o"
+  "CMakeFiles/iecd_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/iecd_core.dir/distributed.cpp.o"
+  "CMakeFiles/iecd_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/iecd_core.dir/model_sync.cpp.o"
+  "CMakeFiles/iecd_core.dir/model_sync.cpp.o.d"
+  "CMakeFiles/iecd_core.dir/pe_blocks.cpp.o"
+  "CMakeFiles/iecd_core.dir/pe_blocks.cpp.o.d"
+  "CMakeFiles/iecd_core.dir/peert.cpp.o"
+  "CMakeFiles/iecd_core.dir/peert.cpp.o.d"
+  "libiecd_core.a"
+  "libiecd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

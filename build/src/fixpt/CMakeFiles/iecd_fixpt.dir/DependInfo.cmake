@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixpt/autoscale.cpp" "src/fixpt/CMakeFiles/iecd_fixpt.dir/autoscale.cpp.o" "gcc" "src/fixpt/CMakeFiles/iecd_fixpt.dir/autoscale.cpp.o.d"
+  "/root/repo/src/fixpt/format.cpp" "src/fixpt/CMakeFiles/iecd_fixpt.dir/format.cpp.o" "gcc" "src/fixpt/CMakeFiles/iecd_fixpt.dir/format.cpp.o.d"
+  "/root/repo/src/fixpt/value.cpp" "src/fixpt/CMakeFiles/iecd_fixpt.dir/value.cpp.o" "gcc" "src/fixpt/CMakeFiles/iecd_fixpt.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

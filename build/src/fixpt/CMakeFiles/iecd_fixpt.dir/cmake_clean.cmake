@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_fixpt.dir/autoscale.cpp.o"
+  "CMakeFiles/iecd_fixpt.dir/autoscale.cpp.o.d"
+  "CMakeFiles/iecd_fixpt.dir/format.cpp.o"
+  "CMakeFiles/iecd_fixpt.dir/format.cpp.o.d"
+  "CMakeFiles/iecd_fixpt.dir/value.cpp.o"
+  "CMakeFiles/iecd_fixpt.dir/value.cpp.o.d"
+  "libiecd_fixpt.a"
+  "libiecd_fixpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_fixpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcu/clock.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/clock.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/clock.cpp.o.d"
+  "/root/repo/src/mcu/cost_model.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/cost_model.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mcu/cpu.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/cpu.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/cpu.cpp.o.d"
+  "/root/repo/src/mcu/derivative.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/derivative.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/derivative.cpp.o.d"
+  "/root/repo/src/mcu/interrupt_controller.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/interrupt_controller.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/interrupt_controller.cpp.o.d"
+  "/root/repo/src/mcu/mcu.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/mcu.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/mcu.cpp.o.d"
+  "/root/repo/src/mcu/memory.cpp" "src/mcu/CMakeFiles/iecd_mcu.dir/memory.cpp.o" "gcc" "src/mcu/CMakeFiles/iecd_mcu.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

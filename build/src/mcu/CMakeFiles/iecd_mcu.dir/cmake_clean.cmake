@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_mcu.dir/clock.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/clock.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/cost_model.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/cpu.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/cpu.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/derivative.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/derivative.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/interrupt_controller.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/interrupt_controller.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/mcu.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/mcu.cpp.o.d"
+  "CMakeFiles/iecd_mcu.dir/memory.cpp.o"
+  "CMakeFiles/iecd_mcu.dir/memory.cpp.o.d"
+  "libiecd_mcu.a"
+  "libiecd_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

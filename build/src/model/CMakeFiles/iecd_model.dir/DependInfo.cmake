@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/block.cpp" "src/model/CMakeFiles/iecd_model.dir/block.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/block.cpp.o.d"
+  "/root/repo/src/model/engine.cpp" "src/model/CMakeFiles/iecd_model.dir/engine.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/engine.cpp.o.d"
+  "/root/repo/src/model/logging.cpp" "src/model/CMakeFiles/iecd_model.dir/logging.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/logging.cpp.o.d"
+  "/root/repo/src/model/metrics.cpp" "src/model/CMakeFiles/iecd_model.dir/metrics.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/metrics.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/iecd_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/statechart.cpp" "src/model/CMakeFiles/iecd_model.dir/statechart.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/statechart.cpp.o.d"
+  "/root/repo/src/model/subsystem.cpp" "src/model/CMakeFiles/iecd_model.dir/subsystem.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/subsystem.cpp.o.d"
+  "/root/repo/src/model/value.cpp" "src/model/CMakeFiles/iecd_model.dir/value.cpp.o" "gcc" "src/model/CMakeFiles/iecd_model.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

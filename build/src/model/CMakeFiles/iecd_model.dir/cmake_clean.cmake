@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_model.dir/block.cpp.o"
+  "CMakeFiles/iecd_model.dir/block.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/engine.cpp.o"
+  "CMakeFiles/iecd_model.dir/engine.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/logging.cpp.o"
+  "CMakeFiles/iecd_model.dir/logging.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/metrics.cpp.o"
+  "CMakeFiles/iecd_model.dir/metrics.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/model.cpp.o"
+  "CMakeFiles/iecd_model.dir/model.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/statechart.cpp.o"
+  "CMakeFiles/iecd_model.dir/statechart.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/subsystem.cpp.o"
+  "CMakeFiles/iecd_model.dir/subsystem.cpp.o.d"
+  "CMakeFiles/iecd_model.dir/value.cpp.o"
+  "CMakeFiles/iecd_model.dir/value.cpp.o.d"
+  "libiecd_model.a"
+  "libiecd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/periph/adc.cpp" "src/periph/CMakeFiles/iecd_periph.dir/adc.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/adc.cpp.o.d"
+  "/root/repo/src/periph/can_controller.cpp" "src/periph/CMakeFiles/iecd_periph.dir/can_controller.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/can_controller.cpp.o.d"
+  "/root/repo/src/periph/capture.cpp" "src/periph/CMakeFiles/iecd_periph.dir/capture.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/capture.cpp.o.d"
+  "/root/repo/src/periph/gpio.cpp" "src/periph/CMakeFiles/iecd_periph.dir/gpio.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/gpio.cpp.o.d"
+  "/root/repo/src/periph/pwm.cpp" "src/periph/CMakeFiles/iecd_periph.dir/pwm.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/pwm.cpp.o.d"
+  "/root/repo/src/periph/quadrature_decoder.cpp" "src/periph/CMakeFiles/iecd_periph.dir/quadrature_decoder.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/quadrature_decoder.cpp.o.d"
+  "/root/repo/src/periph/timer.cpp" "src/periph/CMakeFiles/iecd_periph.dir/timer.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/timer.cpp.o.d"
+  "/root/repo/src/periph/uart.cpp" "src/periph/CMakeFiles/iecd_periph.dir/uart.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/uart.cpp.o.d"
+  "/root/repo/src/periph/watchdog.cpp" "src/periph/CMakeFiles/iecd_periph.dir/watchdog.cpp.o" "gcc" "src/periph/CMakeFiles/iecd_periph.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_periph.dir/adc.cpp.o"
+  "CMakeFiles/iecd_periph.dir/adc.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/can_controller.cpp.o"
+  "CMakeFiles/iecd_periph.dir/can_controller.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/capture.cpp.o"
+  "CMakeFiles/iecd_periph.dir/capture.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/gpio.cpp.o"
+  "CMakeFiles/iecd_periph.dir/gpio.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/pwm.cpp.o"
+  "CMakeFiles/iecd_periph.dir/pwm.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/quadrature_decoder.cpp.o"
+  "CMakeFiles/iecd_periph.dir/quadrature_decoder.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/timer.cpp.o"
+  "CMakeFiles/iecd_periph.dir/timer.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/uart.cpp.o"
+  "CMakeFiles/iecd_periph.dir/uart.cpp.o.d"
+  "CMakeFiles/iecd_periph.dir/watchdog.cpp.o"
+  "CMakeFiles/iecd_periph.dir/watchdog.cpp.o.d"
+  "libiecd_periph.a"
+  "libiecd_periph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_periph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

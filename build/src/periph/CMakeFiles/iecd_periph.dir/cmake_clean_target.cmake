@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiecd_periph.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_pil.dir/frame.cpp.o"
+  "CMakeFiles/iecd_pil.dir/frame.cpp.o.d"
+  "CMakeFiles/iecd_pil.dir/host_endpoint.cpp.o"
+  "CMakeFiles/iecd_pil.dir/host_endpoint.cpp.o.d"
+  "CMakeFiles/iecd_pil.dir/pil_session.cpp.o"
+  "CMakeFiles/iecd_pil.dir/pil_session.cpp.o.d"
+  "CMakeFiles/iecd_pil.dir/target_agent.cpp.o"
+  "CMakeFiles/iecd_pil.dir/target_agent.cpp.o.d"
+  "libiecd_pil.a"
+  "libiecd_pil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_pil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iecd_pil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plant/dc_motor.cpp" "src/plant/CMakeFiles/iecd_plant.dir/dc_motor.cpp.o" "gcc" "src/plant/CMakeFiles/iecd_plant.dir/dc_motor.cpp.o.d"
+  "/root/repo/src/plant/encoder.cpp" "src/plant/CMakeFiles/iecd_plant.dir/encoder.cpp.o" "gcc" "src/plant/CMakeFiles/iecd_plant.dir/encoder.cpp.o.d"
+  "/root/repo/src/plant/simple_plants.cpp" "src/plant/CMakeFiles/iecd_plant.dir/simple_plants.cpp.o" "gcc" "src/plant/CMakeFiles/iecd_plant.dir/simple_plants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/iecd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/iecd_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_plant.dir/dc_motor.cpp.o"
+  "CMakeFiles/iecd_plant.dir/dc_motor.cpp.o.d"
+  "CMakeFiles/iecd_plant.dir/encoder.cpp.o"
+  "CMakeFiles/iecd_plant.dir/encoder.cpp.o.d"
+  "CMakeFiles/iecd_plant.dir/simple_plants.cpp.o"
+  "CMakeFiles/iecd_plant.dir/simple_plants.cpp.o.d"
+  "libiecd_plant.a"
+  "libiecd_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/profiler.cpp" "src/rt/CMakeFiles/iecd_rt.dir/profiler.cpp.o" "gcc" "src/rt/CMakeFiles/iecd_rt.dir/profiler.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/iecd_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/iecd_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/rt/schedulability.cpp" "src/rt/CMakeFiles/iecd_rt.dir/schedulability.cpp.o" "gcc" "src/rt/CMakeFiles/iecd_rt.dir/schedulability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/iecd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/beans/CMakeFiles/iecd_beans.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/iecd_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iecd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_rt.dir/profiler.cpp.o"
+  "CMakeFiles/iecd_rt.dir/profiler.cpp.o.d"
+  "CMakeFiles/iecd_rt.dir/runtime.cpp.o"
+  "CMakeFiles/iecd_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/iecd_rt.dir/schedulability.cpp.o"
+  "CMakeFiles/iecd_rt.dir/schedulability.cpp.o.d"
+  "libiecd_rt.a"
+  "libiecd_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/can_bus.cpp" "src/sim/CMakeFiles/iecd_sim.dir/can_bus.cpp.o" "gcc" "src/sim/CMakeFiles/iecd_sim.dir/can_bus.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/iecd_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/iecd_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/serial_link.cpp" "src/sim/CMakeFiles/iecd_sim.dir/serial_link.cpp.o" "gcc" "src/sim/CMakeFiles/iecd_sim.dir/serial_link.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/iecd_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/iecd_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_sim.dir/can_bus.cpp.o"
+  "CMakeFiles/iecd_sim.dir/can_bus.cpp.o.d"
+  "CMakeFiles/iecd_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/iecd_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/iecd_sim.dir/serial_link.cpp.o"
+  "CMakeFiles/iecd_sim.dir/serial_link.cpp.o.d"
+  "CMakeFiles/iecd_sim.dir/world.cpp.o"
+  "CMakeFiles/iecd_sim.dir/world.cpp.o.d"
+  "libiecd_sim.a"
+  "libiecd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for iecd_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc16.cpp" "src/util/CMakeFiles/iecd_util.dir/crc16.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/crc16.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/iecd_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/diagnostics.cpp" "src/util/CMakeFiles/iecd_util.dir/diagnostics.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/util/CMakeFiles/iecd_util.dir/statistics.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/iecd_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/iecd_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/iecd_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iecd_util.dir/crc16.cpp.o"
+  "CMakeFiles/iecd_util.dir/crc16.cpp.o.d"
+  "CMakeFiles/iecd_util.dir/csv.cpp.o"
+  "CMakeFiles/iecd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/iecd_util.dir/diagnostics.cpp.o"
+  "CMakeFiles/iecd_util.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/iecd_util.dir/statistics.cpp.o"
+  "CMakeFiles/iecd_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/iecd_util.dir/strings.cpp.o"
+  "CMakeFiles/iecd_util.dir/strings.cpp.o.d"
+  "CMakeFiles/iecd_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/iecd_util.dir/thread_pool.cpp.o.d"
+  "libiecd_util.a"
+  "libiecd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iecd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autosar_test.cpp" "tests/CMakeFiles/iecd_tests.dir/autosar_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/autosar_test.cpp.o.d"
+  "/root/repo/tests/beans_test.cpp" "tests/CMakeFiles/iecd_tests.dir/beans_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/beans_test.cpp.o.d"
+  "/root/repo/tests/blocks_test.cpp" "tests/CMakeFiles/iecd_tests.dir/blocks_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/blocks_test.cpp.o.d"
+  "/root/repo/tests/can_test.cpp" "tests/CMakeFiles/iecd_tests.dir/can_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/can_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/iecd_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/iecd_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/iecd_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/distributed_test.cpp" "tests/CMakeFiles/iecd_tests.dir/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/distributed_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/iecd_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/emission_test.cpp" "tests/CMakeFiles/iecd_tests.dir/emission_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/emission_test.cpp.o.d"
+  "/root/repo/tests/errorpath_test.cpp" "tests/CMakeFiles/iecd_tests.dir/errorpath_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/errorpath_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/iecd_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fixpt_test.cpp" "tests/CMakeFiles/iecd_tests.dir/fixpt_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/fixpt_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/iecd_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mcu_test.cpp" "tests/CMakeFiles/iecd_tests.dir/mcu_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/mcu_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/iecd_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/periph_test.cpp" "tests/CMakeFiles/iecd_tests.dir/periph_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/periph_test.cpp.o.d"
+  "/root/repo/tests/pil_test.cpp" "tests/CMakeFiles/iecd_tests.dir/pil_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/pil_test.cpp.o.d"
+  "/root/repo/tests/plant_test.cpp" "tests/CMakeFiles/iecd_tests.dir/plant_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/plant_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/iecd_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rt_test.cpp" "tests/CMakeFiles/iecd_tests.dir/rt_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/rt_test.cpp.o.d"
+  "/root/repo/tests/schedulability_test.cpp" "tests/CMakeFiles/iecd_tests.dir/schedulability_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/schedulability_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/iecd_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/iecd_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/iecd_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iecd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pil/CMakeFiles/iecd_pil.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/iecd_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/iecd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/plant/CMakeFiles/iecd_plant.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/iecd_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/iecd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/beans/CMakeFiles/iecd_beans.dir/DependInfo.cmake"
+  "/root/repo/build/src/periph/CMakeFiles/iecd_periph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/iecd_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixpt/CMakeFiles/iecd_fixpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iecd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iecd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -28,6 +28,7 @@ void print_table() {
   core::ServoSystem ref(bench_config());
   const auto mil = ref.run_mil();
   std::printf("MIL reference IAE: %.3f\n\n", mil.iae);
+  bench::summarize("mil.iae", mil.iae);
 
   std::printf("%-8s | %-10s %-12s %-10s %-8s %-9s %-9s %-8s\n", "baud",
               "rtt[us]", "comm[us/st]", "overhead", "misses", "IAE",
@@ -45,6 +46,11 @@ void print_table() {
                 static_cast<unsigned long long>(pil.report.deadline_misses),
                 pil.iae, pil.speed.last_value(),
                 pil.metrics.settled ? "yes" : "NO");
+    const std::string key = "rs232." + std::to_string(baud);
+    bench::summarize(key + ".rtt_us", pil.report.round_trip_us.mean());
+    bench::summarize(key + ".overhead",
+                     pil.report.comm_overhead_ratio);
+    bench::summarize(key + ".iae", pil.iae);
   }
   std::printf("\nextension (paper future work): the same exchange over a "
               "synchronous SPI link\n\n");
@@ -63,6 +69,9 @@ void print_table() {
                 pil.report.comm_overhead_ratio * 100.0,
                 static_cast<unsigned long long>(pil.report.deadline_misses),
                 pil.iae);
+    const std::string key = "spi." + std::to_string(clock);
+    bench::summarize(key + ".rtt_us", pil.report.round_trip_us.mean());
+    bench::summarize(key + ".iae", pil.iae);
   }
 
   std::printf("\n(controller execution on the board: the same generated "

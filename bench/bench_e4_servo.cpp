@@ -38,6 +38,11 @@ void print_table() {
     print_phase_row("PIL", pil.metrics, pil.iae, pil.speed.last_value());
     const auto hil = servo.run_hil();
     print_phase_row("HIL", hil.metrics, hil.iae, hil.speed.last_value());
+    bench::summarize("mil.iae", mil.iae);
+    bench::summarize("pil.iae", pil.iae);
+    bench::summarize("hil.iae", hil.iae);
+    bench::summarize("hil.exec_us_mean", hil.exec_us_mean);
+    bench::summarize("hil.jitter_us", hil.jitter_us);
   }
 
   std::printf("\nsampling-period sweep (HIL, same gains):\n\n");

@@ -45,6 +45,9 @@ void print_table() {
     const double ms = watch.elapsed_ms();
     if (threads == 1) t1 = ms;
     std::printf("%-10zu %-12.1f %-10.2fx\n", threads, ms, t1 / ms);
+    const std::string key = "sweep." + std::to_string(threads) + "_threads";
+    bench::summarize(key + ".wall_ms", ms);
+    bench::summarize(key + ".speedup", t1 / ms);
   }
   std::printf("\n(each simulation is deterministic and single-threaded; "
               "parallelism lives at the\n sweep level, so speedup is "

@@ -8,6 +8,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
 
 namespace iecd::bench {
 
@@ -30,17 +33,89 @@ inline void print_rule(int width = 100) {
   std::putchar('\n');
 }
 
-/// Standard bench main body: print the table, then run microbenchmarks.
-#define IECD_BENCH_MAIN(print_table_fn)                       \
-  int main(int argc, char** argv) {                           \
-    print_table_fn();                                         \
-    benchmark::Initialize(&argc, argv);                       \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                               \
-    }                                                         \
-    benchmark::RunSpecifiedBenchmarks();                      \
-    benchmark::Shutdown();                                    \
-    return 0;                                                 \
+/// Machine-readable run summary: each bench binary records its headline
+/// figures here (from the experiment tables) and the bench main writes
+/// them to BENCH_<name>.json, so the bench trajectory self-populates
+/// instead of being scraped from stdout.  Maps keep the output key-sorted
+/// and therefore deterministic for a deterministic run.
+class RunSummary {
+ public:
+  static RunSummary& instance() {
+    static RunSummary summary;
+    return summary;
+  }
+
+  /// Records a numeric metric, e.g. set("pil.rtt_us@115200", 812.4).
+  void set(const std::string& name, double value) { metrics_[name] = value; }
+  /// Records a free-form annotation (git rev, config, units).
+  void note(const std::string& name, const std::string& text) {
+    notes_[name] = text;
+  }
+
+  std::string to_json(const std::string& bench_name) const {
+    std::string out = "{\n  \"bench\": \"" + bench_name + "\"";
+    out += ",\n  \"metrics\": {";
+    bool first = true;
+    char buf[64];
+    for (const auto& [k, v] : metrics_) {
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      out += first ? "\n" : ",\n";
+      out += "    \"" + k + "\": " + buf;
+      first = false;
+    }
+    out += first ? "}" : "\n  }";
+    out += ",\n  \"notes\": {";
+    first = true;
+    for (const auto& [k, v] : notes_) {
+      out += first ? "\n" : ",\n";
+      out += "    \"" + k + "\": \"" + v + "\"";
+      first = false;
+    }
+    out += first ? "}" : "\n  }";
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<bench_name>.json into the working directory.
+  bool write(const std::string& bench_name) const {
+    std::ofstream os("BENCH_" + bench_name + ".json", std::ios::binary);
+    if (!os) return false;
+    os << to_json(bench_name);
+    return os.good();
+  }
+
+ private:
+  std::map<std::string, double> metrics_;
+  std::map<std::string, std::string> notes_;
+};
+
+/// Shorthand for recording into the process-wide summary.
+inline void summarize(const std::string& name, double value) {
+  RunSummary::instance().set(name, value);
+}
+
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string name(argv0 ? argv0 : "bench");
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+/// Standard bench main body: print the table, run microbenchmarks, then
+/// write the machine-readable BENCH_<name>.json summary.
+#define IECD_BENCH_MAIN(print_table_fn)                            \
+  int main(int argc, char** argv) {                                \
+    print_table_fn();                                              \
+    benchmark::Initialize(&argc, argv);                            \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+      return 1;                                                    \
+    }                                                              \
+    benchmark::RunSpecifiedBenchmarks();                           \
+    benchmark::Shutdown();                                         \
+    iecd::bench::RunSummary::instance().write(                     \
+        iecd::bench::bench_name_from_argv0(argc > 0 ? argv[0]      \
+                                                    : nullptr));   \
+    return 0;                                                      \
   }
 
 }  // namespace iecd::bench

@@ -10,9 +10,17 @@
 //   5. PIL co-simulation over the byte-timed RS232 link (Fig. 6.2)
 //   6. HIL execution against the peripheral-level plant
 // and prints the control quality + target profiling at each phase.
+//
+// Pass a path as the first argument (e.g. `servo_case_study trace.json`)
+// to run the PIL phase with the unified tracer on and export the
+// cross-layer timeline as Chrome trace-event JSON for Perfetto /
+// chrome://tracing.
 #include <cstdio>
+#include <memory>
 
 #include "core/case_study.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace iecd;
 
@@ -28,7 +36,8 @@ void print_quality(const char* phase, const model::StepMetrics& m,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
   core::ServoConfig config;
   config.duration_s = 1.0;
   core::ServoSystem servo(config);
@@ -54,7 +63,24 @@ int main() {
   std::printf("%s\n", build.app.report().c_str());
 
   std::printf("=== 5. Processor-in-the-loop (RS232 @ 460800 baud) ===\n\n");
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  std::unique_ptr<trace::TraceSession> tracing;
+  if (trace_path) {
+    recorder = std::make_unique<trace::TraceRecorder>(std::size_t{1} << 20);
+    tracing = std::make_unique<trace::TraceSession>(*recorder);
+  }
   const auto pil = servo.run_pil({.baud = 460800});
+  tracing.reset();
+  if (recorder) {
+    if (trace::export_chrome_trace_file(*recorder, trace_path)) {
+      std::printf("PIL timeline written to %s (%llu events) — open it in "
+                  "https://ui.perfetto.dev\n\n",
+                  trace_path,
+                  static_cast<unsigned long long>(recorder->total_recorded()));
+    } else {
+      std::printf("cannot write trace to %s\n", trace_path);
+    }
+  }
   print_quality("PIL", pil.metrics, pil.iae, pil.speed.last_value());
   std::printf("\n%s\n", pil.report.to_string().c_str());
 

@@ -365,7 +365,7 @@ ServoSystem::PilResult ServoSystem::run_pil(const PilRunOptions& options) {
   result.metrics = model::analyze_step(result.speed, config_.setpoint,
                                        config_.setpoint_time);
   result.iae = model::integral_absolute_error(result.speed, config_.setpoint);
-  result.report.observed_stack_bytes = mcu.cpu().max_stack_bytes();
+  result.report.set_observed_stack_bytes(mcu.cpu().max_stack_bytes());
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace iecd::mcu {
 
 Cpu::Cpu(sim::EventQueue& queue, const Clock& clock, const CostModel& costs,
@@ -58,6 +60,14 @@ void Cpu::dispatch_next() {
     rec.end_time = queue_.now();
     busy_ = false;
     ++dispatches_;
+    if (auto* tr = trace::recorder()) {
+      // The dispatch slice (service start -> retire) carries the body
+      // cycles; the response-time counter is raise -> service start.
+      tr->span_complete("mcu", rec.name, "cpu", rec.start_time, rec.end_time,
+                        static_cast<double>(rec.body_cycles));
+      tr->counter("mcu", "response_us", "cpu", rec.start_time,
+                  sim::to_microseconds(rec.start_time - rec.raise_time));
+    }
     if (observer_) observer_(rec);
     dispatch_next();
   });
@@ -70,8 +80,13 @@ void Cpu::run_background() {
   busy_ = true;
   const sim::SimTime duration = clock_.cycles_to_time(cycles);
   busy_time_ += duration;
-  queue_.schedule_in(duration, [this] {
+  const sim::SimTime started = queue_.now();
+  queue_.schedule_in(duration, [this, started, cycles] {
     busy_ = false;
+    if (auto* tr = trace::recorder()) {
+      tr->span_complete("mcu", "background", "cpu", started, queue_.now(),
+                        static_cast<double>(cycles));
+    }
     dispatch_next();
   });
 }

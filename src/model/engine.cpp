@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
 #include "util/strings.hpp"
 
 namespace iecd::model {
@@ -208,6 +209,13 @@ bool Engine::step() {
     if (hits(*b, major_index_)) b->update(ctx);
   }
   integrate(t);
+  if (auto* tr = trace::recorder()) {
+    const auto begin =
+        static_cast<std::int64_t>(major_index_) * base_period_ns_;
+    tr->span_complete("model", "major_step", model_.name(), begin,
+                      begin + base_period_ns_,
+                      static_cast<double>(major_index_));
+  }
   ++major_index_;
   return true;
 }

@@ -1,5 +1,7 @@
 #include "pil/host_endpoint.hpp"
 
+#include "trace/trace.hpp"
+
 namespace iecd::pil {
 
 HostEndpoint::HostEndpoint(sim::World& world, sim::SerialChannel& tx,
@@ -8,11 +10,25 @@ HostEndpoint::HostEndpoint(sim::World& world, sim::SerialChannel& tx,
   decoder_.set_callback([this](const Frame& frame) {
     if (frame.type != FrameType::kActuatorData) return;
     if (apply_) apply_(decode_signals(frame.payload));
-    rtt_us_.add(sim::to_microseconds(world_.now() - sent_at_));
+    const double rtt_us = sim::to_microseconds(world_.now() - sent_at_);
+    rtt_us_.add(rtt_us);
+    if (awaiting_response_) {
+      if (auto* tr = trace::recorder()) {
+        tr->span_end("pil", "exchange", "pil_host", world_.now(), rtt_us);
+      }
+    }
     awaiting_response_ = false;
   });
   rx.set_receiver([this](std::uint8_t byte, sim::SimTime) {
-    decoder_.feed(byte);
+    if (auto* tr = trace::recorder()) {
+      const std::uint64_t crc_before = decoder_.crc_errors();
+      decoder_.feed(byte);
+      if (decoder_.crc_errors() != crc_before) {
+        tr->instant("pil", "crc_error", "pil_host", world_.now());
+      }
+    } else {
+      decoder_.feed(byte);
+    }
   });
 }
 
@@ -39,6 +55,11 @@ void HostEndpoint::exchange() {
   if (awaiting_response_) {
     ++deadline_misses_;
     awaiting_response_ = false;  // stale response applies late when it lands
+    if (auto* tr = trace::recorder()) {
+      // Close the dangling exchange span so the timeline stays balanced.
+      tr->span_end("pil", "exchange", "pil_host", world_.now());
+      tr->instant("pil", "deadline_miss", "pil_host", world_.now());
+    }
   }
   if (advance_) advance_(sim::to_seconds(world_.now()));
   Frame frame;
@@ -50,6 +71,10 @@ void HostEndpoint::exchange() {
   sent_at_ = world_.now();
   awaiting_response_ = true;
   ++exchanges_;
+  if (auto* tr = trace::recorder()) {
+    tr->span_begin("pil", "exchange", "pil_host", world_.now(),
+                   static_cast<double>(frame.seq));
+  }
   world_.queue().schedule_in(options_.period, [this] { exchange(); });
 }
 

@@ -4,6 +4,11 @@
 
 namespace iecd::pil {
 
+void PilReport::set_observed_stack_bytes(std::uint32_t bytes) {
+  metrics.gauge("pil.observed_stack_bytes") = bytes;
+  observed_stack_bytes = bytes;
+}
+
 std::string PilReport::to_string() const {
   std::string out;
   out += util::format("exchanges           %llu (misses %llu, crc errors %llu)\n",
@@ -56,12 +61,17 @@ PilReport PilSession::run() {
   world_.run_for(sim::from_seconds(options_.duration_s));
   host_->stop();
 
+  // The registry is the report's source of truth: fill it first, then
+  // mirror the scalar convenience fields from it.
   PilReport report;
-  report.exchanges = host_->exchanges();
-  report.frames_processed = agent_->frames_processed();
-  report.deadline_misses = host_->deadline_misses();
-  report.crc_errors = host_->crc_errors() + agent_->crc_errors();
-  report.round_trip_us = host_->round_trip_us();
+  trace::MetricsRegistry& m = report.metrics;
+  m.counter("pil.exchanges").value = host_->exchanges();
+  m.counter("pil.frames_processed").value = agent_->frames_processed();
+  m.counter("pil.deadline_misses").value = host_->deadline_misses();
+  m.counter("pil.crc_errors").value =
+      host_->crc_errors() + agent_->crc_errors();
+  util::SampleSeries& rtt = m.series("pil.round_trip_us");
+  for (double x : host_->round_trip_us().samples()) rtt.add(x);
 
   // Wire time of one full exchange: the sensor frame down plus the
   // actuator frame back at the configured frame sizes.
@@ -69,17 +79,35 @@ PilReport PilSession::run() {
   const double total_bytes =
       static_cast<double>(link_->a_to_b().bytes_transferred() +
                           link_->b_to_a().bytes_transferred());
-  if (report.exchanges > 0) {
-    report.comm_time_per_step_us =
-        sim::to_microseconds(byte_time) * total_bytes /
-        static_cast<double>(report.exchanges);
-    report.comm_overhead_ratio =
-        report.comm_time_per_step_us / (options_.period_s * 1e6);
+  if (host_->exchanges() > 0) {
+    const double per_step_us = sim::to_microseconds(byte_time) * total_bytes /
+                               static_cast<double>(host_->exchanges());
+    m.gauge("pil.comm_time_per_step_us") = per_step_us;
+    m.gauge("pil.comm_overhead_ratio") =
+        per_step_us / (options_.period_s * 1e6);
   }
   if (const auto* prof = runtime_.profiler().task(rx_profile_key_)) {
     // Execution time of the frame-completing ISR (which embeds the step).
-    report.controller_exec_us_mean = prof->exec_time_us.mean();
-    report.controller_exec_us_max = prof->exec_time_us.max();
+    m.gauge("pil.controller_exec_us_mean") = prof->exec_time_us.mean();
+    m.gauge("pil.controller_exec_us_max") = prof->exec_time_us.max();
+  }
+
+  report.exchanges = m.counter("pil.exchanges").value;
+  report.frames_processed = m.counter("pil.frames_processed").value;
+  report.deadline_misses = m.counter("pil.deadline_misses").value;
+  report.crc_errors = m.counter("pil.crc_errors").value;
+  report.round_trip_us = rtt;
+  if (const double* g = m.find_gauge("pil.comm_time_per_step_us")) {
+    report.comm_time_per_step_us = *g;
+  }
+  if (const double* g = m.find_gauge("pil.comm_overhead_ratio")) {
+    report.comm_overhead_ratio = *g;
+  }
+  if (const double* g = m.find_gauge("pil.controller_exec_us_mean")) {
+    report.controller_exec_us_mean = *g;
+  }
+  if (const double* g = m.find_gauge("pil.controller_exec_us_max")) {
+    report.controller_exec_us_max = *g;
   }
   return report;
 }

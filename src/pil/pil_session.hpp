@@ -17,10 +17,15 @@
 #include "rt/runtime.hpp"
 #include "sim/serial_link.hpp"
 #include "sim/world.hpp"
+#include "trace/metrics.hpp"
 
 namespace iecd::pil {
 
 struct PilReport {
+  /// Unified metrics view ("pil.*" names) — populated by PilSession::run()
+  /// as the source the scalar mirrors below are read back from.
+  trace::MetricsRegistry metrics;
+
   std::uint64_t exchanges = 0;
   std::uint64_t frames_processed = 0;
   std::uint64_t deadline_misses = 0;
@@ -31,6 +36,9 @@ struct PilReport {
   double controller_exec_us_mean = 0.0;
   double controller_exec_us_max = 0.0;
   std::uint32_t observed_stack_bytes = 0;
+
+  /// Records the observed stack in both the registry and the mirror field.
+  void set_observed_stack_bytes(std::uint32_t bytes);
 
   std::string to_string() const;
 };

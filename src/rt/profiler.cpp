@@ -30,13 +30,25 @@ double TaskProfile::period_jitter_peak_us(double nominal_period_s) const {
 }
 
 void Profiler::record(const mcu::DispatchRecord& record) {
-  TaskProfile& p = tasks_[std::string(record.name)];
+  const std::string key(record.name);
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    it = tasks_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                      std::forward_as_tuple(
+                          registry_.series(key + ".exec_us"),
+                          registry_.series(key + ".response_us"),
+                          registry_.series(key + ".start_s")))
+             .first;
+  }
+  TaskProfile& p = it->second;
   p.exec_time_us.add(
       sim::to_microseconds(record.end_time - record.start_time));
   p.response_time_us.add(
       sim::to_microseconds(record.start_time - record.raise_time));
   p.start_times_s.add(sim::to_seconds(record.start_time));
   ++p.activations;
+  registry_.counter(key + ".activations").value = p.activations;
 }
 
 const TaskProfile* Profiler::task(const std::string& name) const {

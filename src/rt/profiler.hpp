@@ -4,20 +4,31 @@
 /// the PIL simulation exposes ("execution times of the implemented
 /// controller code, interrupts response times, sampling jitters, memory
 /// and stack requirements").
+///
+/// Storage is rebased on trace::MetricsRegistry: every series lives in
+/// the registry under "<task>.exec_us" / "<task>.response_us" /
+/// "<task>.start_s" (plus an "<task>.activations" counter), so the
+/// profiler, the PIL report and any exporter read the same numbers from
+/// one place.  TaskProfile is a per-task view into that registry.
 #pragma once
 
 #include <map>
 #include <string>
 
 #include "mcu/cpu.hpp"
+#include "trace/metrics.hpp"
 #include "util/statistics.hpp"
 
 namespace iecd::rt {
 
 struct TaskProfile {
-  util::SampleSeries exec_time_us;      ///< ISR body duration
-  util::SampleSeries response_time_us;  ///< raise -> service start
-  util::SampleSeries start_times_s;     ///< activation instants
+  TaskProfile(util::SampleSeries& exec, util::SampleSeries& response,
+              util::SampleSeries& starts)
+      : exec_time_us(exec), response_time_us(response), start_times_s(starts) {}
+
+  util::SampleSeries& exec_time_us;      ///< ISR body duration
+  util::SampleSeries& response_time_us;  ///< raise -> service start
+  util::SampleSeries& start_times_s;     ///< activation instants
   std::uint64_t activations = 0;
 
   /// Jitter of the activation period: stddev and worst |deviation| of the
@@ -28,17 +39,29 @@ struct TaskProfile {
 
 class Profiler {
  public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
   /// Feeds one retired dispatch (wired to Cpu::set_dispatch_observer).
   void record(const mcu::DispatchRecord& record);
 
   const TaskProfile* task(const std::string& name) const;
   const std::map<std::string, TaskProfile>& tasks() const { return tasks_; }
 
+  /// The backing registry — the single source the report renders from.
+  trace::MetricsRegistry& metrics() { return registry_; }
+  const trace::MetricsRegistry& metrics() const { return registry_; }
+
   std::string report(double nominal_period_s = 0.0) const;
 
-  void reset() { tasks_.clear(); }
+  void reset() {
+    tasks_.clear();
+    registry_.clear();
+  }
 
  private:
+  trace::MetricsRegistry registry_;
   std::map<std::string, TaskProfile> tasks_;
 };
 

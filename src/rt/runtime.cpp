@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
 #include "util/strings.hpp"
 
 namespace iecd::rt {
@@ -56,6 +57,10 @@ void Runtime::step_once(const model::SimContext& ctx) {
     if (t.compute) t.compute(ctx);
     if (t.write) t.write(ctx);
     ++periodic_activations_;
+    if (auto* tr = trace::recorder()) {
+      tr->instant("rt", "pil_step", "rt_sched", mcu_.now(),
+                  static_cast<double>(periodic_activations_));
+    }
     return;
   }
 }
@@ -120,8 +125,16 @@ void Runtime::start() {
   if (started_) return;
   started_ = true;
 
-  mcu_.cpu().set_dispatch_observer(
-      [this](const mcu::DispatchRecord& rec) { profiler_.record(rec); });
+  mcu_.cpu().set_dispatch_observer([this](const mcu::DispatchRecord& rec) {
+    profiler_.record(rec);
+    if (auto* tr = trace::recorder()) {
+      // Scheduling decision record: per-task execution time on the rt
+      // track (the Cpu track already carries the dispatch slice itself).
+      tr->counter("rt", std::string(rec.name) + ".exec_us", "rt_sched",
+                  rec.end_time,
+                  sim::to_microseconds(rec.end_time - rec.start_time));
+    }
+  });
 
   for (std::size_t i = 0; i < app_.tasks.size(); ++i) {
     switch (app_.tasks[i].trigger) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace iecd::sim {
 
 CanBus::CanBus(World& world, std::uint32_t bitrate_bps, std::string name)
@@ -66,11 +68,21 @@ void CanBus::try_start() {
   tx.tx_queue.pop_front();
   const SimTime wire = frame_time(frame.dlc());
   stats_.busy_time += wire;
-  world_.queue().schedule_in(wire, [this, frame, winner] {
+  const SimTime started = world_.now();
+  world_.queue().schedule_in(wire, [this, frame, winner, started] {
     ++stats_.frames_delivered;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (static_cast<int>(i) == winner) continue;
       if (nodes_[i].on_rx) nodes_[i].on_rx(frame, world_.now());
+    }
+    if (auto* tr = trace::recorder()) {
+      // One slice per frame on the bus track: arbitration winner's wire
+      // occupation, tagged with the arbitrating identifier.
+      tr->span_complete("sim", nodes_[static_cast<std::size_t>(winner)].name,
+                        name_, started, world_.now(),
+                        static_cast<double>(frame.id));
+      tr->counter("sim", "pending_frames", name_, world_.now(),
+                  static_cast<double>(pending()));
     }
     busy_ = false;
     try_start();

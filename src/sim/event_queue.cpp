@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace iecd::sim {
 
 EventId EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
@@ -57,7 +59,15 @@ bool EventQueue::step() {
     actions_.erase(it);
     --live_count_;
     now_ = top.when;
-    fn();
+    if (auto* tr = trace::recorder()) {
+      tr->span_begin("sim", "dispatch", "event_queue", now_,
+                     static_cast<double>(top.id));
+      fn();
+      tr->span_end("sim", "dispatch", "event_queue", now_,
+                   static_cast<double>(top.id));
+    } else {
+      fn();
+    }
     return true;
   }
   return false;

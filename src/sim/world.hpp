@@ -38,12 +38,14 @@ class World {
   /// Resets all attached components.  Call before the first run.
   void reset_components();
 
-  /// Advances simulated time to \p until, executing due events.
-  std::size_t run_until(SimTime until) { return queue_.run_until(until); }
+  /// Advances simulated time to \p until, executing due events.  When
+  /// tracing is active the window is recorded as one "run_until" span on
+  /// the world track (value = events executed).
+  std::size_t run_until(SimTime until);
 
   /// Advances by \p duration from the current time.
   std::size_t run_for(SimTime duration) {
-    return queue_.run_until(queue_.now() + duration);
+    return run_until(queue_.now() + duration);
   }
 
   const std::vector<Component*>& components() const { return components_; }

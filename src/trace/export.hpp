@@ -1,0 +1,32 @@
+/// \file export.hpp
+/// Trace exporters.  The Chrome trace-event JSON output loads directly in
+/// Perfetto / chrome://tracing: every trace track (a `sim::Component`, the
+/// CPU, the PIL host...) becomes one "process" row, spans render as slices,
+/// counters as counter tracks and instants as marks.  All formatting is
+/// deterministic — identical runs export byte-identical files, which the
+/// regression tests rely on.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace iecd::trace {
+
+/// Writes the recorder's live events as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`).  Timestamps are microseconds of simulated
+/// time with nanosecond precision.
+void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os);
+std::string to_chrome_trace(const TraceRecorder& recorder);
+
+/// Writes events as CSV: seq,type,category,name,track,time_ns,dur_ns,value.
+void write_csv(const TraceRecorder& recorder, std::ostream& os);
+std::string to_csv(const TraceRecorder& recorder);
+
+/// Convenience: exports Chrome trace JSON to \p path.  Returns false if
+/// the file cannot be opened.
+bool export_chrome_trace_file(const TraceRecorder& recorder,
+                              const std::string& path);
+
+}  // namespace iecd::trace

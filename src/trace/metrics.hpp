@@ -1,0 +1,77 @@
+/// \file metrics.hpp
+/// MetricsRegistry: one named home for the counters, gauges, sample series
+/// and histograms that `rt::Profiler`, `pil::PilReport` and the benches
+/// each used to reinvent.  Storage is `std::map`-backed so references
+/// handed out stay stable and every rendering (text report, CSV) iterates
+/// in deterministic name order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/statistics.hpp"
+
+namespace iecd::trace {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic event count.
+  struct Counter {
+    std::uint64_t value = 0;
+    void increment(std::uint64_t by = 1) { value += by; }
+  };
+
+  // ------------------------------------------------- get-or-create handles
+  // References remain valid for the registry's lifetime (node-based maps).
+  Counter& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  util::RunningStats& stats(const std::string& name);
+  util::SampleSeries& series(const std::string& name);
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+
+  // ------------------------------------------------------- const lookups
+  const Counter* find_counter(const std::string& name) const;
+  const double* find_gauge(const std::string& name) const;
+  const util::RunningStats* find_stats(const std::string& name) const;
+  const util::SampleSeries* find_series(const std::string& name) const;
+  const util::Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const;
+  void clear();
+
+  /// Folds another registry in (parallel or phase-wise collection).
+  /// Counters add, gauges overwrite, stats merge, series concatenate;
+  /// histograms are merged bin-wise when shapes match (else kept as-is).
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic human-readable report, one line per metric, sorted.
+  std::string report() const;
+
+  /// Deterministic CSV: metric,kind,count,value,mean,stddev,min,max,p50,p99
+  void write_csv(std::ostream& os) const;
+  std::string to_csv() const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, util::RunningStats>& all_stats() const {
+    return stats_;
+  }
+  const std::map<std::string, util::SampleSeries>& all_series() const {
+    return series_;
+  }
+  const std::map<std::string, util::Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::RunningStats> stats_;
+  std::map<std::string, util::SampleSeries> series_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+}  // namespace iecd::trace

@@ -1,0 +1,93 @@
+#include "trace/trace.hpp"
+
+#include <stdexcept>
+
+namespace iecd::trace {
+
+TraceRecorder* TraceRecorder::active_ = nullptr;
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRecorder: capacity must be > 0");
+  }
+  ring_.resize(capacity);
+  // Id 0 is the empty string so a zero-initialized Event resolves cleanly.
+  strings_.emplace_back();
+  ids_.emplace(std::string(), 0);
+}
+
+NameId TraceRecorder::intern(std::string_view s) {
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<NameId>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+void TraceRecorder::push(EventType type, std::string_view category,
+                         std::string_view name, std::string_view track,
+                         sim::SimTime t, sim::SimTime duration, double value) {
+  Event& e = ring_[head_];
+  e.type = type;
+  e.category = intern(category);
+  e.name = intern(name);
+  e.track = intern(track);
+  e.time = t;
+  e.duration = duration;
+  e.seq = seq_++;
+  e.value = value;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) ++size_;
+}
+
+void TraceRecorder::span_begin(std::string_view category,
+                               std::string_view name, std::string_view track,
+                               sim::SimTime t, double value) {
+  push(EventType::kSpanBegin, category, name, track, t, 0, value);
+}
+
+void TraceRecorder::span_end(std::string_view category, std::string_view name,
+                             std::string_view track, sim::SimTime t,
+                             double value) {
+  push(EventType::kSpanEnd, category, name, track, t, 0, value);
+}
+
+void TraceRecorder::span_complete(std::string_view category,
+                                  std::string_view name,
+                                  std::string_view track, sim::SimTime begin,
+                                  sim::SimTime end, double value) {
+  push(EventType::kSpanComplete, category, name, track, begin, end - begin,
+       value);
+}
+
+void TraceRecorder::counter(std::string_view category, std::string_view name,
+                            std::string_view track, sim::SimTime t,
+                            double value) {
+  push(EventType::kCounter, category, name, track, t, 0, value);
+}
+
+void TraceRecorder::instant(std::string_view category, std::string_view name,
+                            std::string_view track, sim::SimTime t,
+                            double value) {
+  push(EventType::kInstant, category, name, track, t, 0, value);
+}
+
+std::vector<Event> TraceRecorder::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for_each([&out](const Event& e) { out.push_back(e); });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  seq_ = 0;
+  strings_.clear();
+  ids_.clear();
+  strings_.emplace_back();
+  ids_.emplace(std::string(), 0);
+}
+
+}  // namespace iecd::trace

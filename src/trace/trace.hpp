@@ -1,0 +1,148 @@
+/// \file trace.hpp
+/// Deterministic low-overhead tracing: a ring buffer of typed events —
+/// spans (begin/end/complete), counters and instants — stamped with
+/// simulated time plus a monotonic sequence number, so two identical runs
+/// record bit-identical streams.  This is the cross-layer timeline the
+/// paper's PIL phase promises ("execution times of the implemented
+/// controller code, interrupts response times, sampling jitters") made a
+/// first-class artifact: the event queue, the CPU dispatcher, the PIL
+/// frames, the CAN bus and the model engine all emit onto one timeline.
+///
+/// Instrumentation sites pay one pointer load + branch when tracing is
+/// off (`TraceRecorder::active()` is null); nothing is allocated and no
+/// string is touched.  When tracing is on, names are interned once per
+/// distinct string and events are fixed-size PODs in a preallocated ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iecd::trace {
+
+/// Interned-string handle; resolves via TraceRecorder::string_at().
+using NameId = std::uint32_t;
+
+enum class EventType : std::uint8_t {
+  kSpanBegin,     ///< opens a span on its track
+  kSpanEnd,       ///< closes the innermost open span
+  kSpanComplete,  ///< span with known begin + duration, recorded at end
+  kCounter,       ///< named sampled value
+  kInstant,       ///< point event
+};
+
+/// One trace record.  Fixed-size; names/categories/tracks are interned.
+struct Event {
+  EventType type = EventType::kInstant;
+  NameId category = 0;  ///< layer tag: "sim", "mcu", "pil", "model", "rt"
+  NameId name = 0;
+  NameId track = 0;     ///< timeline the event lives on (one per component)
+  sim::SimTime time = 0;
+  sim::SimTime duration = 0;  ///< kSpanComplete only
+  std::uint64_t seq = 0;      ///< monotonic across the whole run
+  double value = 0.0;         ///< counter value / span payload
+};
+
+/// Fixed-capacity ring buffer of Events.  When full, the oldest events are
+/// overwritten (dropped() reports how many); capacity is chosen at
+/// construction so steady-state recording never allocates.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = std::size_t{1} << 16);
+
+  // ---------------------------------------------------------- recording
+  void span_begin(std::string_view category, std::string_view name,
+                  std::string_view track, sim::SimTime t, double value = 0.0);
+  void span_end(std::string_view category, std::string_view name,
+                std::string_view track, sim::SimTime t, double value = 0.0);
+  /// Span recorded once its extent is known (e.g. an ISR at retirement).
+  void span_complete(std::string_view category, std::string_view name,
+                     std::string_view track, sim::SimTime begin,
+                     sim::SimTime end, double value = 0.0);
+  void counter(std::string_view category, std::string_view name,
+               std::string_view track, sim::SimTime t, double value);
+  void instant(std::string_view category, std::string_view name,
+               std::string_view track, sim::SimTime t, double value = 0.0);
+
+  // ------------------------------------------------------------ interning
+  /// Returns a stable id for \p s, interning it on first sight.
+  NameId intern(std::string_view s);
+  const std::string& string_at(NameId id) const { return strings_.at(id); }
+  std::size_t interned_count() const { return strings_.size(); }
+
+  // -------------------------------------------------------------- access
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events recorded over the run, including overwritten ones.
+  std::uint64_t total_recorded() const { return seq_; }
+  std::uint64_t dropped() const { return seq_ - size_; }
+
+  /// Visits live events oldest-first (recording order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t cap = ring_.size();
+    std::size_t idx = (head_ + cap - size_) % cap;
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(ring_[idx]);
+      idx = idx + 1 == cap ? 0 : idx + 1;
+    }
+  }
+
+  /// Copies the live events oldest-first.
+  std::vector<Event> snapshot() const;
+
+  /// Drops all events and interned strings.
+  void clear();
+
+  // ------------------------------------------------- process-wide install
+  /// The recorder instrumentation sites write to, or null (tracing off).
+  static TraceRecorder* active() { return active_; }
+  static void set_active(TraceRecorder* recorder) { active_ = recorder; }
+
+ private:
+  void push(EventType type, std::string_view category, std::string_view name,
+            std::string_view track, sim::SimTime t, sim::SimTime duration,
+            double value);
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, NameId, StringHash, std::equal_to<>> ids_;
+
+  static TraceRecorder* active_;
+};
+
+/// Shorthand for the instrumentation-site check.
+inline TraceRecorder* recorder() { return TraceRecorder::active(); }
+
+/// RAII installer: makes \p recorder the process-wide active tracer for
+/// the enclosing scope and restores the previous one on exit.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceRecorder& rec)
+      : previous_(TraceRecorder::active()) {
+    TraceRecorder::set_active(&rec);
+  }
+  ~TraceSession() { TraceRecorder::set_active(previous_); }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+}  // namespace iecd::trace

@@ -74,6 +74,7 @@ double SampleSeries::max() const {
 }
 
 double SampleSeries::percentile(double p) const {
+  if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
   if (samples_.empty()) return 0.0;
   const auto& s = sorted();
   if (s.size() == 1) return s[0];
@@ -106,6 +107,18 @@ void Histogram::add(double x) {
                                  static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return true;
 }
 
 double Histogram::bin_lo(std::size_t i) const {

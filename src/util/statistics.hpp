@@ -55,7 +55,9 @@ class SampleSeries {
   double min() const;
   double max() const;
 
-  /// Linear-interpolated percentile, p in [0, 100].
+  /// Linear-interpolated percentile; p is clamped to [0, 100], so p=0 is
+  /// the minimum and p=100 the maximum.  An empty series yields 0.0 (the
+  /// same convention as mean()/min()/max()); a NaN p yields NaN.
   double percentile(double p) const;
 
   /// Max |x - mean|; a simple jitter figure for periodic activations.
@@ -87,6 +89,10 @@ class Histogram {
 
   /// Renders a compact ASCII bar chart (for bench output).
   std::string to_ascii(std::size_t width = 40) const;
+
+  /// Adds \p other bin-wise.  Returns false (and leaves this histogram
+  /// untouched) if the ranges or bin counts differ.
+  bool merge(const Histogram& other);
 
  private:
   double lo_;

@@ -82,6 +82,35 @@ TEST(SampleSeries, PercentilesAreOrdered) {
   EXPECT_LE(s.percentile(25), s.percentile(75));
 }
 
+TEST(SampleSeries, PercentileEdgeCases) {
+  SampleSeries empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100), 0.0);
+
+  SampleSeries single;
+  single.add(7.5);
+  EXPECT_DOUBLE_EQ(single.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(single.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(single.percentile(100), 7.5);
+
+  SampleSeries pair;
+  pair.add(10.0);
+  pair.add(20.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(100), 20.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(50), 15.0);
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(pair.percentile(-10), 10.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(250), 20.0);
+  // NaN p yields NaN instead of undefined clamping.
+  EXPECT_TRUE(std::isnan(pair.percentile(std::nan(""))));
+  // Percentiles stay consistent after further samples re-sort the cache.
+  pair.add(0.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(pair.percentile(100), 20.0);
+}
+
 TEST(SampleSeries, PeakDeviationIsMaxAbsOffset) {
   SampleSeries s;
   s.add(10);

@@ -12,16 +12,71 @@
 #include "blocks/sources.hpp"
 #include "blocks/sinks.hpp"
 #include "core/case_study.hpp"
+#include "exec/sweep.hpp"
 #include "model/engine.hpp"
 #include "sim/event_queue.hpp"
-#include "util/thread_pool.hpp"
 
 using namespace iecd;
 
 namespace {
 
+// Single-thread throughput of the two hot-path substrates: the discrete
+// event core (schedule+dispatch cycles) and the block-diagram engine's
+// major-step loop.  These are the headline numbers the perf trajectory
+// tracks (BENCH_*.json: event_queue.events_per_s, engine.steps_per_s).
+void table_hot_path() {
+  std::printf("single-thread hot-path throughput:\n\n");
+
+  const int rounds = bench::smoke() ? 20 : 400;
+  const int events = 1024;
+  std::uint64_t fired = 0;
+  bench::Stopwatch ev_watch;
+  for (int r = 0; r < rounds; ++r) {
+    sim::EventQueue q;
+    for (int i = 0; i < events; ++i) {
+      q.schedule_at((i * 7919) % 100000 + 1, [&fired] { ++fired; });
+    }
+    q.run_all();
+  }
+  const double ev_s = ev_watch.elapsed_ms() / 1e3;
+  const double events_per_s =
+      static_cast<double>(rounds) * events / std::max(ev_s, 1e-12);
+  benchmark::DoNotOptimize(fired);
+  std::printf("%-34s %12.3g events/s\n", "event core (schedule+dispatch)",
+              events_per_s);
+  bench::summarize("event_queue.events_per_s", events_per_s);
+
+  const int chain = 64;
+  model::Model m("chain");
+  auto& src = m.add<blocks::ConstantBlock>("src", 1.0);
+  model::Block* prev = &src;
+  for (int i = 0; i < chain; ++i) {
+    auto& g = m.add<blocks::GainBlock>("g" + std::to_string(i), 1.0001);
+    m.connect(*prev, 0, g, 0);
+    prev = &g;
+  }
+  auto& sink = m.add<blocks::TerminatorBlock>("sink");
+  m.connect(*prev, 0, sink, 0);
+  model::Engine eng(m, {.stop_time = 1e9});
+  eng.initialize();
+  const int steps = bench::smoke() ? 20'000 : 200'000;
+  bench::Stopwatch step_watch;
+  for (int i = 0; i < steps; ++i) eng.step();
+  const double step_s = step_watch.elapsed_ms() / 1e3;
+  const double steps_per_s = steps / std::max(step_s, 1e-12);
+  const double block_steps_per_s = steps_per_s * (chain + 2);
+  benchmark::DoNotOptimize(sink.name());
+  std::printf("%-34s %12.3g major steps/s (%.3g block steps/s)\n",
+              "engine (64-block gain chain)", steps_per_s, block_steps_per_s);
+  bench::summarize("engine.steps_per_s", steps_per_s);
+  bench::summarize("engine.block_steps_per_s", block_steps_per_s);
+  std::printf("\n");
+}
+
 void print_table() {
   std::printf("E9: simulation-substrate throughput\n\n");
+
+  table_hot_path();
 
   // Parallel sweep scaling: N independent MIL runs across worker counts.
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
@@ -31,23 +86,28 @@ void print_table() {
   std::printf("%-10s %-12s %-10s\n", "threads", "wall[ms]", "speedup");
   bench::print_rule(36);
   const std::size_t runs = 16;
+  const double duration_s = bench::smoke() ? 0.1 : 1.0;
   double t1 = 0.0;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
-    util::ThreadPool pool(threads);
-    bench::Stopwatch watch;
-    pool.parallel_for(runs, [](std::size_t) {
-      core::ServoConfig cfg;
-      cfg.duration_s = 1.0;
-      core::ServoSystem servo(cfg);
-      auto mil = servo.run_mil();
-      benchmark::DoNotOptimize(mil.iae);
-    });
-    const double ms = watch.elapsed_ms();
+    exec::SweepRunner runner(exec::SweepOptions{.threads = threads});
+    const auto result = runner.run(
+        runs, [duration_s](std::size_t, trace::MetricsRegistry& metrics) {
+          core::ServoConfig cfg;
+          cfg.duration_s = duration_s;
+          core::ServoSystem servo(cfg);
+          auto mil = servo.run_mil();
+          metrics.stats("mil.iae").add(mil.iae);
+        });
+    const double ms = result.wall_ms;
     if (threads == 1) t1 = ms;
     std::printf("%-10zu %-12.1f %-10.2fx\n", threads, ms, t1 / ms);
     const std::string key = "sweep." + std::to_string(threads) + "_threads";
     bench::summarize(key + ".wall_ms", ms);
     bench::summarize(key + ".speedup", t1 / ms);
+    if (threads == std::min<std::size_t>(8, cores)) {
+      bench::summarize("sweep.parallel_efficiency_at_cores",
+                       (t1 / ms) / static_cast<double>(threads));
+    }
   }
   std::printf("\n(each simulation is deterministic and single-threaded; "
               "parallelism lives at the\n sweep level, so speedup is "

@@ -8,11 +8,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
 
 namespace iecd::bench {
+
+/// True when the bench should shrink its workloads to a CI-friendly smoke
+/// run (set IECD_BENCH_SMOKE=1).  Tables keep the same shape and emit the
+/// same RunSummary keys, just from smaller inputs.
+inline bool smoke() { return std::getenv("IECD_BENCH_SMOKE") != nullptr; }
 
 /// Wall-clock stopwatch for per-phase timings in the tables.
 class Stopwatch {

@@ -1,0 +1,46 @@
+#include "exec/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace iecd::exec {
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+SweepRunner::Result SweepRunner::run(std::size_t runs,
+                                     const Scenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, runs));
+  result.threads_used = threads;
+  if (runs == 0) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+  // Registries are preallocated so worker threads touch disjoint elements;
+  // no locking, no allocation races, no dependence on completion order.
+  result.per_run.resize(runs);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < runs; ++i) scenario(i, result.per_run[i]);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(
+        runs, [&](std::size_t i) { scenario(i, result.per_run[i]); });
+  }
+  // Deterministic fold: index order, independent of thread interleaving.
+  for (const auto& registry : result.per_run) {
+    result.merged.merge(registry);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+}  // namespace iecd::exec

@@ -1,0 +1,57 @@
+/// \file sweep.hpp
+/// First-class parallel scenario fan-out.  A SweepRunner executes N
+/// independent scenarios (World/MIL/PIL runs, parameter-sweep points)
+/// across the host thread pool and merges each run's MetricsRegistry
+/// deterministically.
+///
+/// Determinism contract: each scenario writes only into the registry it is
+/// handed (plus its own locals), every scenario is itself deterministic,
+/// and the merge folds registries in index order 0..N-1 regardless of the
+/// order in which worker threads finish.  Under those conditions the merged
+/// registry — report(), to_csv(), every metric — is byte-identical to a
+/// sequential run, for any thread count.  The determinism suite
+/// (tests/determinism_test.cpp) locks this property in.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace iecd::exec {
+
+struct SweepOptions {
+  /// Worker threads; 0 selects hardware_concurrency.  1 runs the scenarios
+  /// inline on the calling thread (the sequential reference execution).
+  std::size_t threads = 0;
+};
+
+class SweepRunner {
+ public:
+  /// A scenario: run sweep point \p index, record results into \p metrics.
+  /// Must not touch shared mutable state — each invocation gets its own
+  /// registry and runs on an arbitrary pool thread.
+  using Scenario =
+      std::function<void(std::size_t index, trace::MetricsRegistry& metrics)>;
+
+  explicit SweepRunner(SweepOptions options = {});
+
+  struct Result {
+    trace::MetricsRegistry merged;  ///< index-order fold of all runs
+    std::vector<trace::MetricsRegistry> per_run;
+    std::size_t runs = 0;
+    std::size_t threads_used = 0;
+    double wall_ms = 0.0;  ///< wall clock (informational; not merged)
+  };
+
+  /// Executes \p runs scenario instances and merges their metrics.
+  Result run(std::size_t runs, const Scenario& scenario) const;
+
+  std::size_t threads() const { return options_.threads; }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace iecd::exec

@@ -15,6 +15,24 @@ Block::Block(std::string name, int inputs, int outputs)
   if (inputs < 0 || outputs < 0) {
     throw std::invalid_argument("Block: negative port count");
   }
+  slots_ = outputs_.data();
+}
+
+const Value& Block::zero_value() {
+  static const Value kZero = Value::of_double(0.0);
+  return kZero;
+}
+
+const Value& Block::in_walk(int port) const {
+  const Connection& c = inputs_.at(static_cast<std::size_t>(port));
+  if (!c.src) return zero_value();
+  return c.src->out(c.src_port);
+}
+
+void Block::throw_bad_port(int port, bool output) const {
+  throw std::out_of_range(name_ + ": no " +
+                          (output ? std::string("output") : "input") +
+                          " port " + std::to_string(port));
 }
 
 void Block::set_output_type(int port, DataType type,
@@ -25,7 +43,7 @@ void Block::set_output_type(int port, DataType type,
   out_types_.at(static_cast<std::size_t>(port)) = type;
   out_fmts_.at(static_cast<std::size_t>(port)) = fmt;
   // Re-quantize the current latched value so type changes apply instantly.
-  auto& slot = outputs_.at(static_cast<std::size_t>(port));
+  Value& slot = slots_[static_cast<std::size_t>(port)];
   slot = Value::quantize(slot.as_double(), type, fmt);
 }
 
@@ -39,10 +57,6 @@ const std::optional<fixpt::FixedFormat>& Block::output_format(int port) const {
 
 void Block::initialize(const SimContext& ctx) { (void)ctx; }
 
-const Value& Block::out(int port) const {
-  return outputs_.at(static_cast<std::size_t>(port));
-}
-
 bool Block::input_connected(int port) const {
   return inputs_.at(static_cast<std::size_t>(port)).src != nullptr;
 }
@@ -51,22 +65,10 @@ const Block::Connection& Block::input(int port) const {
   return inputs_.at(static_cast<std::size_t>(port));
 }
 
-Value Block::in_value(int port) const {
-  const Connection& c = inputs_.at(static_cast<std::size_t>(port));
-  if (!c.src) return Value::of_double(0.0);
-  return c.src->out(c.src_port);
-}
-
-void Block::set_out(int port, double real) {
-  auto& slot = outputs_.at(static_cast<std::size_t>(port));
-  slot = Value::quantize(real, out_types_[static_cast<std::size_t>(port)],
-                         out_fmts_[static_cast<std::size_t>(port)]);
-}
-
 void Block::set_out_value(int port, const Value& v) {
   const DataType want = out_types_.at(static_cast<std::size_t>(port));
   if (v.type() == want) {
-    outputs_[static_cast<std::size_t>(port)] = v;
+    slots_[static_cast<std::size_t>(port)] = v;
   } else {
     set_out(port, v.as_double());
   }

@@ -119,10 +119,18 @@ class Block {
   }
 
   // --- Port access ---
-  const Value& out(int port) const;
+  /// Latched output value.  Storage lives in the owning model's contiguous
+  /// signal-slot arena once the model is compiled (Model::sorted()), in the
+  /// block's own fallback vector otherwise; either way this is one load.
+  const Value& out(int port) const {
+    if (static_cast<std::size_t>(port) >= outputs_.size()) {
+      throw_bad_port(port, /*output=*/true);
+    }
+    return slots_[static_cast<std::size_t>(port)];
+  }
   /// Latched value at the block feeding input \p port (engine executed it
   /// earlier in sorted order).  Unconnected inputs read 0.0.
-  Value in_value(int port) const;
+  Value in_value(int port) const { return in_ref(port); }
   bool input_connected(int port) const;
 
   struct Connection {
@@ -132,23 +140,52 @@ class Block {
   const Connection& input(int port) const;
 
  protected:
-  /// Writes an output, quantizing to the port's declared type.
-  void set_out(int port, double real);
+  /// Writes an output, quantizing to the port's declared type.  The
+  /// dominant double->double case is a single store into the signal slot.
+  void set_out(int port, double real) {
+    const auto p = static_cast<std::size_t>(port);
+    if (p >= outputs_.size()) throw_bad_port(port, /*output=*/true);
+    if (out_types_[p] == DataType::kDouble) {
+      slots_[p].assign_double(real);
+    } else {
+      slots_[p] = Value::quantize(real, out_types_[p], out_fmts_[p]);
+    }
+  }
   void set_out_value(int port, const Value& v);
-  double in(int port) const { return in_value(port).as_double(); }
-  bool in_bool(int port) const { return in_value(port).as_bool(); }
+  /// Reference to the value feeding input \p port: a resolved slot pointer
+  /// when the owning model is compiled, a connection walk otherwise.
+  const Value& in_ref(int port) const {
+    const auto p = static_cast<std::size_t>(port);
+    if (p < in_cache_.size()) {
+      if (const Value* src = in_cache_[p]) return *src;
+    }
+    return in_walk(port);
+  }
+  double in(int port) const { return in_ref(port).as_double(); }
+  bool in_bool(int port) const { return in_ref(port).as_bool(); }
 
  private:
   friend class Model;
 
+  const Value& in_walk(int port) const;
+  [[noreturn]] void throw_bad_port(int port, bool output) const;
+  /// Shared slot for unconnected inputs (always reads double 0).
+  static const Value& zero_value();
+
   std::string name_;
   std::vector<Connection> inputs_;
-  std::vector<Value> outputs_;
+  std::vector<Value> outputs_;  ///< fallback storage when not compiled
   std::vector<DataType> out_types_;
   std::vector<std::optional<fixpt::FixedFormat>> out_fmts_;
   SampleTime sample_time_ = SampleTime::inherited();
   double resolved_period_ = 0.0;
   bool resolved_continuous_ = false;
+  /// Active output storage: outputs_.data() until the owning model compiles
+  /// its signal arena, then a pointer into that arena.
+  Value* slots_ = nullptr;
+  /// Per-input resolved source slots (filled by Model::compile; nullptr
+  /// entries — e.g. cross-model sources — keep the walking fallback).
+  std::vector<const Value*> in_cache_;
 };
 
 }  // namespace iecd::model

@@ -121,23 +121,36 @@ void Engine::initialize() {
     }
   }
 
+  build_exec_list();
+
   major_index_ = 0;
   initialized_ = true;
+}
+
+void Engine::build_exec_list() {
+  exec_.clear();
+  exec_.reserve(model_.sorted().size());
+  for (Block* b : model_.sorted()) {
+    ExecEntry e{b, 0, 0};
+    if (!b->resolved_continuous()) {
+      // Divisibility was validated in resolve_sample_times(); a block whose
+      // rate was never resolved (graph edited mid-run) runs at base rate.
+      const std::int64_t p_ns = to_ns(b->resolved_period());
+      e.period_ticks =
+          p_ns > 0 ? static_cast<std::uint64_t>(p_ns / base_period_ns_) : 1;
+      if (e.period_ticks == 0) e.period_ticks = 1;
+      const std::int64_t o_ns = to_ns(b->sample_time().offset);
+      e.offset_ticks =
+          o_ns > 0 ? static_cast<std::uint64_t>(o_ns / base_period_ns_) : 0;
+    }
+    exec_.push_back(e);
+  }
+  model_epoch_ = model_.order_epoch();
 }
 
 double Engine::time() const {
   return static_cast<double>(major_index_) *
          static_cast<double>(base_period_ns_) * 1e-9;
-}
-
-bool Engine::hits(const Block& block, std::uint64_t major) const {
-  if (block.resolved_continuous()) return true;
-  const std::int64_t t_ns =
-      static_cast<std::int64_t>(major) * base_period_ns_;
-  const std::int64_t p_ns = to_ns(block.resolved_period());
-  const std::int64_t o_ns = to_ns(block.sample_time().offset);
-  if (t_ns < o_ns) return false;
-  return (t_ns - o_ns) % p_ns == 0;
 }
 
 void Engine::eval_derivatives(double t, std::vector<double>& candidate,
@@ -199,14 +212,19 @@ void Engine::integrate(double t0) {
 
 bool Engine::step() {
   if (!initialized_) initialize();
+  if (model_epoch_ != model_.order_epoch()) {
+    // Graph edited mid-run (rare): refresh the flattened dispatch list.
+    build_exec_list();
+  }
   const double t = time();
   if (t >= options_.stop_time - 1e-12) return false;
+  const std::uint64_t major = major_index_;
   SimContext ctx{t, base_period_, false};
-  for (Block* b : model_.sorted()) {
-    if (hits(*b, major_index_)) b->output(ctx);
+  for (const ExecEntry& e : exec_) {
+    if (due(e, major)) e.block->output(ctx);
   }
-  for (Block* b : model_.sorted()) {
-    if (hits(*b, major_index_)) b->update(ctx);
+  for (const ExecEntry& e : exec_) {
+    if (due(e, major)) e.block->update(ctx);
   }
   integrate(t);
   if (auto* tr = trace::recorder()) {

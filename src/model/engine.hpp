@@ -47,8 +47,24 @@ class Engine {
   }
 
  private:
+  /// Flattened dispatch entry, precomputed at initialize(): rate checks on
+  /// the major-step path are pure integer arithmetic (no double->ns
+  /// conversions, no sample-time struct reads).
+  struct ExecEntry {
+    Block* block = nullptr;
+    std::uint64_t period_ticks = 0;  ///< 0 = continuous (runs every step)
+    std::uint64_t offset_ticks = 0;
+  };
+
+  static bool due(const ExecEntry& e, std::uint64_t major) {
+    if (e.period_ticks == 0) return true;  // continuous
+    if (major < e.offset_ticks) return false;
+    if (e.period_ticks == 1) return true;  // base rate
+    return (major - e.offset_ticks) % e.period_ticks == 0;
+  }
+
   void resolve_sample_times();
-  bool hits(const Block& block, std::uint64_t major) const;
+  void build_exec_list();
   void eval_derivatives(double t, std::vector<double>& scratch_states,
                         std::vector<double>& dx);
   void integrate(double t0);
@@ -60,6 +76,8 @@ class Engine {
   std::uint64_t major_index_ = 0;
   bool initialized_ = false;
 
+  std::vector<ExecEntry> exec_;  ///< sorted order, integer-rate annotated
+  std::uint64_t model_epoch_ = 0;
   std::vector<Block*> continuous_blocks_;
   std::vector<std::size_t> state_offsets_;  ///< per continuous block
   std::size_t total_states_ = 0;

@@ -3,8 +3,17 @@
 /// data-flow execution order (topological over direct-feedthrough edges)
 /// and detects algebraic loops — the consistency layer Simulink provides
 /// before any simulation or code generation can run.
+///
+/// Compilation: computing the order also "compiles" the model for the hot
+/// path — block outputs move into one contiguous signal-slot arena (integer
+/// slot ids, assigned in block-insertion order) and every input connection
+/// is resolved to a direct slot pointer, so the major-step loop touches no
+/// strings, no hash maps and no per-port indirection chains.  Any graph
+/// edit (add/connect/remove) decompiles back to per-block storage and bumps
+/// order_epoch(), letting engines refresh their cached dispatch lists.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,17 +58,33 @@ class Model {
   util::DiagnosticList check() const;
 
   /// Execution order.  Throws std::logic_error on algebraic loops.
+  /// Also compiles the signal-slot arena (see file comment).
   const std::vector<Block*>& sorted() const;
+
+  /// Bumped on every graph edit (add/connect/remove); engines key their
+  /// cached dispatch lists on it.
+  std::uint64_t order_epoch() const { return order_epoch_; }
+
+  /// True while the signal-slot arena backs block outputs.
+  bool compiled() const { return compiled_; }
+  /// Total output slots in the compiled arena (0 when decompiled).
+  std::size_t signal_slot_count() const { return arena_.size(); }
 
  private:
   void ensure_unique(const std::string& block_name) const;
-  void invalidate() { order_valid_ = false; }
+  void invalidate();
   void compute_order() const;
+  void compile() const;
+  void decompile();
 
   std::string name_;
   std::vector<std::unique_ptr<Block>> blocks_;
   mutable std::vector<Block*> order_;
   mutable bool order_valid_ = false;
+  /// Contiguous storage for every block output (the signal-slot arena).
+  mutable std::vector<Value> arena_;
+  mutable bool compiled_ = false;
+  std::uint64_t order_epoch_ = 0;
 };
 
 }  // namespace iecd::model

@@ -56,6 +56,14 @@ class Value {
 
   DataType type() const { return type_; }
 
+  /// Hot-path store for the dominant signal type: equivalent to
+  /// `*this = quantize(v, kDouble, nullopt)` without the switch or the
+  /// temporary (used by the engine's major-step write path).
+  void assign_double(double v) {
+    type_ = DataType::kDouble;
+    d_ = v;
+  }
+
   double as_double() const;
   bool as_bool() const;
   std::int64_t as_int() const;

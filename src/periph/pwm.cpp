@@ -25,7 +25,11 @@ sim::SimTime PwmPeripheral::period() const {
 void PwmPeripheral::start() {
   if (running_) return;
   running_ = true;
+  // First period begins immediately; subsequent boundaries ride one recurring
+  // event instead of re-arming a fresh one-shot every cycle.
   on_period_start();
+  tick_event_ = queue().schedule_every(period(), [this] { on_period_start(); });
+  tick_scheduled_ = true;
 }
 
 void PwmPeripheral::stop() {
@@ -87,12 +91,6 @@ void PwmPeripheral::on_period_start() {
       });
     }
   }
-
-  tick_event_ = queue().schedule_in(period(), [this] {
-    tick_scheduled_ = false;
-    on_period_start();
-  });
-  tick_scheduled_ = true;
 }
 
 void PwmPeripheral::reset() {

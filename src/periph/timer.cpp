@@ -23,7 +23,11 @@ void TimerPeripheral::start() {
   running_ = true;
   epoch_ = now();
   ticks_ = 0;
-  schedule_next();
+  if (jitter_) {
+    schedule_next();
+  } else {
+    arm_recurring();
+  }
 }
 
 void TimerPeripheral::stop() {
@@ -38,6 +42,28 @@ void TimerPeripheral::stop() {
 void TimerPeripheral::set_jitter_hook(
     std::function<sim::SimTime(std::uint64_t)> hook) {
   jitter_ = std::move(hook);
+  if (running_ && scheduled_) {
+    // Re-arm so the hook change shapes the very next activation.
+    queue().cancel(event_);
+    scheduled_ = false;
+    if (jitter_) {
+      schedule_next();
+    } else {
+      arm_recurring();
+    }
+  }
+}
+
+void TimerPeripheral::arm_recurring() {
+  // Jitter-free timers ride a single recurring event: the queue re-fires it
+  // at exact period multiples with no per-tick rescheduling or allocation.
+  sim::SimTime p = period();
+  if (p <= 0) p = 1;
+  event_ = queue().schedule_every(p, [this] {
+    ++ticks_;
+    if (config_.overflow_vector >= 0) mcu().raise_irq(config_.overflow_vector);
+  });
+  scheduled_ = true;
 }
 
 void TimerPeripheral::schedule_next() {

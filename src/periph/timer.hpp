@@ -45,6 +45,7 @@ class TimerPeripheral : public Peripheral {
 
  private:
   void schedule_next();
+  void arm_recurring();
 
   TimerConfig config_;
   bool running_ = false;

@@ -44,12 +44,20 @@ void HostEndpoint::set_plant(
 void HostEndpoint::start() {
   if (running_) return;
   running_ = true;
-  world_.queue().schedule_at(options_.start + options_.period,
-                             [this] { exchange(); });
+  if (exchange_event_ != 0) world_.queue().cancel(exchange_event_);
+  // One recurring event carries every exchange for the whole session.
+  exchange_event_ = world_.queue().schedule_every(
+      options_.start + options_.period - world_.now(), options_.period,
+      [this] { exchange(); });
 }
 
 void HostEndpoint::exchange() {
-  if (!running_) return;
+  if (!running_) {
+    // stop() only clears the flag; the recurrence retires itself here.
+    world_.queue().cancel(exchange_event_);
+    exchange_event_ = 0;
+    return;
+  }
   // The previous actuator frame should have arrived within the period;
   // a late response is the PIL bench's deadline miss.
   if (awaiting_response_) {
@@ -75,7 +83,6 @@ void HostEndpoint::exchange() {
     tr->span_begin("pil", "exchange", "pil_host", world_.now(),
                    static_cast<double>(frame.seq));
   }
-  world_.queue().schedule_in(options_.period, [this] { exchange(); });
 }
 
 }  // namespace iecd::pil

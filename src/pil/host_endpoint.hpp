@@ -53,6 +53,7 @@ class HostEndpoint {
   std::function<void(double)> advance_;
   FrameDecoder decoder_;
   bool running_ = false;
+  sim::EventId exchange_event_ = 0;
   bool awaiting_response_ = false;
   sim::SimTime sent_at_ = 0;
   std::uint8_t seq_ = 0;

@@ -16,6 +16,10 @@ IncrementalEncoder::IncrementalEncoder(sim::World& world, DcMotorSim& motor,
 }
 
 void IncrementalEncoder::reset() {
+  if (poll_event_ != 0) {
+    world_.queue().cancel(poll_event_);
+    poll_event_ = 0;
+  }
   running_ = false;
   last_counts_ = 0;
   last_index_rev_ = 0;
@@ -24,7 +28,10 @@ void IncrementalEncoder::reset() {
 void IncrementalEncoder::start() {
   if (running_) return;
   running_ = true;
-  world_.queue().schedule_in(params_.poll_interval, [this] { poll(); });
+  // One recurring arm for the whole run: the poll loop re-fires without
+  // allocating or rescheduling anything per sample.
+  poll_event_ =
+      world_.queue().schedule_every(params_.poll_interval, [this] { poll(); });
 }
 
 void IncrementalEncoder::poll() {
@@ -45,7 +52,6 @@ void IncrementalEncoder::poll() {
     qdec_.index_pulse();
     last_index_rev_ = rev;
   }
-  world_.queue().schedule_in(params_.poll_interval, [this] { poll(); });
 }
 
 }  // namespace iecd::plant

@@ -47,6 +47,7 @@ class IncrementalEncoder : public sim::Component {
   EncoderParams params_;
   std::string name_;
   bool running_ = false;
+  sim::EventId poll_event_ = 0;
   std::int64_t last_counts_ = 0;
   std::int64_t last_index_rev_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,89 +8,241 @@
 
 namespace iecd::sim {
 
-EventId EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+namespace {
+
+// Compaction kicks in once at least kCompactMin stale entries accumulate
+// AND they make up at least half the heap; this keeps the heap O(live)
+// for cancel-heavy workloads (watchdog kicks) with amortized O(1) cost.
+constexpr std::size_t kCompactMin = 64;
+
+constexpr std::uint64_t kSlotMask = 0xffff'ffffull;
+
+}  // namespace
+
+EventId EventQueue::arm(SimTime when, SimTime period, Callback&& fn) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue: scheduling into the past");
   }
   if (!fn) {
     throw std::invalid_argument("EventQueue: empty action");
   }
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  actions_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    if (slot_count_ > kSlotIndexMask) {
+      throw std::length_error("EventQueue: too many concurrent events");
+    }
+    if ((slot_count_ >> kSlotChunkShift) == chunks_.size()) {
+      chunks_.emplace_back(new Slot[std::size_t{1} << kSlotChunkShift]);
+    }
+    slot = slot_count_++;
+  }
+  Slot& s = slot_at(slot);
+  s.fn = std::move(fn);
+  s.period = period;
+  s.live = true;
+  s.in_flight = false;
   ++live_count_;
-  return id;
+  push_occurrence(when, slot);
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
 }
 
-EventId EventQueue::schedule_in(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    std::size_t child = (i << 2) + 1;
+    if (child >= n) break;
+    const std::size_t end = std::min(child + 4, n);
+    std::size_t best = child;
+    for (std::size_t c = child + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::pop_root() const {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+}
+
+void EventQueue::push_occurrence(SimTime when, std::uint32_t slot) {
+  if (next_seq_ >= kMaxSeq) renumber_seqs();
+  const std::uint64_t key = (next_seq_++ << kSlotIndexBits) | slot;
+  slot_at(slot).pending_key = key;
+  heap_.push_back(HeapEntry{when, key});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heapify() {
+  if (heap_.size() > 1) {
+    for (std::size_t i = ((heap_.size() - 2) >> 2) + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+}
+
+void EventQueue::renumber_seqs() {
+  // Reached only after ~2^40 arms on one queue: compress the insertion
+  // ranks (dropping stale entries first) so the packed key never
+  // overflows.  Relative key order is preserved, hence so is FIFO.
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return !entry_live(e);
+                             }),
+              heap_.end());
+  stale_in_heap_ = 0;
+  std::sort(heap_.begin(), heap_.end(),
+            [](const HeapEntry& a, const HeapEntry& b) {
+              return a.key < b.key;
+            });
+  next_seq_ = 1;
+  for (auto& e : heap_) {
+    const std::uint32_t slot = e.slot();
+    e.key = (next_seq_++ << kSlotIndexBits) | slot;
+    slot_at(slot).pending_key = e.key;
+  }
+  heapify();
+}
+
+EventId EventQueue::schedule_at(SimTime when, Callback fn) {
+  return arm(when, 0, std::move(fn));
+}
+
+EventId EventQueue::schedule_in(SimTime delay, Callback fn) {
+  return arm(now_ + delay, 0, std::move(fn));
+}
+
+EventId EventQueue::schedule_every(SimTime first_delay, SimTime period,
+                                   Callback fn) {
+  if (period <= 0) {
+    throw std::invalid_argument("EventQueue: recurring period must be > 0");
+  }
+  return arm(now_ + first_delay, period, std::move(fn));
+}
+
+EventId EventQueue::schedule_every(SimTime period, Callback fn) {
+  return schedule_every(period, period, std::move(fn));
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slot_at(slot);
+  s.fn = nullptr;  // release captures (and any heap spill) eagerly
+  s.period = 0;
+  s.pending_key = 0;
+  s.live = false;
+  s.in_flight = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
+  const std::uint64_t low = id & kSlotMask;
+  if (low == 0 || low > slot_count_) return false;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  Slot& s = slot_at(slot);
+  if (!s.live || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
   --live_count_;
+  if (s.in_flight) {
+    // Cancelled from inside its own callback: the occurrence was already
+    // popped, so there is no stale heap entry; step() reclaims the slot
+    // once the callback returns.
+    s.live = false;
+    return true;
+  }
+  release_slot(slot);
+  ++stale_in_heap_;
+  maybe_compact();
   return true;
 }
 
-SimTime EventQueue::next_time() const {
-  // Skip cancelled entries without mutating state: peek copies are cheap,
-  // but we cannot pop from a const heap, so scan via a copy of the top run.
-  // In practice cancelled density is low; we just look at the top and, if
-  // stale, fall back to scanning (handled in step()).  For the const query
-  // we conservatively walk a temporary copy only when the top is stale.
-  if (live_count_ == 0) return kNever;
-  auto heap_copy = heap_;
-  while (!heap_copy.empty()) {
-    const Entry top = heap_copy.top();
-    if (actions_.count(top.id)) return top.when;
-    heap_copy.pop();
+void EventQueue::maybe_compact() {
+  if (stale_in_heap_ < kCompactMin || stale_in_heap_ * 2 < heap_.size()) {
+    return;
   }
-  return kNever;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const HeapEntry& e) {
+                               return !entry_live(e);
+                             }),
+              heap_.end());
+  stale_in_heap_ = 0;
+  heapify();
+}
+
+void EventQueue::prune_stale_top() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    pop_root();
+    --stale_in_heap_;
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  prune_stale_top();
+  return heap_.empty() ? kNever : heap_.front().when;
 }
 
 bool EventQueue::step() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    const auto it = actions_.find(top.id);
-    if (it == actions_.end()) continue;  // lazily-removed cancelled event
-    std::function<void()> fn = std::move(it->second);
-    actions_.erase(it);
+  prune_stale_top();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  pop_root();
+  now_ = top.when;
+  const std::uint32_t slot = top.slot();
+  Slot& s = slot_at(slot);
+  // Execute in place: chunk addresses are stable, so reentrant scheduling
+  // (even slab growth) cannot move the callback under us.  The slot is
+  // marked dead first so cancel() from inside the callback reports
+  // "already ran" for one-shots and stops the recurrence for periodics.
+  const bool recurring = s.period > 0;
+  s.pending_key = 0;
+  s.in_flight = true;
+  if (!recurring) {
+    s.live = false;
     --live_count_;
-    now_ = top.when;
-    if (auto* tr = trace::recorder()) {
-      tr->span_begin("sim", "dispatch", "event_queue", now_,
-                     static_cast<double>(top.id));
-      fn();
-      tr->span_end("sim", "dispatch", "event_queue", now_,
-                   static_cast<double>(top.id));
-    } else {
-      fn();
-    }
-    return true;
   }
-  return false;
+  if (auto* tr = trace::recorder()) {
+    const auto seq = static_cast<double>(top.key >> kSlotIndexBits);
+    tr->span_begin("sim", "dispatch", "event_queue", now_, seq);
+    s.fn();
+    tr->span_end("sim", "dispatch", "event_queue", now_, seq);
+  } else {
+    s.fn();
+  }
+  s.in_flight = false;
+  if (recurring && s.live) {
+    push_occurrence(now_ + s.period, slot);
+  } else {
+    release_slot(slot);
+  }
+  return true;
 }
 
 std::size_t EventQueue::run_until(SimTime until) {
   std::size_t executed = 0;
   for (;;) {
-    // Find the next live event without executing it yet.
-    bool found = false;
-    SimTime when = kNever;
-    while (!heap_.empty()) {
-      const Entry top = heap_.top();
-      if (actions_.count(top.id) == 0) {
-        heap_.pop();
-        continue;
-      }
-      when = top.when;
-      found = true;
-      break;
-    }
-    if (!found || when > until) break;
+    prune_stale_top();
+    if (heap_.empty() || heap_.front().when > until) break;
     step();
     ++executed;
   }

@@ -2,33 +2,60 @@
 /// Deterministic discrete-event scheduler.  Ties are broken by insertion
 /// order (FIFO at equal timestamps) so repeated runs of the same model are
 /// bit-identical — the property every regression test in this repo relies
-/// on.  Events are cancelable; cancellation is O(1) (lazy removal).
+/// on.  Events are cancelable; cancellation is O(1) (lazy removal) with a
+/// compaction threshold so cancel-heavy workloads cannot grow the heap
+/// unboundedly.
+///
+/// Hot-path layout: callbacks live in a chunked slab of generation-tagged
+/// slots (small-buffer-optimized storage, no heap allocation for the
+/// common capture sizes) and the pending set is a single 4-ary implicit
+/// heap of 24-byte entries — no per-event `std::function` allocation and
+/// no hash-map side table.  Periodic work uses schedule_every(), which
+/// stores the callback once and re-arms without allocating per tick.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/small_function.hpp"
 
 namespace iecd::sim {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event.  Encodes a slot index
+/// plus a generation tag, so a handle to an event that already ran (or was
+/// cancelled) can never alias a later event reusing the same slot.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
+  /// Inline capture budget: `this` plus a few scalars stays allocation-free;
+  /// larger captures transparently spill to one heap allocation.
+  static constexpr std::size_t kCallbackBuffer = 48;
+  using Callback = util::SmallFunction<void(), kCallbackBuffer>;
+
   /// Schedules \p fn at absolute time \p when (must be >= now()).
   /// Returns a handle usable with cancel().
-  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_at(SimTime when, Callback fn);
 
   /// Schedules \p fn \p delay after now().
-  EventId schedule_in(SimTime delay, std::function<void()> fn);
+  EventId schedule_in(SimTime delay, Callback fn);
 
-  /// Cancels a pending event.  Returns false if it already ran, was already
-  /// cancelled, or never existed.
+  /// Recurring event: first fires at now() + \p first_delay, then every
+  /// \p period (> 0) until cancelled.  The callback is stored once and
+  /// re-armed after each occurrence returns, so periodic timers allocate
+  /// nothing per tick.  FIFO ordering matches the classic pattern of
+  /// re-scheduling at the end of the handler: each occurrence takes its
+  /// insertion rank when (re)armed.  Cancelling from inside the callback
+  /// is allowed and stops the recurrence.
+  EventId schedule_every(SimTime first_delay, SimTime period, Callback fn);
+
+  /// Recurring event with the first occurrence one period from now().
+  EventId schedule_every(SimTime period, Callback fn);
+
+  /// Cancels a pending event (one-shot or recurring).  Returns false if it
+  /// already ran, was already cancelled, or never existed.
   bool cancel(EventId id);
 
   /// Current simulated time.  Advances only as events execute.
@@ -49,26 +76,98 @@ class EventQueue {
   std::size_t run_until(SimTime until);
 
   /// Drains the queue completely (use with care: self-rescheduling
-  /// components make this unbounded).  Returns events executed.
+  /// components and recurring events make this unbounded).  Returns events
+  /// executed.
   std::size_t run_all(std::size_t max_events = SIZE_MAX);
 
+  // --- Introspection (tests / diagnostics) ---
+  /// Pending-heap entries, including lazily-removed (stale) ones.  The
+  /// compaction threshold keeps this O(live events), independently of how
+  /// many events have been cancelled.
+  std::size_t heap_size() const { return heap_.size(); }
+  std::size_t stale_heap_entries() const { return stale_in_heap_; }
+
  private:
-  struct Entry {
+  /// Callback slab entry.  Slots live in fixed chunks that are never
+  /// reallocated (stable references across reentrant scheduling); freed
+  /// slots are recycled via the free list with a bumped generation.
+  struct Slot {
+    Callback fn;
+    SimTime period = 0;           ///< > 0 marks a recurring event
+    std::uint64_t pending_key = 0;  ///< key of the pending occurrence, 0=none
+    std::uint32_t gen = 1;
+    bool live = false;
+    bool in_flight = false;  ///< callback currently executing
+  };
+
+  /// Chunked slab geometry: index -> chunks_[i >> shift][i & mask] is two
+  /// dependent loads with shift/mask arithmetic (cheaper than deque's
+  /// divide-by-buffer-size indexing) and chunk addresses never move.
+  static constexpr std::uint32_t kSlotChunkShift = 6;  // 64 slots per chunk
+  static constexpr std::uint32_t kSlotChunkMask = (1u << kSlotChunkShift) - 1;
+
+  /// Packed (insertion rank << 24 | slot index) key.  Rank order == key
+  /// order (rank sits in the high bits and is unique), so comparing keys
+  /// IS the FIFO tie-break; the low bits recover the slot on dispatch.
+  /// Ranks are renumbered in the (astronomically rare) event they would
+  /// overflow the 40-bit field, and slot indices are capped at 2^24
+  /// concurrent events.
+  static constexpr int kSlotIndexBits = 24;
+  static constexpr std::uint32_t kSlotIndexMask =
+      (1u << kSlotIndexBits) - 1;
+  static constexpr std::uint64_t kMaxSeq =
+      (std::uint64_t{1} << (64 - kSlotIndexBits)) - 1;
+
+  /// Pending-occurrence heap entry: 16 bytes, so pops move half the bytes
+  /// a (when, seq, slot, gen) layout would.  Staleness is detected by
+  /// comparing \p key against the owning slot's pending_key instead of a
+  /// per-entry generation tag.
+  struct HeapEntry {
     SimTime when;
-    EventId id;
-    // std::priority_queue is a max-heap; invert for earliest-first, with
-    // lower id (earlier insertion) winning ties.
-    bool operator<(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return id > other.id;
+    std::uint64_t key;
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & kSlotIndexMask;
     }
   };
 
+  // Min-ordering on (when, key): the 4-ary heap keeps the earliest pair at
+  // heap_[0].  Four children sit contiguously at 4i+1..4i+4, so a pop
+  // touches half the levels (and cache lines) of a binary heap.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.key < b.key;
+  }
+
+  Slot& slot_at(std::uint32_t i) const {
+    return chunks_[i >> kSlotChunkShift][i & kSlotChunkMask];
+  }
+
+  EventId arm(SimTime when, SimTime period, Callback&& fn);
+  void push_occurrence(SimTime when, std::uint32_t slot);
+  bool entry_live(const HeapEntry& e) const {
+    return slot_at(e.slot()).pending_key == e.key;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i) const;
+  void heapify();
+  void renumber_seqs();
+  /// Removes heap_[0], refilling from the back.  Logically const when used
+  /// from pruning (only reorders the mutable heap).
+  void pop_root() const;
+  /// Pops lazily-removed entries off the heap top.  Logically const: only
+  /// drops entries that are already dead.
+  void prune_stale_top() const;
+  void release_slot(std::uint32_t slot);
+  void maybe_compact();
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::size_t stale_in_heap_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace iecd::sim

@@ -1,0 +1,157 @@
+/// \file small_function.hpp
+/// Move-only type-erased callable with small-buffer-optimized storage.
+/// `std::function` guarantees copyability and (on common ABIs) spills any
+/// capture beyond ~16 bytes to the heap; the simulation event core schedules
+/// millions of callbacks whose captures are a `this` pointer plus a couple
+/// of scalars, so it wants a callable type that (a) never allocates for
+/// captures up to a configurable inline size and (b) supports move-only
+/// captures.  Callables larger than the buffer fall back to a single heap
+/// allocation, so correctness never depends on the buffer size.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iecd::util {
+
+template <typename Signature, std::size_t BufferBytes = 48>
+class SmallFunction;  // primary template; only the R(Args...) form exists
+
+template <typename R, typename... Args, std::size_t BufferBytes>
+class SmallFunction<R(Args...), BufferBytes> {
+ public:
+  /// True when callable F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= BufferBytes &&
+      alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(fn));
+      invoke_ = &invoke_inline<D>;
+      manage_ = &manage_inline<D>;
+    } else {
+      ::new (static_cast<void*>(&storage_))
+          D*(new D(std::forward<F>(fn)));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(&storage_, std::forward<Args>(args)...);
+  }
+
+  /// Diagnostics: true when the held callable lives on the heap (tests
+  /// assert the common capture sizes stay inline).
+  bool uses_heap() const { return manage_ && manage_(Op::kQueryHeap, nullptr, nullptr); }
+
+ private:
+  enum class Op { kDestroy, kMoveTo, kQueryHeap };
+  using Storage = std::aligned_storage_t<BufferBytes, alignof(std::max_align_t)>;
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = bool (*)(Op, void*, void*);
+
+  void reset() {
+    if (manage_) manage_(Op::kDestroy, &storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.manage_) {
+      other.manage_(Op::kMoveTo, &other.storage_, &storage_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static R invoke_inline(void* s, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(s)))(
+        std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static bool manage_inline(Op op, void* self, void* dst) {
+    D* fn = std::launder(reinterpret_cast<D*>(self));
+    switch (op) {
+      case Op::kDestroy:
+        fn->~D();
+        return false;
+      case Op::kMoveTo:
+        ::new (dst) D(std::move(*fn));
+        fn->~D();
+        return false;
+      case Op::kQueryHeap:
+        return false;
+    }
+    return false;
+  }
+
+  template <typename D>
+  static R invoke_heap(void* s, Args&&... args) {
+    return (**std::launder(reinterpret_cast<D**>(s)))(
+        std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static bool manage_heap(Op op, void* self, void* dst) {
+    D** slot = std::launder(reinterpret_cast<D**>(self));
+    switch (op) {
+      case Op::kDestroy:
+        delete *slot;
+        return false;
+      case Op::kMoveTo:
+        ::new (dst) D*(*slot);
+        *slot = nullptr;
+        return false;
+      case Op::kQueryHeap:
+        return true;
+    }
+    return false;
+  }
+
+  Storage storage_;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace iecd::util

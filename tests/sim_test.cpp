@@ -116,6 +116,65 @@ class NamedComponent : public Component {
   std::string name_;
 };
 
+TEST(EventQueue, ScheduleEveryFiresAtExactPeriodMultiples) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_every(10, [&] { fired.push_back(q.now()); });
+  q.run_until(55);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30, 40, 50}));
+  EXPECT_EQ(q.now(), 55);
+  EXPECT_EQ(q.pending(), 1u);  // still armed for t = 60
+}
+
+TEST(EventQueue, ScheduleEveryHonoursFirstDelay) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_every(3, 10, [&] { fired.push_back(q.now()); });
+  q.run_until(30);
+  EXPECT_EQ(fired, (std::vector<SimTime>{3, 13, 23}));
+}
+
+TEST(EventQueue, CancelStopsRecurrence) {
+  EventQueue q;
+  int ticks = 0;
+  const auto id = q.schedule_every(10, [&] { ++ticks; });
+  q.run_until(35);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  q.run_until(100);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RecurringCallbackMayCancelItself) {
+  EventQueue q;
+  int ticks = 0;
+  EventId id = 0;
+  id = q.schedule_every(10, [&] {
+    if (++ticks == 4) q.cancel(id);
+  });
+  q.run_all();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(q.now(), 40);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RecurringInterleavesFifoWithOneShots) {
+  // A recurring event re-armed after each occurrence takes a fresh insertion
+  // rank — exactly like the classic reschedule-at-end-of-handler pattern —
+  // so a one-shot scheduled earlier for the same timestamp runs first.
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule_every(10, [&] { order.push_back("recurring"); });
+  q.schedule_at(20, [&] { order.push_back("oneshot"); });
+  q.run_until(20);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "recurring");  // t=10
+  EXPECT_EQ(order[1], "oneshot");    // t=20: scheduled before the re-arm
+  EXPECT_EQ(order[2], "recurring");  // t=20: re-armed at t=10
+}
+
 TEST(World, AttachRejectsDuplicatesAndResetsAll) {
   World w;
   NamedComponent c1("a");

@@ -8,6 +8,7 @@
 #include "util/crc16.hpp"
 #include "util/csv.hpp"
 #include "util/diagnostics.hpp"
+#include "util/small_function.hpp"
 #include "util/statistics.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -224,6 +225,64 @@ TEST(ThreadPool, SubmitReturnsUsableFuture) {
   auto f = pool.submit([&] { x = 7; });
   f.get();
   EXPECT_EQ(x.load(), 7);
+}
+
+TEST(SmallFunction, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  SmallFunction<void(), 48> fn([p] { ++*p; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.uses_heap());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFunction, LargeCapturesSpillToHeap) {
+  struct Big {
+    double payload[16] = {};  // 128 bytes > 48-byte inline buffer
+  } big;
+  big.payload[3] = 42.0;
+  double seen = 0.0;
+  double* out = &seen;
+  SmallFunction<void(), 48> fn([big, out] { *out = big.payload[3]; });
+  EXPECT_TRUE(fn.uses_heap());
+  fn();
+  EXPECT_EQ(seen, 42.0);
+}
+
+TEST(SmallFunction, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  int* p = &calls;
+  SmallFunction<void(), 48> a([p] { ++*p; });
+  SmallFunction<void(), 48> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  SmallFunction<void(), 48> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(SmallFunction, NullAndReturnValues) {
+  SmallFunction<int(int), 32> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  SmallFunction<int(int), 32> twice([](int v) { return 2 * v; });
+  EXPECT_EQ(twice(21), 42);
+  twice = nullptr;
+  EXPECT_FALSE(static_cast<bool>(twice));
+}
+
+TEST(SmallFunction, AcceptsStdFunctionLvalue) {
+  // The event queue's public API historically took std::function; callers
+  // passing one (by value or lvalue) must keep working.
+  std::function<void()> stdfn;
+  int hits = 0;
+  stdfn = [&hits] { ++hits; };
+  SmallFunction<void(), 48> fn(stdfn);
+  fn();
+  EXPECT_EQ(hits, 1);
 }
 
 }  // namespace

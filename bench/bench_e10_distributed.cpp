@@ -5,39 +5,89 @@
 // variations in sampling periods and latencies degrade the control
 // performance."  The distributed servo makes that measurable: control
 // cost vs bus bit rate, and vs higher-priority background traffic.
+//
+// Both sweeps (plus the reference run) fan out through exec::SweepRunner;
+// results are read back per-run in index order, so the tables match a
+// sequential execution byte for byte.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/distributed.hpp"
+#include "exec/sweep.hpp"
 
 using namespace iecd;
 
 namespace {
 
+constexpr std::uint32_t kBitrates[] = {1000000, 500000, 250000, 125000,
+                                       100000};
+constexpr double kTrafficRates[] = {0.0, 500.0, 1000.0, 2000.0, 3000.0};
+constexpr std::size_t kBitrateCount = std::size(kBitrates);
+constexpr std::size_t kTrafficCount = std::size(kTrafficRates);
+// Scenario index layout: 0 = reference, then bit rates, then traffic rates.
+constexpr std::size_t kPointCount = 1 + kBitrateCount + kTrafficCount;
+
+core::DistributedConfig base_config() {
+  core::DistributedConfig cfg;
+  cfg.duration_s = bench::smoke() ? 0.3 : 2.0;
+  return cfg;
+}
+
+void run_point(std::size_t index, trace::MetricsRegistry& m) {
+  auto cfg = base_config();
+  if (index >= 1 && index <= kBitrateCount) {
+    cfg.can_bitrate = kBitrates[index - 1];
+  } else if (index > kBitrateCount) {
+    cfg.background_frames_per_s = kTrafficRates[index - 1 - kBitrateCount];
+  }
+  const auto r = core::run_distributed_servo(cfg);
+  m.gauge("iae") = r.iae;
+  m.gauge("lat_mean") = r.loop_latency_us_mean;
+  m.gauge("lat_max") = r.loop_latency_us_max;
+  m.gauge("busy") = r.bus_utilisation;
+  m.gauge("overshoot") = r.metrics.overshoot_percent;
+  m.gauge("settled") = r.metrics.settled ? 1.0 : 0.0;
+  m.gauge("overruns") = static_cast<double>(r.controller_rx_overruns);
+  if (r.frames_delivered > 0) {
+    m.gauge("events_per_frame") = static_cast<double>(r.events_executed) /
+                                  static_cast<double>(r.frames_delivered);
+  }
+}
+
 void print_table() {
   std::printf("E10: distributed servo over CAN (sensor/controller/actuator "
               "nodes)\n\n");
 
-  core::DistributedConfig base;
-  base.duration_s = 0.8;
-  const auto clean = core::run_distributed_servo(base);
+  exec::SweepRunner runner;
+  bench::Stopwatch sw;
+  const auto res = runner.run(kPointCount, run_point);
+  const double wall_ms = sw.elapsed_ms();
+
+  const auto g = [&res](std::size_t i, const char* name) {
+    const double* v = res.per_run[i].find_gauge(name);
+    return v ? *v : 0.0;
+  };
+
   std::printf("reference (500 kbit/s, idle bus): IAE %.3f, latency %.0f us "
-              "mean\n\n",
-              clean.iae, clean.loop_latency_us_mean);
+              "mean, %.1f events/frame\n\n",
+              g(0, "iae"), g(0, "lat_mean"), g(0, "events_per_frame"));
+  bench::summarize("ref.iae", g(0, "iae"));
+  bench::summarize("ref.events_per_frame", g(0, "events_per_frame"));
 
   std::printf("(a) bus bit-rate sweep\n\n");
   std::printf("%-10s | %-10s %-14s %-12s %-10s %-9s\n", "bitrate", "IAE",
               "latency[us]", "bus busy[%]", "over[%]", "settled");
   bench::print_rule(72);
-  for (std::uint32_t bitrate :
-       {1000000u, 500000u, 250000u, 125000u, 100000u}) {
-    auto cfg = base;
-    cfg.can_bitrate = bitrate;
-    const auto r = core::run_distributed_servo(cfg);
-    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-10.2f %s\n", bitrate,
-                r.iae, r.loop_latency_us_mean, r.loop_latency_us_max,
-                r.bus_utilisation * 100.0, r.metrics.overshoot_percent,
-                r.metrics.settled ? "yes" : "NO");
+  for (std::size_t b = 0; b < kBitrateCount; ++b) {
+    const std::size_t i = 1 + b;
+    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-10.2f %s\n",
+                kBitrates[b], g(i, "iae"), g(i, "lat_mean"), g(i, "lat_max"),
+                g(i, "busy") * 100.0, g(i, "overshoot"),
+                g(i, "settled") != 0.0 ? "yes" : "NO");
+    const std::string key = "can." + std::to_string(kBitrates[b]);
+    bench::summarize(key + ".iae", g(i, "iae"));
+    bench::summarize(key + ".latency_us", g(i, "lat_mean"));
   }
 
   std::printf("\n(b) background traffic sweep (higher-priority frames, "
@@ -45,16 +95,22 @@ void print_table() {
   std::printf("%-12s | %-10s %-14s %-12s %-10s %-9s\n", "frames/s", "IAE",
               "latency[us]", "bus busy[%]", "overruns", "settled");
   bench::print_rule(74);
-  for (double rate : {0.0, 500.0, 1000.0, 2000.0, 3000.0}) {
-    auto cfg = base;
-    cfg.background_frames_per_s = rate;
-    const auto r = core::run_distributed_servo(cfg);
-    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-10llu %s\n", rate,
-                r.iae, r.loop_latency_us_mean, r.loop_latency_us_max,
-                r.bus_utilisation * 100.0,
-                static_cast<unsigned long long>(r.controller_rx_overruns),
-                r.metrics.settled ? "yes" : "NO");
+  for (std::size_t t = 0; t < kTrafficCount; ++t) {
+    const std::size_t i = 1 + kBitrateCount + t;
+    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-10.0f %s\n",
+                kTrafficRates[t], g(i, "iae"), g(i, "lat_mean"),
+                g(i, "lat_max"), g(i, "busy") * 100.0, g(i, "overruns"),
+                g(i, "settled") != 0.0 ? "yes" : "NO");
+    const std::string key =
+        "traffic." + std::to_string(static_cast<int>(kTrafficRates[t]));
+    bench::summarize(key + ".iae", g(i, "iae"));
+    bench::summarize(key + ".latency_us", g(i, "lat_mean"));
   }
+
+  std::printf("\nsweep wall time: %.1f ms across %zu points (%zu threads)\n",
+              wall_ms, res.runs, res.threads_used);
+  bench::summarize("sweep.wall_ms", wall_ms);
+
   std::printf("\nexpected shape: latency (and with it the control cost) "
               "grows as the bus slows\nor fills; at saturation the loop "
               "degrades the way Section 1 describes.\n\n");

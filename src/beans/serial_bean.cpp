@@ -69,6 +69,10 @@ bool SerialBean::SendChar(std::uint8_t byte) {
   return uart_ && uart_->send(byte);
 }
 
+std::size_t SerialBean::SendBlock(const std::uint8_t* data, std::size_t len) {
+  return uart_ ? uart_->send(data, len) : 0;
+}
+
 std::optional<std::uint8_t> SerialBean::RecvChar() {
   return uart_ ? uart_->read() : std::nullopt;
 }

@@ -25,6 +25,9 @@ class SerialBean : public Bean {
 
   // --- Runtime methods ---
   bool SendChar(std::uint8_t byte);
+  /// Queues a whole buffer for transmission as one wire burst; returns the
+  /// number of bytes accepted (clipped to the free TX FIFO slots).
+  std::size_t SendBlock(const std::uint8_t* data, std::size_t len);
   std::optional<std::uint8_t> RecvChar();
 
   std::uint32_t baud() const {

@@ -21,6 +21,10 @@ void SignalBuffer::set_input(std::size_t index, double value) {
 }
 
 void SignalBuffer::set_inputs(const std::vector<double>& values) {
+  set_inputs(std::span<const double>(values));
+}
+
+void SignalBuffer::set_inputs(std::span<const double> values) {
   for (std::size_t i = 0; i < values.size() && i < inputs_.size(); ++i) {
     inputs_[i] = values[i];
   }

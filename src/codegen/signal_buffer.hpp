@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@ class SignalBuffer {
 
   void set_input(std::size_t index, double value);
   void set_inputs(const std::vector<double>& values);
+  /// Allocation-free fill: copies min(values.size(), input_count()) values.
+  void set_inputs(std::span<const double> values);
   double input(std::size_t index) const;
   double input(const std::string& name) const;
 
@@ -31,6 +34,8 @@ class SignalBuffer {
   void set_output(const std::string& name, double value);
   double output(std::size_t index) const;
   std::vector<double> outputs() const;
+  /// Allocation-free view of the output slots.
+  const std::vector<double>& output_values() const { return outputs_; }
 
   const std::vector<std::string>& input_names() const { return input_names_; }
   const std::vector<std::string>& output_names() const {

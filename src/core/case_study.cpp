@@ -348,11 +348,12 @@ ServoSystem::PilResult ServoSystem::run_pil(const PilRunOptions& options) {
   auto* serial = dynamic_cast<beans::SerialBean*>(project_.find("AS1"));
   pil::PilSession session(
       world, runtime, *serial, buffer,
-      {config_.period_s, duration, options.baud, options.link});
-  session.set_plant(
-      [&]() -> std::vector<double> {
+      {config_.period_s, duration, options.baud, options.link,
+       options.batch});
+  session.set_plant_buffered(
+      [&](std::vector<double>& out) {
         // Sensor frame: the shaft angle the encoder interface measures.
-        return {motor.out(1).as_double()};
+        out.push_back(motor.out(1).as_double());
       },
       [&](const std::vector<double>& actuators) {
         if (!actuators.empty()) duty_cmd.set_value(actuators[0]);

@@ -119,6 +119,8 @@ class ServoSystem {
     std::uint32_t baud = 115200;  ///< bit clock (SPI: SCK frequency)
     double duration_s = 0.0;      ///< 0: use config duration
     pil::PilSession::LinkKind link = pil::PilSession::LinkKind::kRs232;
+    /// Control steps per exchanged frame (1 = classic per-period exchange).
+    int batch = 1;
   };
   struct PilResult {
     model::SampleLog speed;

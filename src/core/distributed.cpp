@@ -12,13 +12,12 @@ namespace iecd::core {
 namespace {
 
 /// Packs/unpacks the 16-bit payload fields of the demo frames.
-void put_u16(std::vector<std::uint8_t>& data, std::uint16_t v) {
+void put_u16(sim::CanPayload& data, std::uint16_t v) {
   data.push_back(static_cast<std::uint8_t>(v & 0xFF));
   data.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
-std::uint16_t get_u16(const std::vector<std::uint8_t>& data,
-                      std::size_t offset) {
+std::uint16_t get_u16(const sim::CanPayload& data, std::size_t offset) {
   return static_cast<std::uint16_t>(data[offset] |
                                     (data[offset + 1] << 8));
 }
@@ -226,6 +225,8 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
                                        config.setpoint_time);
   result.iae =
       model::integral_absolute_error(result.speed, config.setpoint);
+  result.events_executed = world.queue().events_executed();
+  result.frames_delivered = bus.stats().frames_delivered;
   result.sensor_frames = sensor_can.peripheral()->frames_sent();
   result.actuator_frames = ctrl_can.peripheral()->frames_sent();
   result.background_frames = background_sent;

@@ -64,6 +64,10 @@ struct DistributedResult {
   /// Sensor-sample -> actuation latency across the two hops [us].
   double loop_latency_us_mean = 0.0;
   double loop_latency_us_max = 0.0;
+  /// Scheduler pressure: event-queue dispatches for the whole run, and the
+  /// frames the bus delivered — the benches report events per frame.
+  std::uint64_t events_executed = 0;
+  std::uint64_t frames_delivered = 0;
 };
 
 /// Builds the three-node system, runs it, and reports control quality plus

@@ -22,9 +22,24 @@ sim::SimTime PwmPeripheral::period() const {
   return mcu().clock().cycles_to_time(cycles);
 }
 
+std::uint64_t PwmPeripheral::periods_elapsed() const {
+  if (!running_ || !analytic()) return periods_;
+  return periods_ + 1 +
+         static_cast<std::uint64_t>((now() - start_time_) / period());
+}
+
 void PwmPeripheral::start() {
   if (running_) return;
   running_ = true;
+  start_time_ = now();
+  if (analytic()) {
+    // The first period begins immediately: latch the duty register here;
+    // later boundaries matter only when a write is pending (see
+    // set_duty_counts), so no recurring event is needed.
+    active_duty_ = pending_duty_;
+    average_.set(now(), duty_ratio());
+    return;
+  }
   // First period begins immediately; subsequent boundaries ride one recurring
   // event instead of re-arming a fresh one-shot every cycle.
   on_period_start();
@@ -34,10 +49,15 @@ void PwmPeripheral::start() {
 
 void PwmPeripheral::stop() {
   if (!running_) return;
+  periods_ = periods_elapsed();  // freeze the analytic count
   running_ = false;
   if (tick_scheduled_) {
     queue().cancel(tick_event_);
     tick_scheduled_ = false;
+  }
+  if (latch_scheduled_) {
+    queue().cancel(latch_event_);
+    latch_scheduled_ = false;
   }
   average_.set(now(), 0.0);
 }
@@ -47,7 +67,27 @@ void PwmPeripheral::set_duty_counts(std::uint32_t counts) {
   if (!running_) {
     // Counter stopped: the write lands directly in the active register.
     active_duty_ = pending_duty_;
+    return;
   }
+  if (!analytic() || latch_scheduled_) return;
+  // Double-buffered semantics: the write takes effect at the next period
+  // boundary strictly after now — the same instant the per-period tick
+  // would have latched it.  Later writes before that boundary just update
+  // the pending register; the armed latch picks up the newest value.
+  const sim::SimTime t = period();
+  latch_scheduled_ = true;
+  latch_event_ = queue().schedule_at(
+      start_time_ + ((now() - start_time_) / t + 1) * t,
+      [this] { latch_pending(); });
+}
+
+void PwmPeripheral::latch_pending() {
+  latch_scheduled_ = false;
+  active_duty_ = pending_duty_;
+  average_.set(now(), duty_ratio());
+  // Keep the change log bounded for long runs; consumers integrate lazily
+  // and never look further back than a control period or two.
+  average_.prune_before(now() - sim::milliseconds(100));
 }
 
 void PwmPeripheral::set_duty_ratio(double ratio) {

@@ -56,12 +56,23 @@ class PwmPeripheral : public Peripheral {
   /// Edge callback (level, time); only fired when config.edge_events.
   void set_edge_callback(std::function<void(bool, sim::SimTime)> cb);
 
-  std::uint64_t periods_elapsed() const { return periods_; }
+  std::uint64_t periods_elapsed() const;
 
   void reset() override;
 
  private:
   void on_period_start();
+  void latch_pending();
+
+  /// Without an end-of-period interrupt or edge events the only
+  /// period-boundary effect is latching the double-buffered duty, so the
+  /// counter needs no per-period event: each duty write schedules one
+  /// latch at its next boundary and periods_elapsed() is computed from
+  /// the start instant.  Observable behaviour (latch instants, the
+  /// average-output change log, period counts) is identical.
+  bool analytic() const {
+    return config_.reload_vector < 0 && !config_.edge_events;
+  }
 
   PwmConfig config_;
   bool running_ = false;
@@ -69,9 +80,12 @@ class PwmPeripheral : public Peripheral {
   std::uint32_t pending_duty_ = 0;
   sim::ZohSignal average_{0.0};
   std::function<void(bool, sim::SimTime)> edge_cb_;
-  std::uint64_t periods_ = 0;
+  std::uint64_t periods_ = 0;  ///< analytic mode: count frozen at stop()
+  sim::SimTime start_time_ = 0;
   sim::EventId tick_event_ = 0;
   bool tick_scheduled_ = false;
+  sim::EventId latch_event_ = 0;
+  bool latch_scheduled_ = false;
 };
 
 }  // namespace iecd::periph

@@ -1,5 +1,7 @@
 #include "periph/uart.hpp"
 
+#include <algorithm>
+
 namespace iecd::periph {
 
 UartPeripheral::UartPeripheral(mcu::Mcu& mcu, UartConfig config,
@@ -13,32 +15,42 @@ void UartPeripheral::connect(sim::SerialChannel& tx, sim::SerialChannel& rx) {
   });
 }
 
-bool UartPeripheral::send(std::uint8_t byte) {
-  if (!tx_) return false;
-  if (tx_in_flight_ >= config_.tx_fifo_depth) return false;
-  ++tx_in_flight_;
-  ++bytes_sent_;
-  tx_->transmit(byte);
-  // The channel serializes; model FIFO drain by scheduling the slot release
-  // after this byte's wire time multiplied by queue position is implicit in
-  // the channel.  We approximate the drain notification per byte:
-  queue().schedule_in(tx_->config().byte_time() *
-                          static_cast<sim::SimTime>(tx_in_flight_),
-                      [this] {
-                        if (tx_in_flight_ > 0) --tx_in_flight_;
-                        if (tx_in_flight_ == 0 && config_.tx_vector >= 0) {
-                          mcu().raise_irq(config_.tx_vector);
-                        }
-                      });
-  return true;
+std::size_t UartPeripheral::tx_in_flight() const {
+  if (tx_busy_until_ <= now()) return 0;
+  const sim::SimTime bt = tx_->config().byte_time();
+  // Ceil: a partially shifted byte still occupies its FIFO slot.
+  return static_cast<std::size_t>((tx_busy_until_ - now() + bt - 1) / bt);
 }
 
+void UartPeripheral::arm_drain_event() {
+  if (drain_armed_) return;
+  drain_armed_ = true;
+  queue().schedule_in(tx_busy_until_ - queue().now(), [this] {
+    drain_armed_ = false;
+    if (queue().now() < tx_busy_until_) {
+      // More bytes entered the FIFO since this was armed: chase the new
+      // drain instant (one re-arm per extension, not one event per byte).
+      arm_drain_event();
+      return;
+    }
+    if (config_.tx_vector >= 0) mcu().raise_irq(config_.tx_vector);
+  });
+}
+
+bool UartPeripheral::send(std::uint8_t byte) { return send(&byte, 1) == 1; }
+
 std::size_t UartPeripheral::send(const std::uint8_t* data, std::size_t len) {
-  std::size_t accepted = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    if (!send(data[i])) break;
-    ++accepted;
-  }
+  if (!tx_ || len == 0) return 0;
+  const std::size_t in_flight = tx_in_flight();
+  if (in_flight >= config_.tx_fifo_depth) return 0;
+  const std::size_t accepted =
+      std::min(len, config_.tx_fifo_depth - in_flight);
+  bytes_sent_ += accepted;
+  tx_->transmit(data, accepted);
+  const sim::SimTime bt = tx_->config().byte_time();
+  tx_busy_until_ = std::max(tx_busy_until_, queue().now()) +
+                   bt * static_cast<sim::SimTime>(accepted);
+  arm_drain_event();
   return accepted;
 }
 
@@ -63,7 +75,7 @@ void UartPeripheral::reset() {
   overruns_ = 0;
   bytes_sent_ = 0;
   bytes_received_ = 0;
-  tx_in_flight_ = 0;
+  tx_busy_until_ = 0;
 }
 
 }  // namespace iecd::periph

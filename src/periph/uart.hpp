@@ -31,8 +31,13 @@ class UartPeripheral : public Peripheral {
   /// Queues a byte for transmission.  Returns false if the FIFO is full.
   bool send(std::uint8_t byte);
 
-  /// Queues a buffer; returns bytes accepted.
+  /// Queues a buffer as one burst onto the wire; returns bytes accepted
+  /// (clipped to the free FIFO slots).  Costs one event regardless of
+  /// length: FIFO occupancy is tracked analytically from the drain instant.
   std::size_t send(const std::uint8_t* data, std::size_t len);
+
+  /// Bytes still occupying TX FIFO slots (derived from the wire schedule).
+  std::size_t tx_in_flight() const;
 
   /// Reads and clears the RX data register.
   std::optional<std::uint8_t> read();
@@ -46,6 +51,7 @@ class UartPeripheral : public Peripheral {
 
  private:
   void on_rx_byte(std::uint8_t byte, sim::SimTime when);
+  void arm_drain_event();
 
   UartConfig config_;
   sim::SerialChannel* tx_ = nullptr;
@@ -54,7 +60,10 @@ class UartPeripheral : public Peripheral {
   std::uint64_t overruns_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
-  std::size_t tx_in_flight_ = 0;
+  /// Wire instant the TX FIFO is fully drained; one chased event raises
+  /// the TX interrupt when it passes.
+  sim::SimTime tx_busy_until_ = 0;
+  bool drain_armed_ = false;
 };
 
 }  // namespace iecd::periph

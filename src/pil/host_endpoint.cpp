@@ -7,27 +7,20 @@ namespace iecd::pil {
 HostEndpoint::HostEndpoint(sim::World& world, sim::SerialChannel& tx,
                            sim::SerialChannel& rx, Options options)
     : world_(world), tx_(tx), options_(options) {
-  decoder_.set_callback([this](const Frame& frame) {
-    if (frame.type != FrameType::kActuatorData) return;
-    if (apply_) apply_(decode_signals(frame.payload));
-    const double rtt_us = sim::to_microseconds(world_.now() - sent_at_);
-    rtt_us_.add(rtt_us);
-    if (awaiting_response_) {
-      if (auto* tr = trace::recorder()) {
-        tr->span_end("pil", "exchange", "pil_host", world_.now(), rtt_us);
-      }
-    }
-    awaiting_response_ = false;
-  });
-  rx.set_receiver([this](std::uint8_t byte, sim::SimTime) {
+  if (options_.batch < 1) options_.batch = 1;
+  decoder_.set_callback([this](const Frame& frame) { on_frame(frame); });
+  // Responses are consumed frame-wise, so the whole burst arrives in one
+  // event; per-byte arrival instants are reconstructed inside the decoder.
+  rx.set_burst_receiver([this](std::span<const std::uint8_t> data,
+                               sim::SimTime first_done, sim::SimTime bt) {
     if (auto* tr = trace::recorder()) {
       const std::uint64_t crc_before = decoder_.crc_errors();
-      decoder_.feed(byte);
+      decoder_.feed_burst(data, first_done, bt);
       if (decoder_.crc_errors() != crc_before) {
         tr->instant("pil", "crc_error", "pil_host", world_.now());
       }
     } else {
-      decoder_.feed(byte);
+      decoder_.feed_burst(data, first_done, bt);
     }
   });
 }
@@ -36,18 +29,91 @@ void HostEndpoint::set_plant(
     std::function<std::vector<double>()> sample,
     std::function<void(const std::vector<double>&)> apply,
     std::function<void(double)> advance) {
-  sample_ = std::move(sample);
+  if (sample) {
+    sample_into_ = [s = std::move(sample)](std::vector<double>& out) {
+      const auto values = s();
+      out.insert(out.end(), values.begin(), values.end());
+    };
+  } else {
+    sample_into_ = nullptr;
+  }
   apply_ = std::move(apply);
   advance_ = std::move(advance);
+}
+
+void HostEndpoint::set_plant_buffered(
+    std::function<void(std::vector<double>&)> sample_into,
+    std::function<void(const std::vector<double>&)> apply,
+    std::function<void(double)> advance) {
+  sample_into_ = std::move(sample_into);
+  apply_ = std::move(apply);
+  advance_ = std::move(advance);
+}
+
+void HostEndpoint::note_sent(std::uint8_t seq, sim::SimTime when) {
+  if (sent_head_ == sent_ring_.size()) {
+    // Everything answered: restart at the front, keeping the capacity.
+    sent_ring_.clear();
+    sent_head_ = 0;
+  }
+  sent_ring_.push_back({seq, when});
+}
+
+void HostEndpoint::on_frame(const Frame& frame) {
+  if (frame.type != FrameType::kActuatorData) return;
+  if (apply_) {
+    apply_values_.clear();
+    decode_signals_into(frame.payload, apply_values_);
+    if (options_.batch > 1 && !apply_values_.empty()) {
+      // Batched response: N stacked output groups arrive at once; only
+      // the newest group is still current, the rest were superseded
+      // before they could ever reach the plant.
+      const std::size_t groups = static_cast<std::size_t>(options_.batch);
+      const std::size_t group = apply_values_.size() / groups;
+      if (group > 0 && apply_values_.size() == group * groups) {
+        apply_values_.erase(apply_values_.begin(),
+                            apply_values_.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    (groups - 1) * group));
+      }
+    }
+    apply_(apply_values_);
+  }
+  // Responses come back in FIFO order: match against the oldest
+  // unanswered send with this sequence number.
+  bool found = false;
+  sim::SimTime sent = 0;
+  while (sent_head_ < sent_ring_.size()) {
+    const SentEntry e = sent_ring_[sent_head_++];
+    if (e.seq == frame.seq) {
+      sent = e.when;
+      found = true;
+      break;
+    }
+  }
+  const sim::SimTime arrival = decoder_.last_frame_time();
+  double rtt_us = 0.0;
+  if (found) {
+    rtt_us = sim::to_microseconds(arrival - sent);
+    rtt_us_.add(rtt_us);
+  }
+  if (awaiting_response_) {
+    if (auto* tr = trace::recorder()) {
+      tr->span_end("pil", "exchange", "pil_host", world_.now(), rtt_us);
+    }
+  }
+  awaiting_response_ = false;
 }
 
 void HostEndpoint::start() {
   if (running_) return;
   running_ = true;
   if (exchange_event_ != 0) world_.queue().cancel(exchange_event_);
+  const sim::SimTime interval =
+      options_.period * static_cast<sim::SimTime>(options_.batch);
   // One recurring event carries every exchange for the whole session.
   exchange_event_ = world_.queue().schedule_every(
-      options_.start + options_.period - world_.now(), options_.period,
+      options_.start + interval - world_.now(), interval,
       [this] { exchange(); });
 }
 
@@ -69,19 +135,28 @@ void HostEndpoint::exchange() {
       tr->instant("pil", "deadline_miss", "pil_host", world_.now());
     }
   }
-  if (advance_) advance_(sim::to_seconds(world_.now()));
-  Frame frame;
-  frame.type = FrameType::kSensorData;
-  frame.seq = seq_++;
-  frame.payload = encode_signals(sample_ ? sample_() : std::vector<double>{});
-  const auto bytes = encode_frame(frame);
-  tx_.transmit(bytes.data(), bytes.size());
-  sent_at_ = world_.now();
+  tx_payload_.clear();
+  for (int k = 0; k < options_.batch; ++k) {
+    // Sub-step k of the batch window ended at now - (batch-1-k) periods;
+    // with batch == 1 this is exactly the classic per-period exchange.
+    const sim::SimTime t_k =
+        world_.now() -
+        options_.period * static_cast<sim::SimTime>(options_.batch - 1 - k);
+    if (advance_) advance_(sim::to_seconds(t_k));
+    sample_values_.clear();
+    if (sample_into_) sample_into_(sample_values_);
+    encode_signals_into(sample_values_, tx_payload_);
+  }
+  tx_bytes_.clear();
+  encode_frame_into(FrameType::kSensorData, seq_, tx_payload_, tx_bytes_);
+  tx_.transmit(tx_bytes_);
+  note_sent(seq_, world_.now());
+  const std::uint8_t sent_seq = seq_++;
   awaiting_response_ = true;
   ++exchanges_;
   if (auto* tr = trace::recorder()) {
     tr->span_begin("pil", "exchange", "pil_host", world_.now(),
-                   static_cast<double>(frame.seq));
+                   static_cast<double>(sent_seq));
   }
 }
 

@@ -3,8 +3,15 @@
 /// samples the plant model, ships the sensor frame down the serial line,
 /// and applies the actuator frame coming back.  The plant and the board
 /// exchange data "at the end of each simulation step (control period)".
+///
+/// Fast path: the endpoint reuses one set of encode/decode scratch buffers
+/// for the whole session (no heap traffic per exchange), receives the
+/// response as a whole burst (one event per frame instead of one per
+/// byte), and — with batch > 1 — packs several control steps into a single
+/// frame, trading per-step actuation latency for wire efficiency.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +27,10 @@ class HostEndpoint {
   struct Options {
     sim::SimTime period = sim::milliseconds(1);  ///< control period
     sim::SimTime start = 0;
+    /// Control steps per frame.  1 = classic per-period exchange
+    /// (bit-identical to the unbatched protocol); N packs N samples into
+    /// one frame and fires the exchange every N periods.
+    int batch = 1;
   };
 
   /// \p tx: channel toward the board, \p rx: channel from the board.
@@ -33,6 +44,13 @@ class HostEndpoint {
                  std::function<void(const std::vector<double>&)> apply,
                  std::function<void(double)> advance);
 
+  /// Allocation-free plant coupling: \p sample_into appends the plant
+  /// outputs to the scratch vector it is handed (cleared by the caller).
+  void set_plant_buffered(
+      std::function<void(std::vector<double>&)> sample_into,
+      std::function<void(const std::vector<double>&)> apply,
+      std::function<void(double)> advance);
+
   /// Starts the periodic exchange.
   void start();
   void stop() { running_ = false; }
@@ -44,22 +62,42 @@ class HostEndpoint {
 
  private:
   void exchange();
+  void on_frame(const Frame& frame);
+  void note_sent(std::uint8_t seq, sim::SimTime when);
 
   sim::World& world_;
   sim::SerialChannel& tx_;
   Options options_;
-  std::function<std::vector<double>()> sample_;
+  std::function<void(std::vector<double>&)> sample_into_;
   std::function<void(const std::vector<double>&)> apply_;
   std::function<void(double)> advance_;
   FrameDecoder decoder_;
   bool running_ = false;
   sim::EventId exchange_event_ = 0;
   bool awaiting_response_ = false;
-  sim::SimTime sent_at_ = 0;
   std::uint8_t seq_ = 0;
   util::SampleSeries rtt_us_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t deadline_misses_ = 0;
+
+  /// Session-lifetime scratch: reused every exchange.
+  std::vector<double> sample_values_;
+  std::vector<std::uint8_t> tx_payload_;
+  std::vector<std::uint8_t> tx_bytes_;
+  std::vector<double> apply_values_;
+
+  /// Outstanding sensor frames, FIFO.  Responses come back in order, so
+  /// the round trip of response seq s is measured against the OLDEST
+  /// unanswered send with that seq — correct even when a slow line builds
+  /// a backlog deeper than the 8-bit sequence space (the aliasing that
+  /// produced the non-monotonic RTT-vs-baud anomaly in E3).
+  struct SentEntry {
+    std::uint8_t seq = 0;
+    sim::SimTime when = 0;
+  };
+  std::vector<SentEntry> sent_ring_;
+  std::size_t sent_head_ = 0;
+  std::size_t sent_tail_ = 0;  ///< == head means empty
 };
 
 }  // namespace iecd::pil

@@ -43,6 +43,7 @@ PilSession::PilSession(sim::World& world, rt::Runtime& runtime,
   agent_ = std::make_unique<TargetAgent>(runtime, serial, buffer);
   HostEndpoint::Options hopts;
   hopts.period = sim::from_seconds(options.period_s);
+  hopts.batch = options.batch;
   host_ = std::make_unique<HostEndpoint>(world, link_->a_to_b(),
                                          link_->b_to_a(), hopts);
 }
@@ -54,12 +55,22 @@ void PilSession::set_plant(
   host_->set_plant(std::move(sample), std::move(apply), std::move(advance));
 }
 
+void PilSession::set_plant_buffered(
+    std::function<void(std::vector<double>&)> sample_into,
+    std::function<void(const std::vector<double>&)> apply,
+    std::function<void(double)> advance) {
+  host_->set_plant_buffered(std::move(sample_into), std::move(apply),
+                            std::move(advance));
+}
+
 PilReport PilSession::run() {
   runtime_.start();
   agent_->start();
   host_->start();
+  const std::uint64_t events_before = world_.queue().events_executed();
   world_.run_for(sim::from_seconds(options_.duration_s));
   host_->stop();
+  const std::uint64_t events_run = world_.queue().events_executed() - events_before;
 
   // The registry is the report's source of truth: fill it first, then
   // mirror the scalar convenience fields from it.
@@ -85,6 +96,13 @@ PilReport PilSession::run() {
     m.gauge("pil.comm_time_per_step_us") = per_step_us;
     m.gauge("pil.comm_overhead_ratio") =
         per_step_us / (options_.period_s * 1e6);
+  }
+  if (host_->exchanges() > 0) {
+    // Scheduler pressure of the communication stack: how many event-queue
+    // dispatches one control-period exchange costs end to end.
+    m.gauge("pil.events_per_exchange") =
+        static_cast<double>(events_run) /
+        static_cast<double>(host_->exchanges());
   }
   if (const auto* prof = runtime_.profiler().task(rx_profile_key_)) {
     // Execution time of the frame-completing ISR (which embeds the step).

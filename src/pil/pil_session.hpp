@@ -55,6 +55,9 @@ class PilSession {
     double duration_s = 1.0;
     std::uint32_t baud = 115200;  ///< bit clock (SPI: SCK frequency)
     LinkKind link = LinkKind::kRs232;
+    /// Control steps per exchanged frame (see HostEndpoint::Options::batch);
+    /// 1 keeps the classic per-period exchange bit-identical.
+    int batch = 1;
   };
 
   /// \p runtime must wrap the PIL variant of the application; \p serial is
@@ -68,6 +71,12 @@ class PilSession {
   void set_plant(std::function<std::vector<double>()> sample,
                  std::function<void(const std::vector<double>&)> apply,
                  std::function<void(double)> advance);
+
+  /// Allocation-free plant coupling (see HostEndpoint::set_plant_buffered).
+  void set_plant_buffered(
+      std::function<void(std::vector<double>&)> sample_into,
+      std::function<void(const std::vector<double>&)> apply,
+      std::function<void(double)> advance);
 
   /// Runs the co-simulation and collects the report.
   PilReport run();

@@ -1,5 +1,7 @@
 #include "pil/target_agent.hpp"
 
+#include <span>
+
 namespace iecd::pil {
 
 TargetAgent::TargetAgent(rt::Runtime& runtime, beans::SerialBean& serial,
@@ -7,7 +9,8 @@ TargetAgent::TargetAgent(rt::Runtime& runtime, beans::SerialBean& serial,
     : runtime_(runtime), serial_(serial), buffer_(buffer) {
   decoder_.set_callback([this](const Frame& frame) {
     if (frame.type != FrameType::kSensorData) return;
-    buffer_.set_inputs(decode_signals(frame.payload));
+    inputs_scratch_.clear();
+    decode_signals_into(frame.payload, inputs_scratch_);
     respond_ = true;
     respond_seq_ = frame.seq;
   });
@@ -25,25 +28,43 @@ void TargetAgent::start() {
     decoder_.feed(*byte);
     if (respond_) {
       // The completed sensor frame stands in for the sampling interrupt:
-      // run the whole controller step inside this ISR (reads from the
-      // buffer, computes, writes back to the buffer).
-      model::SimContext ctx;
-      ctx.t = runtime_.now_seconds();
-      ctx.dt = runtime_.period_s();
-      runtime_.step_once(ctx);
+      // run the controller step inside this ISR (reads from the buffer,
+      // computes, writes back to the buffer).  A batched frame carries
+      // several stacked input groups — one step per group, each step's
+      // context time one period earlier than the next.
+      const std::size_t in_count = buffer_.input_count();
+      std::size_t groups = 1;
+      if (in_count > 0 && !inputs_scratch_.empty() &&
+          inputs_scratch_.size() % in_count == 0) {
+        groups = inputs_scratch_.size() / in_count;
+      }
+      tx_payload_.clear();
+      const std::span<const double> all(inputs_scratch_);
+      for (std::size_t k = 0; k < groups; ++k) {
+        if (groups == 1) {
+          buffer_.set_inputs(all);
+        } else {
+          buffer_.set_inputs(all.subspan(k * in_count, in_count));
+        }
+        model::SimContext ctx;
+        ctx.t = runtime_.now_seconds() -
+                static_cast<double>(groups - 1 - k) * runtime_.period_s();
+        ctx.dt = runtime_.period_s();
+        runtime_.step_once(ctx);
+        encode_signals_into(buffer_.output_values(), tx_payload_);
+        cycles += runtime_.step_cycles();
+      }
       ++frames_processed_;
-      cycles += runtime_.step_cycles();
     }
     return cycles;
   };
   handler.commit = [this] {
     if (!respond_) return;
-    // Response leaves the board when the ISR retires.
-    Frame response;
-    response.type = FrameType::kActuatorData;
-    response.seq = respond_seq_;
-    response.payload = encode_signals(buffer_.outputs());
-    for (std::uint8_t b : encode_frame(response)) serial_.SendChar(b);
+    // Response leaves the board when the ISR retires, as one wire burst.
+    tx_bytes_.clear();
+    encode_frame_into(FrameType::kActuatorData, respond_seq_, tx_payload_,
+                      tx_bytes_);
+    serial_.SendBlock(tx_bytes_.data(), tx_bytes_.size());
     respond_ = false;
   };
   serial_.set_event_handler("OnRxChar", std::move(handler));

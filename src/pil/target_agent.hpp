@@ -4,7 +4,16 @@
 /// deposits the values into the controller's communication buffer and runs
 /// the model step in place of the timer/peripheral interrupts; the
 /// controller outputs return to the simulator in the response frame.
+///
+/// Fast path: the agent decodes into and encodes from session-lifetime
+/// scratch buffers (no heap traffic per frame) and pushes the whole
+/// response frame onto the wire as one burst.  A batched sensor frame
+/// (host batch > 1) carries N stacked input groups; the agent infers N
+/// from the buffer's input count and runs the controller step once per
+/// group, back-dating each step's context time by one control period.
 #pragma once
+
+#include <vector>
 
 #include "beans/serial_bean.hpp"
 #include "codegen/signal_buffer.hpp"
@@ -34,6 +43,11 @@ class TargetAgent {
   std::uint8_t respond_seq_ = 0;
   std::uint64_t frames_processed_ = 0;
   std::uint64_t per_byte_cycles_ = 40;
+
+  /// Session-lifetime scratch: reused every frame.
+  std::vector<double> inputs_scratch_;
+  std::vector<std::uint8_t> tx_payload_;
+  std::vector<std::uint8_t> tx_bytes_;
 };
 
 }  // namespace iecd::pil

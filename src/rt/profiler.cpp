@@ -30,15 +30,19 @@ double TaskProfile::period_jitter_peak_us(double nominal_period_s) const {
 }
 
 void Profiler::record(const mcu::DispatchRecord& record) {
-  const std::string key(record.name);
-  auto it = tasks_.find(key);
+  // Hot path: one dispatch per ISR activation.  The registry keys are
+  // built once, at first sight of a task; afterwards the lookup is a
+  // string-view find and the registry handles are cached references.
+  auto it = tasks_.find(record.name);
   if (it == tasks_.end()) {
+    const std::string key(record.name);
     it = tasks_
              .emplace(std::piecewise_construct, std::forward_as_tuple(key),
                       std::forward_as_tuple(
                           registry_.series(key + ".exec_us"),
                           registry_.series(key + ".response_us"),
-                          registry_.series(key + ".start_s")))
+                          registry_.series(key + ".start_s"),
+                          registry_.counter(key + ".activations")))
              .first;
   }
   TaskProfile& p = it->second;
@@ -47,8 +51,7 @@ void Profiler::record(const mcu::DispatchRecord& record) {
   p.response_time_us.add(
       sim::to_microseconds(record.start_time - record.raise_time));
   p.start_times_s.add(sim::to_seconds(record.start_time));
-  ++p.activations;
-  registry_.counter(key + ".activations").value = p.activations;
+  p.activation_counter_.value = ++p.activations;
 }
 
 const TaskProfile* Profiler::task(const std::string& name) const {

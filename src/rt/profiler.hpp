@@ -23,13 +23,20 @@ namespace iecd::rt {
 
 struct TaskProfile {
   TaskProfile(util::SampleSeries& exec, util::SampleSeries& response,
-              util::SampleSeries& starts)
-      : exec_time_us(exec), response_time_us(response), start_times_s(starts) {}
+              util::SampleSeries& starts,
+              trace::MetricsRegistry::Counter& activation_counter)
+      : exec_time_us(exec),
+        response_time_us(response),
+        start_times_s(starts),
+        activation_counter_(activation_counter) {}
 
   util::SampleSeries& exec_time_us;      ///< ISR body duration
   util::SampleSeries& response_time_us;  ///< raise -> service start
   util::SampleSeries& start_times_s;     ///< activation instants
   std::uint64_t activations = 0;
+  /// Registry mirror of `activations` — cached so the per-dispatch hot
+  /// path never rebuilds the "<task>.activations" key string.
+  trace::MetricsRegistry::Counter& activation_counter_;
 
   /// Jitter of the activation period: stddev and worst |deviation| of the
   /// inter-activation intervals [us].
@@ -47,7 +54,9 @@ class Profiler {
   void record(const mcu::DispatchRecord& record);
 
   const TaskProfile* task(const std::string& name) const;
-  const std::map<std::string, TaskProfile>& tasks() const { return tasks_; }
+  const std::map<std::string, TaskProfile, std::less<>>& tasks() const {
+    return tasks_;
+  }
 
   /// The backing registry — the single source the report renders from.
   trace::MetricsRegistry& metrics() { return registry_; }
@@ -62,7 +71,9 @@ class Profiler {
 
  private:
   trace::MetricsRegistry registry_;
-  std::map<std::string, TaskProfile> tasks_;
+  /// Transparent comparator: record() looks tasks up by the dispatch
+  /// record's string_view name without materializing a std::string.
+  std::map<std::string, TaskProfile, std::less<>> tasks_;
 };
 
 }  // namespace iecd::rt

@@ -3,18 +3,49 @@
 #include <stdexcept>
 
 #include "trace/trace.hpp"
+#include "util/crc16.hpp"
 
 namespace iecd::sim {
+
+namespace {
+
+/// Integrity word over identifier + payload (the model's stand-in for the
+/// CRC field of the real frame format).
+std::uint16_t frame_crc(const CanFrame& frame) {
+  std::uint16_t crc = 0xFFFF;
+  crc = util::crc16_ccitt_update(crc, static_cast<std::uint8_t>(frame.id));
+  crc = util::crc16_ccitt_update(crc,
+                                 static_cast<std::uint8_t>(frame.id >> 8));
+  crc = util::crc16_ccitt_update(crc,
+                                 static_cast<std::uint8_t>(frame.id >> 16));
+  crc = util::crc16_ccitt(
+      std::span<const std::uint8_t>(frame.data.data(), frame.data.size()),
+      crc);
+  return crc;
+}
+
+}  // namespace
 
 CanBus::CanBus(World& world, std::uint32_t bitrate_bps, std::string name)
     : world_(world), name_(std::move(name)), bitrate_(bitrate_bps) {
   if (bitrate_bps == 0) throw std::invalid_argument("CanBus: bitrate 0");
+  // Standard frame: 47 overhead bits + 8*dlc data bits; worst-case bit
+  // stuffing adds ~1 bit per 5 (applied to the stuffable 34+8*dlc bits);
+  // plus 3 bits interframe space.  Precomputed per DLC — the hot path
+  // never touches floating point.
+  for (int dlc = 0; dlc <= 8; ++dlc) {
+    const double stuffable = 34.0 + 8.0 * dlc;
+    const double bits = 47.0 + 8.0 * dlc + stuffable / 5.0 + 3.0;
+    frame_times_[static_cast<std::size_t>(dlc)] =
+        static_cast<SimTime>(bits * 1e9 / bitrate_ + 0.5);
+  }
   world.attach(*this);
 }
 
 void CanBus::reset() {
   for (auto& n : nodes_) n.tx_queue.clear();
   busy_ = false;
+  corrupt_armed_ = false;
   stats_ = Stats{};
 }
 
@@ -24,9 +55,7 @@ CanBus::NodeId CanBus::attach_node(std::string node_name, RxCallback on_rx) {
 }
 
 SimTime CanBus::frame_time(int dlc) const {
-  // Standard frame: 47 overhead bits + 8*dlc data bits; worst-case bit
-  // stuffing adds ~1 bit per 5 (applied to the stuffable 34+8*dlc bits);
-  // plus 3 bits interframe space.
+  if (dlc >= 0 && dlc <= 8) return frame_times_[static_cast<std::size_t>(dlc)];
   const double stuffable = 34.0 + 8.0 * dlc;
   const double bits = 47.0 + 8.0 * dlc + stuffable / 5.0 + 3.0;
   return static_cast<SimTime>(bits * 1e9 / bitrate_ + 0.5);
@@ -37,9 +66,27 @@ bool CanBus::transmit(NodeId node, CanFrame frame) {
   if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) {
     throw std::out_of_range("CanBus: unknown node");
   }
-  nodes_[static_cast<std::size_t>(node)].tx_queue.push_back(std::move(frame));
+  QueuedFrame queued;
+  queued.crc = frame_crc(frame);
+  queued.frame = frame;
+  nodes_[static_cast<std::size_t>(node)].tx_queue.push_back(queued);
   if (!busy_) try_start();
   return true;
+}
+
+std::size_t CanBus::transmit_burst(NodeId node,
+                                   std::span<const CanFrame> frames) {
+  std::size_t accepted = 0;
+  for (const CanFrame& f : frames) {
+    if (!transmit(node, f)) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+void CanBus::corrupt_next_frame(std::uint8_t xor_mask) {
+  pending_corruption_ = xor_mask;
+  corrupt_armed_ = true;
 }
 
 std::size_t CanBus::pending() const {
@@ -56,37 +103,56 @@ void CanBus::try_start() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].tx_queue.empty()) continue;
     if (winner < 0 ||
-        nodes_[i].tx_queue.front().id <
-            nodes_[static_cast<std::size_t>(winner)].tx_queue.front().id) {
+        nodes_[i].tx_queue.front().frame.id <
+            nodes_[static_cast<std::size_t>(winner)]
+                .tx_queue.front()
+                .frame.id) {
       winner = static_cast<int>(i);
     }
   }
   if (winner < 0) return;
   busy_ = true;
   Node& tx = nodes_[static_cast<std::size_t>(winner)];
-  const CanFrame frame = tx.tx_queue.front();
+  in_flight_ = tx.tx_queue.front();
   tx.tx_queue.pop_front();
-  const SimTime wire = frame_time(frame.dlc());
+  in_flight_winner_ = winner;
+  if (corrupt_armed_) {
+    if (!in_flight_.frame.data.empty()) {
+      in_flight_.frame.data[0] ^= pending_corruption_;
+    } else {
+      in_flight_.crc ^= pending_corruption_;
+    }
+    corrupt_armed_ = false;
+  }
+  const SimTime wire = frame_time(in_flight_.frame.dlc());
   stats_.busy_time += wire;
-  const SimTime started = world_.now();
-  world_.queue().schedule_in(wire, [this, frame, winner, started] {
+  in_flight_started_ = world_.now();
+  world_.queue().schedule_in(wire, [this] { deliver(); });
+}
+
+void CanBus::deliver() {
+  if (frame_crc(in_flight_.frame) != in_flight_.crc) {
+    // Integrity check failed: every receiver discards the frame.
+    ++stats_.crc_errors;
+  } else {
     ++stats_.frames_delivered;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (static_cast<int>(i) == winner) continue;
-      if (nodes_[i].on_rx) nodes_[i].on_rx(frame, world_.now());
+      if (static_cast<int>(i) == in_flight_winner_) continue;
+      if (nodes_[i].on_rx) nodes_[i].on_rx(in_flight_.frame, world_.now());
     }
-    if (auto* tr = trace::recorder()) {
-      // One slice per frame on the bus track: arbitration winner's wire
-      // occupation, tagged with the arbitrating identifier.
-      tr->span_complete("sim", nodes_[static_cast<std::size_t>(winner)].name,
-                        name_, started, world_.now(),
-                        static_cast<double>(frame.id));
-      tr->counter("sim", "pending_frames", name_, world_.now(),
-                  static_cast<double>(pending()));
-    }
-    busy_ = false;
-    try_start();
-  });
+  }
+  if (auto* tr = trace::recorder()) {
+    // One slice per frame on the bus track: arbitration winner's wire
+    // occupation, tagged with the arbitrating identifier.
+    tr->span_complete(
+        "sim", nodes_[static_cast<std::size_t>(in_flight_winner_)].name,
+        name_, in_flight_started_, world_.now(),
+        static_cast<double>(in_flight_.frame.id));
+    tr->counter("sim", "pending_frames", name_, world_.now(),
+                static_cast<double>(pending()));
+  }
+  busy_ = false;
+  try_start();
 }
 
 }  // namespace iecd::sim

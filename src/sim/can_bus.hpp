@@ -5,12 +5,23 @@
 /// granularity: when the bus idles, the pending frame with the lowest
 /// identifier wins (CSMA/CR), occupies the bus for its wire time, and is
 /// then delivered to every other node.  Frame time uses the standard-frame
-/// bit count with a conservative stuff-bit estimate.
+/// bit count with a conservative stuff-bit estimate, precomputed per DLC.
+///
+/// Fast-path choices: payloads live inline in the frame (no heap vector for
+/// 0..8 data bytes), the in-flight frame is a bus member so the delivery
+/// event captures only `this` (the callback stays inside the event queue's
+/// small-buffer storage), and every queued frame carries a CRC-16/CCITT
+/// integrity word that is verified at delivery — wire corruption (injected
+/// via corrupt_next_frame) drops the frame and counts a CRC error, like a
+/// receiving controller discarding a frame with a bad CRC field.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,9 +29,47 @@
 
 namespace iecd::sim {
 
+/// Inline payload buffer: capacity 16 so malformed lengths (dlc > 8) are
+/// representable and rejected by the bus, like a driver clipping a bad DLC.
+class CanPayload {
+ public:
+  static constexpr std::size_t kCapacity = 16;
+
+  CanPayload() = default;
+  CanPayload(std::initializer_list<std::uint8_t> init) {
+    for (std::uint8_t b : init) push_back(b);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+  void push_back(std::uint8_t b) {
+    if (size_ < kCapacity) bytes_[size_++] = b;
+  }
+  void assign(std::size_t n, std::uint8_t value) {
+    size_ = n < kCapacity ? static_cast<std::uint8_t>(n) : kCapacity;
+    for (std::size_t i = 0; i < size_; ++i) bytes_[i] = value;
+  }
+
+  std::uint8_t& operator[](std::size_t i) { return bytes_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return bytes_[i]; }
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  const std::uint8_t* begin() const { return bytes_.data(); }
+  const std::uint8_t* end() const { return bytes_.data() + size_; }
+
+  operator std::vector<std::uint8_t>() const {
+    return std::vector<std::uint8_t>(begin(), end());
+  }
+
+ private:
+  std::array<std::uint8_t, kCapacity> bytes_{};
+  std::uint8_t size_ = 0;
+};
+
 struct CanFrame {
   std::uint32_t id = 0;  ///< 11-bit identifier; lower = higher priority
-  std::vector<std::uint8_t> data;  ///< 0..8 bytes
+  CanPayload data;       ///< 0..8 bytes
 
   int dlc() const { return static_cast<int>(data.size()); }
 };
@@ -29,6 +78,7 @@ class CanBus : public Component {
  public:
   struct Stats {
     std::uint64_t frames_delivered = 0;
+    std::uint64_t crc_errors = 0;  ///< frames dropped at delivery
     SimTime busy_time = 0;
     double utilisation(SimTime elapsed) const {
       return elapsed > 0 ? static_cast<double>(busy_time) /
@@ -57,6 +107,14 @@ class CanBus : public Component {
   /// if the frame is malformed (dlc > 8).
   bool transmit(NodeId node, CanFrame frame);
 
+  /// Queues a whole burst of back-to-back frames; returns frames accepted.
+  std::size_t transmit_burst(NodeId node, std::span<const CanFrame> frames);
+
+  /// Injects wire corruption: the next frame to win arbitration has its
+  /// first payload byte (or, for an empty frame, its CRC word) XORed with
+  /// \p xor_mask, so the delivery-side integrity check drops it.
+  void corrupt_next_frame(std::uint8_t xor_mask);
+
   /// Wire time of one standard frame with \p dlc data bytes (includes a
   /// conservative stuff-bit estimate and the interframe space).
   SimTime frame_time(int dlc) const;
@@ -67,11 +125,17 @@ class CanBus : public Component {
 
  private:
   void try_start();
+  void deliver();
+
+  struct QueuedFrame {
+    CanFrame frame;
+    std::uint16_t crc = 0;  ///< integrity word stamped at transmit
+  };
 
   struct Node {
     std::string name;
     RxCallback on_rx;
-    std::deque<CanFrame> tx_queue;
+    std::deque<QueuedFrame> tx_queue;
   };
 
   World& world_;
@@ -79,6 +143,14 @@ class CanBus : public Component {
   std::uint32_t bitrate_;
   std::vector<Node> nodes_;
   bool busy_ = false;
+  /// The frame occupying the wire: kept in members so the delivery event
+  /// only captures `this` (no heap spill per frame).
+  QueuedFrame in_flight_;
+  int in_flight_winner_ = -1;
+  SimTime in_flight_started_ = 0;
+  std::array<SimTime, 9> frame_times_{};
+  bool corrupt_armed_ = false;
+  std::uint8_t pending_corruption_ = 0;
   Stats stats_;
 };
 

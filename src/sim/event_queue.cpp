@@ -89,6 +89,7 @@ void EventQueue::pop_root() const {
 
 void EventQueue::push_occurrence(SimTime when, std::uint32_t slot) {
   if (next_seq_ >= kMaxSeq) renumber_seqs();
+  ++scheduled_total_;
   const std::uint64_t key = (next_seq_++ << kSlotIndexBits) | slot;
   slot_at(slot).pending_key = key;
   heap_.push_back(HeapEntry{when, key});
@@ -215,6 +216,7 @@ bool EventQueue::step() {
   // marked dead first so cancel() from inside the callback reports
   // "already ran" for one-shots and stops the recurrence for periodics.
   const bool recurring = s.period > 0;
+  ++executed_total_;
   s.pending_key = 0;
   s.in_flight = true;
   if (!recurring) {

@@ -87,6 +87,12 @@ class EventQueue {
   std::size_t heap_size() const { return heap_.size(); }
   std::size_t stale_heap_entries() const { return stale_in_heap_; }
 
+  /// Lifetime totals: occurrences pushed (arms + recurring re-arms) and
+  /// callbacks executed.  The benches divide deltas of these by work items
+  /// (e.g. PIL exchanges) to report scheduler pressure per step.
+  std::uint64_t events_scheduled() const { return scheduled_total_; }
+  std::uint64_t events_executed() const { return executed_total_; }
+
  private:
   /// Callback slab entry.  Slots live in fixed chunks that are never
   /// reallocated (stable references across reentrant scheduling); freed
@@ -162,6 +168,8 @@ class EventQueue {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t scheduled_total_ = 0;
+  std::uint64_t executed_total_ = 0;
   std::size_t live_count_ = 0;
   mutable std::vector<HeapEntry> heap_;
   mutable std::size_t stale_in_heap_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/serial_link.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace iecd::sim {
@@ -14,49 +15,145 @@ SerialChannel::SerialChannel(EventQueue& queue, SerialConfig config,
                              std::string name)
     : queue_(queue), config_(config), name_(std::move(name)) {}
 
+SimTime SerialChannel::byte_time() const {
+  if (byte_time_cache_ == 0) byte_time_cache_ = config_.byte_time();
+  return byte_time_cache_;
+}
+
 void SerialChannel::set_receiver(
     std::function<void(std::uint8_t, SimTime)> on_byte) {
   on_byte_ = std::move(on_byte);
+  on_burst_ = nullptr;
+}
+
+void SerialChannel::set_burst_receiver(BurstCallback on_burst) {
+  on_burst_ = std::move(on_burst);
+  on_byte_ = nullptr;
 }
 
 void SerialChannel::corrupt_next_byte(std::uint8_t xor_mask) {
   pending_corruption_ = xor_mask;
   corrupt_armed_ = true;
+  // Target: the next byte to enter the shift register.  Idle: the next
+  // transmitted byte.  Busy: the byte after the one currently shifting (in
+  // burst mode the shifting byte is located analytically, because wire
+  // progress since burst_t0_ is not reflected in bytes_transferred_ yet).
+  if (!active_) {
+    corrupt_index_ = bytes_transferred_;
+  } else if (on_burst_) {
+    const auto done =
+        static_cast<std::uint64_t>((queue_.now() - burst_t0_) / byte_time());
+    corrupt_index_ = bytes_transferred_ + done + 1;
+  } else {
+    corrupt_index_ = bytes_transferred_ + 1;
+  }
 }
 
-void SerialChannel::transmit(std::uint8_t byte) {
-  tx_fifo_.push_back(byte);
-  if (!shifting_) start_next();
+SimTime SerialChannel::wire_free_at() const {
+  return std::max(wire_free_at_, queue_.now());
 }
+
+void SerialChannel::transmit(std::uint8_t byte) { transmit(&byte, 1); }
 
 void SerialChannel::transmit(const std::uint8_t* data, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) transmit(data[i]);
+  if (len == 0) return;
+  maybe_compact();
+  buf_.insert(buf_.end(), data, data + len);
+  const SimTime bt = byte_time();
+  busy_time_ += bt * static_cast<SimTime>(len);
+  const SimTime now = queue_.now();
+  wire_free_at_ = std::max(wire_free_at_, now) +
+                  bt * static_cast<SimTime>(len);
+  if (active_) return;  // the armed event (or its re-arm) picks these up
+  active_ = true;
+  if (on_burst_) {
+    burst_t0_ = now;
+    arm_burst_event();
+  } else {
+    // One recurring event carries the whole back-to-back burst: ticks at
+    // now + k*byte_time are exactly the per-byte completion instants.
+    event_ = queue_.schedule_every(bt, bt, [this] { deliver_tick(); });
+  }
 }
 
-void SerialChannel::start_next() {
-  if (tx_fifo_.empty()) {
-    shifting_ = false;
-    return;
-  }
-  shifting_ = true;
-  std::uint8_t byte = tx_fifo_.front();
-  tx_fifo_.pop_front();
-  if (corrupt_armed_) {
+void SerialChannel::arm_burst_event() {
+  scheduled_ = pending();
+  event_ = queue_.schedule_in(wire_free_at_ - queue_.now(),
+                              [this] { deliver_burst(); });
+}
+
+void SerialChannel::deliver_tick() {
+  std::uint8_t byte = buf_[head_];
+  if (corrupt_armed_ && bytes_transferred_ == corrupt_index_) {
     byte ^= pending_corruption_;
     corrupt_armed_ = false;
   }
-  const SimTime wire_time = config_.byte_time();
-  busy_time_ += wire_time;
-  queue_.schedule_in(wire_time, [this, byte] {
-    ++bytes_transferred_;
-    if (on_byte_) on_byte_(byte, queue_.now());
-    start_next();
-  });
+  ++head_;
+  ++bytes_transferred_;
+  if (on_byte_) on_byte_(byte, queue_.now());
+  if (pending() == 0) {
+    queue_.cancel(event_);
+    event_ = 0;
+    active_ = false;
+    buf_.clear();
+    head_ = 0;
+  }
+}
+
+void SerialChannel::deliver_burst() {
+  const std::size_t n = scheduled_;
+  const std::size_t first = head_;
+  if (corrupt_armed_ && corrupt_index_ >= bytes_transferred_ &&
+      corrupt_index_ < bytes_transferred_ + n) {
+    buf_[first + static_cast<std::size_t>(corrupt_index_ -
+                                          bytes_transferred_)] ^=
+        pending_corruption_;
+    corrupt_armed_ = false;
+  }
+  const SimTime bt = byte_time();
+  const SimTime first_done = burst_t0_ + bt;
+  head_ += n;
+  bytes_transferred_ += n;
+  active_ = false;
+  event_ = 0;
+  if (on_burst_) {
+    // The span aliases the TX buffer: valid only during the callback, and
+    // the receiver must not transmit into this same channel from inside it.
+    on_burst_(std::span<const std::uint8_t>(buf_.data() + first, n),
+              first_done, bt);
+  }
+  if (pending() > 0) {
+    // Bytes queued while this burst was on the wire: they followed
+    // back-to-back, so the next sub-burst started exactly now.
+    burst_t0_ = queue_.now();
+    active_ = true;
+    arm_burst_event();
+  } else {
+    buf_.clear();
+    head_ = 0;
+  }
+}
+
+void SerialChannel::maybe_compact() {
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  } else if (head_ > 4096 && head_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
 }
 
 void SerialChannel::reset() {
-  tx_fifo_.clear();
-  shifting_ = false;
+  if (active_ && event_ != 0) queue_.cancel(event_);
+  event_ = 0;
+  active_ = false;
+  buf_.clear();
+  head_ = 0;
+  scheduled_ = 0;
+  wire_free_at_ = 0;
+  burst_t0_ = 0;
   corrupt_armed_ = false;
   bytes_transferred_ = 0;
   busy_time_ = 0;

@@ -2,14 +2,30 @@
 /// Byte-timed asynchronous serial line (the RS232 connection of Fig. 6.2).
 /// Each byte occupies start + data + stop bits at the configured baud rate;
 /// transmission is serialized per direction (a UART cannot start the next
-/// byte before the previous one left the shift register).  Delivery invokes
-/// the receiving endpoint's callback at the bit-accurate completion time.
+/// byte before the previous one left the shift register).
+///
+/// Two delivery modes, chosen by which receiver the endpoint installs:
+///
+///  - per-byte (set_receiver): every byte is delivered by its own event at
+///    its bit-accurate completion time.  Required when the receiver is an
+///    MCU peripheral, because each byte raises an interrupt and the ISR
+///    serialization between bytes is part of the timing model.  A whole
+///    back-to-back burst still costs only ONE event-queue arm: the channel
+///    rides a single recurring event whose period is the byte time.
+///
+///  - whole-burst (set_burst_receiver): one completion event per contiguous
+///    burst delivers the buffered bytes as a span together with the first
+///    byte's completion time and the byte time, from which every per-byte
+///    timestamp is reconstructed analytically (first + k * byte_time — the
+///    identical instants the per-byte mode produces).  Right for host-side
+///    endpoints that only act on complete frames.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -53,40 +69,76 @@ struct SerialConfig {
 /// One direction of a serial line.  Two of these make a full-duplex link.
 class SerialChannel {
  public:
+  /// Burst receiver: (bytes, completion time of bytes[0], byte time).
+  /// Byte k of the span completed at first_done + k * byte_time.
+  using BurstCallback =
+      std::function<void(std::span<const std::uint8_t>, SimTime, SimTime)>;
+
   SerialChannel(EventQueue& queue, SerialConfig config, std::string name);
 
   /// Queues a byte for transmission; it arrives bits_per_byte()/baud later,
   /// after any bytes already in flight.
   void transmit(std::uint8_t byte);
 
-  /// Queues a whole buffer.
+  /// Queues a whole buffer as one contiguous burst.
   void transmit(const std::uint8_t* data, std::size_t len);
+  void transmit(std::span<const std::uint8_t> data) {
+    transmit(data.data(), data.size());
+  }
 
   /// Receiver callback (byte, arrival_time).  Must be set before traffic.
   void set_receiver(std::function<void(std::uint8_t, SimTime)> on_byte);
 
-  /// Introduces a per-byte error probability is not modelled here; instead
-  /// tests inject corruption deterministically via corrupt_next().
+  /// Whole-burst receiver: replaces the per-byte callback with one
+  /// invocation per contiguous burst.  Per-byte timestamps are recovered
+  /// from (first_done, byte_time); they are byte-identical to per-byte mode.
+  void set_burst_receiver(BurstCallback on_burst);
+
+  /// Tests inject corruption deterministically: the next byte to enter the
+  /// shift register is XORed with \p xor_mask.
   void corrupt_next_byte(std::uint8_t xor_mask);
 
   const SerialConfig& config() const { return config_; }
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   /// Total wire time spent transferring (busy time), for overhead metrics.
   SimTime busy_time() const { return busy_time_; }
+  /// Instant the wire finishes everything queued so far (now when idle).
+  SimTime wire_free_at() const;
 
   void reset();
 
  private:
-  void start_next();
+  SimTime byte_time() const;
+  void deliver_tick();
+  void deliver_burst();
+  void arm_burst_event();
+  std::size_t pending() const { return buf_.size() - head_; }
+  void maybe_compact();
 
   EventQueue& queue_;
   SerialConfig config_;
   std::string name_;
   std::function<void(std::uint8_t, SimTime)> on_byte_;
-  std::deque<std::uint8_t> tx_fifo_;
-  bool shifting_ = false;
-  std::uint8_t pending_corruption_ = 0;
+  BurstCallback on_burst_;
+
+  /// TX buffer: bytes [head_, buf_.size()) are still on (or waiting for)
+  /// the wire.  Reused across bursts — steady-state traffic allocates
+  /// nothing.
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+
+  bool active_ = false;        ///< a delivery event is armed
+  EventId event_ = 0;
+  SimTime wire_free_at_ = 0;   ///< completion time of the last queued byte
+  SimTime burst_t0_ = 0;       ///< shift-start of buf_[head_] (burst mode)
+  std::size_t scheduled_ = 0;  ///< bytes the armed burst event will deliver
+
+  mutable SimTime byte_time_cache_ = 0;
+
   bool corrupt_armed_ = false;
+  std::uint8_t pending_corruption_ = 0;
+  std::uint64_t corrupt_index_ = 0;  ///< absolute delivery index to corrupt
+
   std::uint64_t bytes_transferred_ = 0;
   SimTime busy_time_ = 0;
 };

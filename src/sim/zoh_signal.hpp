@@ -6,6 +6,7 @@
 /// history is pruned on demand so long runs stay O(1) in memory.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <stdexcept>
@@ -36,12 +37,13 @@ class ZohSignal {
 
   /// Value at time \p t (the most recent change at or before t).
   double value_at(SimTime t) const {
-    double v = changes_.front().value;
-    for (const auto& c : changes_) {
-      if (c.when > t) break;
-      v = c.value;
+    // Plant integrators query at or just behind the newest change, so
+    // walking backward is O(1) on the hot path (the forward scan was the
+    // top cost of the distributed bench).
+    for (auto it = changes_.rbegin(); it != changes_.rend(); ++it) {
+      if (it->when <= t) return it->value;
     }
-    return v;
+    return changes_.front().value;
   }
 
   /// Current (latest) value.
@@ -50,18 +52,19 @@ class ZohSignal {
   /// Exact integral of the signal over [t0, t1] in value * seconds.
   double integrate(SimTime t0, SimTime t1) const {
     if (t1 < t0) throw std::invalid_argument("ZohSignal: t1 < t0");
+    // Binary-search the change straddling t0 instead of scanning the
+    // whole history; the accumulation order over [t0, t1] is unchanged.
+    auto it = std::upper_bound(
+        changes_.begin(), changes_.end(), t0,
+        [](SimTime t, const Change& c) { return t < c.when; });
+    double current =
+        it == changes_.begin() ? changes_.front().value : std::prev(it)->value;
     double acc = 0.0;
     SimTime cursor = t0;
-    double current = value_at(t0);
-    for (const auto& c : changes_) {
-      if (c.when <= t0) {
-        current = c.value;
-        continue;
-      }
-      if (c.when >= t1) break;
-      acc += current * to_seconds(c.when - cursor);
-      cursor = c.when;
-      current = c.value;
+    for (; it != changes_.end() && it->when < t1; ++it) {
+      acc += current * to_seconds(it->when - cursor);
+      cursor = it->when;
+      current = it->value;
     }
     acc += current * to_seconds(t1 - cursor);
     return acc;

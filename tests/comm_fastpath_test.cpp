@@ -1,0 +1,301 @@
+// Communication fast path: table-driven CRC, bit-accurate byte timing,
+// burst delivery equivalence, decoder resynchronization under fuzz, the
+// allocation-free framing guarantee, and the RTT-vs-baud regression that
+// motivated the per-sequence round-trip bookkeeping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/case_study.hpp"
+#include "pil/frame.hpp"
+#include "sim/serial_link.hpp"
+#include "sim/world.hpp"
+#include "util/crc16.hpp"
+
+namespace iecd {
+namespace {
+
+// ---------------------------------------------------------------- CRC-16
+
+/// Bit-by-bit CRC-16/CCITT-FALSE reference, independent of the table.
+std::uint16_t crc16_bitwise(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+TEST(Crc16, CheckValueIsStandard) {
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(util::crc16_ccitt(check), 0x29B1);
+}
+
+TEST(Crc16, TableMatchesBitwiseReference) {
+  std::uint32_t lcg = 12345;
+  std::vector<std::uint8_t> data;
+  for (int len = 0; len < 64; ++len) {
+    EXPECT_EQ(util::crc16_ccitt(data), crc16_bitwise(data)) << "len " << len;
+    lcg = lcg * 1664525u + 1013904223u;
+    data.push_back(static_cast<std::uint8_t>(lcg >> 24));
+  }
+}
+
+// ------------------------------------------------------------ byte timing
+
+TEST(SerialTiming, ByteTimeHandComputed8N1) {
+  // 115200 baud, 8N1: 10 bits at 8680.55 ns = 86805.5 ns, rounded.
+  EXPECT_EQ(sim::SerialConfig::rs232(115200).byte_time(), 86806);
+  // 9600 baud, 8N1: 10 bits at 104166.6 ns.
+  EXPECT_EQ(sim::SerialConfig::rs232(9600).byte_time(), 1041667);
+}
+
+TEST(SerialTiming, ParityAndStopBitsExtendTheFrame) {
+  sim::SerialConfig cfg = sim::SerialConfig::rs232(9600);
+  cfg.parity = true;
+  cfg.stop_bits = 2;
+  // start + 8 data + parity + 2 stop = 12 bits at 104166.6 ns each.
+  EXPECT_EQ(cfg.bits_per_byte(), 12);
+  EXPECT_EQ(cfg.byte_time(), 1250000);
+}
+
+TEST(SerialTiming, SynchronousByteIsDataBitsOnly) {
+  // SPI at 1 MHz: 8 clocks of 1 us, no framing bits.
+  const sim::SerialConfig cfg = sim::SerialConfig::spi(1000000);
+  EXPECT_EQ(cfg.bits_per_byte(), 8);
+  EXPECT_EQ(cfg.byte_time(), 8000);
+}
+
+// ------------------------------------------------- burst delivery parity
+
+struct Arrival {
+  std::uint8_t byte;
+  sim::SimTime when;
+  bool operator==(const Arrival&) const = default;
+};
+
+/// Drives the same traffic pattern into a channel and returns the per-byte
+/// arrival log, either from the per-byte receiver or reconstructed from
+/// burst callbacks via first_done + k * byte_time.
+std::vector<Arrival> drive(bool burst_mode) {
+  sim::World world;
+  sim::SerialChannel ch(world.queue(), sim::SerialConfig::rs232(115200),
+                        "ch");
+  std::vector<Arrival> log;
+  if (burst_mode) {
+    ch.set_burst_receiver([&](std::span<const std::uint8_t> data,
+                              sim::SimTime first_done, sim::SimTime bt) {
+      for (std::size_t k = 0; k < data.size(); ++k) {
+        log.push_back({data[k], first_done + bt * static_cast<sim::SimTime>(k)});
+      }
+    });
+  } else {
+    ch.set_receiver([&](std::uint8_t byte, sim::SimTime when) {
+      log.push_back({byte, when});
+    });
+  }
+  const std::uint8_t first[] = {0x10, 0x11, 0x12, 0x13};
+  ch.transmit(first, sizeof(first));
+  // Extend the burst while it is still on the wire...
+  world.queue().schedule_in(ch.config().byte_time() * 5 / 2, [&ch] {
+    const std::uint8_t more[] = {0x20, 0x21, 0x22};
+    ch.transmit(more, sizeof(more));
+  });
+  // ...and start a fresh burst after the line went idle.
+  world.queue().schedule_in(sim::milliseconds(5), [&ch] {
+    ch.transmit(0x30);
+    ch.transmit(0x31);
+  });
+  world.run_for(sim::milliseconds(20));
+  return log;
+}
+
+TEST(SerialBurst, TimestampsIdenticalToPerByteDelivery) {
+  const auto per_byte = drive(false);
+  const auto burst = drive(true);
+  ASSERT_EQ(per_byte.size(), 9u);
+  EXPECT_EQ(per_byte, burst);
+}
+
+TEST(SerialBurst, CorruptionHitsTheNextByte) {
+  sim::World world;
+  sim::SerialChannel ch(world.queue(), sim::SerialConfig::rs232(115200),
+                        "ch");
+  std::vector<std::uint8_t> seen;
+  ch.set_burst_receiver([&](std::span<const std::uint8_t> data, sim::SimTime,
+                            sim::SimTime) {
+    seen.insert(seen.end(), data.begin(), data.end());
+  });
+  ch.corrupt_next_byte(0xFF);
+  const std::uint8_t data[] = {0x0F, 0x0F};
+  ch.transmit(data, sizeof(data));
+  world.run_for(sim::milliseconds(1));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 0xF0);  // first byte flipped
+  EXPECT_EQ(seen[1], 0x0F);  // second untouched
+}
+
+// ----------------------------------------------------- decoder resync fuzz
+
+TEST(FrameDecoderFuzz, EveryEmbeddedFrameIsRecovered) {
+  std::uint32_t lcg = 0xC0FFEE;
+  const auto rnd = [&lcg](std::uint32_t mod) {
+    lcg = lcg * 1664525u + 1013904223u;
+    return (lcg >> 16) % mod;
+  };
+
+  std::vector<std::uint8_t> stream;
+  std::vector<pil::Frame> sent;
+  std::uint8_t seq = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (rnd(4) == 0) {
+      pil::Frame f;
+      f.type = pil::FrameType::kActuatorData;
+      f.seq = seq++;
+      const std::uint32_t len = rnd(9);
+      for (std::uint32_t b = 0; b < len; ++b) {
+        f.payload.push_back(static_cast<std::uint8_t>(rnd(256)));
+      }
+      const auto bytes = pil::encode_frame(f);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+      sent.push_back(std::move(f));
+    } else {
+      // Garbage — including stray sync bytes that open false frames which
+      // can swallow the start of a real one.
+      const std::uint32_t n = 1 + rnd(10);
+      for (std::uint32_t b = 0; b < n; ++b) {
+        stream.push_back(rnd(6) == 0 ? pil::kSyncByte
+                                     : static_cast<std::uint8_t>(rnd(256)));
+      }
+    }
+  }
+
+  // Flush: a trailing garbage sync byte can open a false frame whose length
+  // field swallows the tail of the stream; the decoder only resolves it (and
+  // rescans the real frames inside) once enough further bytes arrive.  On a
+  // live line traffic keeps flowing — model that with non-sync padding.
+  stream.insert(stream.end(), 2000, 0x00);
+
+  pil::FrameDecoder decoder;
+  std::vector<pil::Frame> got;
+  decoder.set_callback([&](const pil::Frame& f) { got.push_back(f); });
+  decoder.feed(std::span<const std::uint8_t>(stream));
+
+  // Every frame placed in the stream must come out, in order (garbage may
+  // additionally decode as frames only if its CRC matches by chance, so
+  // check for a subsequence rather than equality).
+  std::size_t cursor = 0;
+  for (const auto& f : sent) {
+    bool found = false;
+    for (; cursor < got.size(); ++cursor) {
+      if (got[cursor].type == f.type && got[cursor].seq == f.seq &&
+          got[cursor].payload == f.payload) {
+        ++cursor;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "frame with seq " << int(f.seq) << " lost";
+  }
+}
+
+TEST(FrameDecoderBurst, LastFrameTimeIsTheClosingByteArrival) {
+  pil::FrameDecoder decoder;
+  decoder.set_callback([](const pil::Frame&) {});
+  pil::Frame f;
+  f.payload = {1, 2, 3};
+  const auto bytes = pil::encode_frame(f);
+  const sim::SimTime first = 1000000;
+  const sim::SimTime bt = 86806;
+  EXPECT_EQ(decoder.feed_burst(bytes, first, bt), 1u);
+  EXPECT_EQ(decoder.last_frame_time(),
+            first + bt * static_cast<sim::SimTime>(bytes.size() - 1));
+}
+
+// ------------------------------------------------------ allocation counting
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+}  // namespace iecd
+
+// Counting allocator for the zero-allocation guarantee below.  Linked into
+// the whole test binary; the test only inspects deltas around its own
+// single-threaded region.
+void* operator new(std::size_t size) {
+  ++iecd::g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace iecd {
+namespace {
+
+TEST(FrameFastPath, SteadyStateEncodeDecodeIsAllocationFree) {
+  pil::FrameDecoder decoder;
+  std::uint64_t frames = 0;
+  decoder.set_callback([&frames](const pil::Frame&) { ++frames; });
+
+  std::vector<double> values = {1.5, -2.25, 100.0};
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> wire;
+
+  // Warm-up: let every buffer reach its steady-state capacity.
+  for (int i = 0; i < 4; ++i) {
+    payload.clear();
+    wire.clear();
+    pil::encode_signals_into(values, payload);
+    pil::encode_frame_into(pil::FrameType::kSensorData,
+                           static_cast<std::uint8_t>(i), payload, wire);
+    decoder.feed(std::span<const std::uint8_t>(wire));
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    payload.clear();
+    wire.clear();
+    pil::encode_signals_into(values, payload);
+    pil::encode_frame_into(pil::FrameType::kSensorData,
+                           static_cast<std::uint8_t>(i), payload, wire);
+    decoder.feed(std::span<const std::uint8_t>(wire));
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "steady-state encode/decode touched the heap";
+  EXPECT_EQ(frames, 1004u);
+}
+
+// ------------------------------------------------------- RTT vs baud (E3)
+
+TEST(PilRoundTrip, FasterLineReportsShorterRoundTrip) {
+  // Regression for the E3 anomaly: at 115200 baud the true round trip
+  // (1.83 ms) exceeds the 1 ms period, and the old single-slot timestamp
+  // paired each response with the NEXT send, reporting 0.83 ms — below the
+  // 230400 figure.  Per-sequence FIFO pairing must keep RTT monotonic.
+  const auto rtt = [](std::uint32_t baud) {
+    core::ServoConfig cfg;
+    cfg.duration_s = 0.25;
+    core::ServoSystem servo(cfg);
+    core::ServoSystem::PilRunOptions opts;
+    opts.baud = baud;
+    return servo.run_pil(opts).report.round_trip_us.mean();
+  };
+  const double at_115200 = rtt(115200);
+  const double at_230400 = rtt(230400);
+  EXPECT_GT(at_115200, 1000.0);  // honest: longer than the control period
+  EXPECT_LT(at_230400, at_115200);
+}
+
+}  // namespace
+}  // namespace iecd

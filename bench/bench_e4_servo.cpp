@@ -10,6 +10,8 @@
 
 #include "bench_util.hpp"
 #include "core/case_study.hpp"
+#include "obs/health_report.hpp"
+#include "obs/monitor.hpp"
 
 using namespace iecd;
 
@@ -34,15 +36,34 @@ void print_table() {
     core::ServoSystem servo(cfg);
     const auto mil = servo.run_mil();
     print_phase_row("MIL", mil.metrics, mil.iae, mil.speed.last_value());
-    const auto pil = servo.run_pil({.baud = 460800});
+    // Monitors are passive (read-only probes on a scheduled poll), so the
+    // PIL/HIL trajectories here are bit-identical with or without them —
+    // obs_test locks that.  The merged health report is this bench's CI
+    // artifact: task timing percentiles, watermarks and any flight dumps.
+    obs::MonitorHub pil_hub;
+    core::ServoSystem::PilRunOptions pil_opts;
+    pil_opts.baud = 460800;
+    pil_opts.monitors = &pil_hub;
+    const auto pil = servo.run_pil(pil_opts);
     print_phase_row("PIL", pil.metrics, pil.iae, pil.speed.last_value());
-    const auto hil = servo.run_hil();
+    obs::MonitorHub hil_hub;
+    core::ServoSystem::HilOptions hil_opts;
+    hil_opts.monitors = &hil_hub;
+    const auto hil = servo.run_hil(hil_opts);
     print_phase_row("HIL", hil.metrics, hil.iae, hil.speed.last_value());
     bench::summarize("mil.iae", mil.iae);
     bench::summarize("pil.iae", pil.iae);
     bench::summarize("hil.iae", hil.iae);
     bench::summarize("hil.exec_us_mean", hil.exec_us_mean);
     bench::summarize("hil.jitter_us", hil.jitter_us);
+    obs::HealthReport health = hil_hub.report("e4_servo_hil");
+    health.merge(pil_hub.report("e4_servo_pil"));
+    health.write_json("HEALTH_bench_e4_servo.json");
+    std::printf("\nrun health: %s (%llu task monitors, %llu anomalies; "
+                "HEALTH_bench_e4_servo.json)\n",
+                health.healthy() ? "healthy" : "UNHEALTHY",
+                static_cast<unsigned long long>(health.tasks.size()),
+                static_cast<unsigned long long>(health.anomaly_count()));
   }
 
   std::printf("\nsampling-period sweep (HIL, same gains):\n\n");

@@ -256,6 +256,11 @@ ServoSystem::HilResult ServoSystem::run_hil(const HilOptions& options) {
       world, motor, *qdec_bean->peripheral(),
       {config_.encoder_lines, sim::microseconds(50)});
 
+  if (options.monitors) {
+    runtime.attach_monitors(*options.monitors);
+    options.monitors->arm(world, sim::from_seconds(config_.period_s));
+  }
+
   runtime.start();
   encoder.start();
   if (options.timer_jitter && runtime.timer() &&
@@ -297,6 +302,9 @@ ServoSystem::HilResult ServoSystem::run_hil(const HilOptions& options) {
     result.response_us_max = prof->response_time_us.max();
     result.jitter_us = prof->period_jitter_stddev_us();
     result.activations = prof->activations;
+    result.start_s = prof->start_times_s;
+    result.exec_us = prof->exec_time_us;
+    result.wait_us = prof->response_time_us;
   }
   result.cpu_utilisation =
       static_cast<double>(mcu.cpu().busy_time()) /
@@ -350,6 +358,10 @@ ServoSystem::PilResult ServoSystem::run_pil(const PilRunOptions& options) {
       world, runtime, *serial, buffer,
       {config_.period_s, duration, options.baud, options.link,
        options.batch});
+  if (options.monitors) {
+    runtime.attach_monitors(*options.monitors);
+    session.set_monitors(options.monitors);
+  }
   session.set_plant_buffered(
       [&](std::vector<double>& out) {
         // Sensor frame: the shaft angle the encoder interface measures.

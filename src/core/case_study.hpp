@@ -18,6 +18,7 @@
 #include "core/pe_blocks.hpp"
 #include "core/peert.hpp"
 #include "model/engine.hpp"
+#include "obs/monitor.hpp"
 #include "model/metrics.hpp"
 #include "model/statechart.hpp"
 #include "pil/pil_session.hpp"
@@ -94,6 +95,12 @@ class ServoSystem {
     /// Press the set-point button at these times (exercises the
     /// event-driven task path).
     std::vector<sim::SimTime> key_up_presses;
+    /// Online observability: when set, the runtime's dispatch path feeds
+    /// per-task TimingMonitors in this hub, the hub's poll (one per control
+    /// period) tracks event-queue depth, and deadline misses trigger the
+    /// flight recorder.  Passive — attaching a hub does not change the
+    /// simulated trajectory.
+    obs::MonitorHub* monitors = nullptr;
   };
   struct HilResult {
     model::SampleLog speed;
@@ -109,6 +116,13 @@ class ServoSystem {
     std::uint64_t overruns = 0;
     codegen::MemoryEstimate memory;
     std::string profile_report;
+    /// Per-activation copies of the periodic task's profile series:
+    /// activation start instants [s], ISR body execution [us] and dispatch
+    /// wait raise->start [us].  Reference data for cross-checking the
+    /// online histograms against exact sorted-sample statistics.
+    util::SampleSeries start_s;
+    util::SampleSeries exec_us;
+    util::SampleSeries wait_us;
   };
   /// Hardware-in-the-loop: generated code on the simulated MCU, plant
   /// coupled at the peripheral level (PWM duty -> motor, encoder -> QDEC).
@@ -121,6 +135,9 @@ class ServoSystem {
     pil::PilSession::LinkKind link = pil::PilSession::LinkKind::kRs232;
     /// Control steps per exchanged frame (1 = classic per-period exchange).
     int batch = 1;
+    /// Online observability (see HilOptions::monitors): per-exchange RTT
+    /// monitor, UART TX FIFO watermark, resync/overrun anomaly triggers.
+    obs::MonitorHub* monitors = nullptr;
   };
   struct PilResult {
     model::SampleLog speed;

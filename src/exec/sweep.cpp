@@ -43,4 +43,43 @@ SweepRunner::Result SweepRunner::run(std::size_t runs,
   return result;
 }
 
+SweepRunner::Result SweepRunner::run(std::size_t runs,
+                                     const HealthScenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, runs));
+  result.threads_used = threads;
+  if (runs == 0) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+  result.per_run.resize(runs);
+  result.per_run_health.resize(runs);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < runs; ++i) {
+      scenario(i, result.per_run[i], result.per_run_health[i]);
+    }
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(runs, [&](std::size_t i) {
+      scenario(i, result.per_run[i], result.per_run_health[i]);
+    });
+  }
+  // Index-order fold for both the metrics and the health reports: the
+  // merged percentiles come from bin-wise histogram adds, so they are
+  // identical for any thread count.
+  result.health.runs = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    result.merged.merge(result.per_run[i]);
+    result.health.merge(result.per_run_health[i]);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
 }  // namespace iecd::exec

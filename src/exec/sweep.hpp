@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/health_report.hpp"
 #include "trace/metrics.hpp"
 
 namespace iecd::exec {
@@ -35,11 +36,22 @@ class SweepRunner {
   using Scenario =
       std::function<void(std::size_t index, trace::MetricsRegistry& metrics)>;
 
+  /// A health-aware scenario: additionally fills a per-run HealthReport
+  /// (typically MonitorHub::report() of a hub local to the run).
+  using HealthScenario = std::function<void(
+      std::size_t index, trace::MetricsRegistry& metrics,
+      obs::HealthReport& health)>;
+
   explicit SweepRunner(SweepOptions options = {});
 
   struct Result {
     trace::MetricsRegistry merged;  ///< index-order fold of all runs
     std::vector<trace::MetricsRegistry> per_run;
+    /// Merged health report (HealthScenario runs only): same index-order
+    /// fold, so histograms/percentiles and anomaly counts are byte-
+    /// deterministic for any thread count.
+    obs::HealthReport health;
+    std::vector<obs::HealthReport> per_run_health;
     std::size_t runs = 0;
     std::size_t threads_used = 0;
     double wall_ms = 0.0;  ///< wall clock (informational; not merged)
@@ -47,6 +59,11 @@ class SweepRunner {
 
   /// Executes \p runs scenario instances and merges their metrics.
   Result run(std::size_t runs, const Scenario& scenario) const;
+
+  /// Health-aware variant: merges per-run metrics AND health reports in
+  /// index order (Result::health starts from runs == 0 and folds each
+  /// per-run report, so its `runs` counts the sweep points).
+  Result run(std::size_t runs, const HealthScenario& scenario) const;
 
   std::size_t threads() const { return options_.threads; }
 

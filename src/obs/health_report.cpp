@@ -1,0 +1,216 @@
+#include "obs/health_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace iecd::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void json_histogram(std::ostream& os, const char* key,
+                    const LatencyHistogram& h) {
+  os << "\"" << key << "\":{\"n\":" << h.count() << ",\"min\":" << num(h.min())
+     << ",\"mean\":" << num(h.mean()) << ",\"p50\":" << num(h.p50())
+     << ",\"p90\":" << num(h.p90()) << ",\"p99\":" << num(h.p99())
+     << ",\"p999\":" << num(h.p999()) << ",\"max\":" << num(h.max()) << "}";
+}
+
+}  // namespace
+
+std::uint64_t HealthReport::anomaly_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, count] : anomalies) total += count;
+  return total;
+}
+
+std::uint64_t HealthReport::deadline_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, mon] : tasks) total += mon.deadline_misses();
+  return total;
+}
+
+void HealthReport::merge(const HealthReport& other) {
+  if (source.empty()) source = other.source;
+  runs += other.runs;
+  for (const auto& [name, mon] : other.tasks) {
+    tasks[name].merge(mon);
+  }
+  for (const auto& [name, mon] : other.watermarks) {
+    watermarks[name].merge(mon);
+  }
+  for (const auto& [name, count] : other.anomalies) {
+    anomalies[name] += count;
+  }
+  dumps_suppressed += other.dumps_suppressed;
+  for (const auto& dump : other.dumps) {
+    if (dumps.size() < kMaxDumps) {
+      dumps.push_back(dump);
+    } else {
+      ++dumps_suppressed;
+    }
+  }
+}
+
+std::string HealthReport::to_text() const {
+  std::ostringstream os;
+  os << "=== health report: " << source << " (" << runs
+     << (runs == 1 ? " run" : " runs") << ") — "
+     << (healthy() ? "HEALTHY" : "UNHEALTHY") << " ===\n";
+  if (!tasks.empty()) {
+    os << "tasks:\n";
+    for (const auto& [name, mon] : tasks) {
+      os << "  " << mon.state_line(name) << "\n";
+    }
+  }
+  if (!watermarks.empty()) {
+    os << "watermarks:\n";
+    for (const auto& [name, mon] : watermarks) {
+      os << "  " << util::format(
+                        "%s: current=%.3f peak=%.3f low=%.3f mean=%.3f n=%llu",
+                        name.c_str(), mon.current(), mon.peak(), mon.low(),
+                        mon.mean(),
+                        static_cast<unsigned long long>(mon.samples()))
+         << "\n";
+    }
+  }
+  if (!anomalies.empty()) {
+    os << "anomalies:\n";
+    for (const auto& [name, count] : anomalies) {
+      os << "  " << name << ": " << count << "\n";
+    }
+  }
+  for (const auto& dump : dumps) {
+    os << util::format("dump #%llu: %s (%s) at t=%.6fs, %zu trailing events\n",
+                       static_cast<unsigned long long>(dump.ordinal),
+                       dump.trigger.c_str(), dump.detail.c_str(),
+                       sim::to_seconds(dump.time), dump.events.size());
+    for (const auto& line : dump.monitor_state) {
+      os << "    " << line << "\n";
+    }
+  }
+  if (dumps_suppressed > 0) {
+    os << "(" << dumps_suppressed << " further dumps suppressed)\n";
+  }
+  return os.str();
+}
+
+std::string HealthReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"source\":\"" << json_escape(source) << "\",\"runs\":" << runs
+     << ",\"healthy\":" << (healthy() ? "true" : "false")
+     << ",\"deadline_misses\":" << deadline_misses();
+
+  os << ",\"tasks\":{";
+  bool first = true;
+  for (const auto& [name, mon] : tasks) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << json_escape(name) << "\":{"
+       << "\"activations\":" << mon.activations()
+       << ",\"deadline_misses\":" << mon.deadline_misses()
+       << ",\"period_s\":" << num(mon.config().period_s)
+       << ",\"deadline_s\":" << num(mon.config().deadline_s) << ",";
+    json_histogram(os, "response_us", mon.response_us());
+    os << ",";
+    json_histogram(os, "exec_us", mon.exec_us());
+    os << ",";
+    json_histogram(os, "jitter_us", mon.jitter_us());
+    os << "}";
+  }
+  os << "}";
+
+  os << ",\"watermarks\":{";
+  first = true;
+  for (const auto& [name, mon] : watermarks) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << json_escape(name) << "\":{\"current\":"
+       << num(mon.current()) << ",\"peak\":" << num(mon.peak())
+       << ",\"low\":" << num(mon.low()) << ",\"mean\":" << num(mon.mean())
+       << ",\"samples\":" << mon.samples() << "}";
+  }
+  os << "}";
+
+  os << ",\"anomalies\":{";
+  first = true;
+  for (const auto& [name, count] : anomalies) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << count;
+  }
+  os << "}";
+
+  os << ",\"dumps\":[";
+  first = true;
+  for (const auto& dump : dumps) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"trigger\":\"" << json_escape(dump.trigger) << "\",\"detail\":\""
+       << json_escape(dump.detail) << "\",\"time_s\":"
+       << num(sim::to_seconds(dump.time)) << ",\"ordinal\":" << dump.ordinal
+       << ",\"events\":[";
+    bool first_ev = true;
+    for (const auto& ev : dump.events) {
+      if (!first_ev) os << ",";
+      first_ev = false;
+      os << "{\"seq\":" << ev.seq << ",\"cat\":\"" << json_escape(ev.category)
+         << "\",\"name\":\"" << json_escape(ev.name) << "\",\"track\":\""
+         << json_escape(ev.track) << "\",\"time_ns\":" << ev.time
+         << ",\"dur_ns\":" << ev.duration << ",\"value\":" << num(ev.value)
+         << "}";
+    }
+    os << "],\"monitor_state\":[";
+    bool first_line = true;
+    for (const auto& line : dump.monitor_state) {
+      if (!first_line) os << ",";
+      first_line = false;
+      os << "\"" << json_escape(line) << "\"";
+    }
+    os << "]}";
+  }
+  os << "]";
+  os << ",\"dumps_suppressed\":" << dumps_suppressed;
+  os << "}\n";
+  return os.str();
+}
+
+bool HealthReport::write_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << to_json();
+  return os.good();
+}
+
+}  // namespace iecd::obs

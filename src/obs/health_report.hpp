@@ -1,0 +1,59 @@
+/// \file health_report.hpp
+/// Run-health report: the per-run snapshot a bench or a sweep point emits
+/// once the world stops — every timing monitor (full histograms, so
+/// percentiles survive aggregation), every watermark, the anomaly counts
+/// and the flight-recorder dumps.  Reports merge deterministically
+/// (index-order fold over sweep runs: histograms add bin-wise, counters
+/// add, dumps concatenate up to a bound), and render as human-readable
+/// text or as JSON for CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/monitor.hpp"
+#include "obs/watermark.hpp"
+
+namespace iecd::obs {
+
+struct HealthReport {
+  /// Retained flight-recorder dumps after a merge; later dumps only count.
+  static constexpr std::size_t kMaxDumps = 16;
+
+  std::string source;       ///< bench / scenario name
+  std::uint64_t runs = 1;   ///< runs folded into this report
+
+  /// Full monitor copies, not scalar summaries: merged percentiles stay
+  /// exact (bin-wise histogram adds) instead of being averages of
+  /// percentiles.
+  std::map<std::string, TimingMonitor> tasks;
+  std::map<std::string, WatermarkMonitor> watermarks;
+
+  std::map<std::string, std::uint64_t> anomalies;  ///< trigger name -> count
+  std::vector<FlightRecorder::Dump> dumps;
+  std::uint64_t dumps_suppressed = 0;  ///< triggers beyond kMaxDumps
+
+  /// Total anomaly triggers across all names.
+  std::uint64_t anomaly_count() const;
+  /// Deadline misses summed over every task monitor.
+  std::uint64_t deadline_misses() const;
+  /// True when no anomaly fired and no task missed a deadline.
+  bool healthy() const { return anomaly_count() == 0 && deadline_misses() == 0; }
+
+  /// Deterministic fold: \p other's monitors merge into (or create) the
+  /// same-named entries here; anomaly counts add; dumps concatenate until
+  /// kMaxDumps, the rest are counted in dumps_suppressed.
+  void merge(const HealthReport& other);
+
+  /// Human-readable multi-line report.
+  std::string to_text() const;
+  /// JSON document (deterministic key order, fixed float formatting).
+  std::string to_json() const;
+  /// Writes to_json() to \p path; false if the file cannot be opened.
+  bool write_json(const std::string& path) const;
+};
+
+}  // namespace iecd::obs

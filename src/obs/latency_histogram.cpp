@@ -1,0 +1,104 @@
+#include "obs/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace iecd::obs {
+
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(Config{}) {}
+
+LatencyHistogram::LatencyHistogram(Config config) : config_(config) {
+  const std::size_t sub = std::size_t{1} << config_.sub_bucket_bits;
+  const std::size_t octaves =
+      static_cast<std::size_t>(config_.max_exp - config_.min_exp);
+  counts_.assign(1 + octaves * sub, 0);  // [0] = zero/underflow
+}
+
+// Octave o of bucket 1 + o*S + s holds values whose frexp exponent is
+// min_exp + o + 1, i.e. v in [2^(min_exp+o), 2^(min_exp+o+1)); sub-bucket s
+// spans [base * (1 + s/S), base * (1 + (s+1)/S)) with base = 2^(min_exp+o).
+double LatencyHistogram::bucket_lo(std::size_t i) const {
+  if (i == 0) return 0.0;
+  const std::size_t sub = std::size_t{1} << config_.sub_bucket_bits;
+  const std::size_t octave = (i - 1) >> config_.sub_bucket_bits;
+  const std::size_t s = (i - 1) & (sub - 1);
+  return std::ldexp(1.0 + static_cast<double>(s) / static_cast<double>(sub),
+                    config_.min_exp + static_cast<int>(octave));
+}
+
+double LatencyHistogram::bucket_hi(std::size_t i) const {
+  if (i == 0) return std::ldexp(1.0, config_.min_exp);
+  const std::size_t sub = std::size_t{1} << config_.sub_bucket_bits;
+  const std::size_t octave = (i - 1) >> config_.sub_bucket_bits;
+  const std::size_t s = (i - 1) & (sub - 1);
+  return std::ldexp(
+      1.0 + static_cast<double>(s + 1) / static_cast<double>(sub),
+      config_.min_exp + static_cast<int>(octave));
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (std::isnan(p)) return p;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Linear rank convention matching util::SampleSeries::percentile.
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i];
+    if (in_bucket == 0) continue;
+    const double first = static_cast<double>(cumulative);
+    const double last = static_cast<double>(cumulative + in_bucket - 1);
+    if (rank <= last) {
+      // Interpolate the rank's position across the bucket's value span.
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      const double frac =
+          in_bucket > 1 ? (rank - first) / static_cast<double>(in_bucket - 1)
+                        : 0.5;
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+bool LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (!(config_ == other.config_)) return false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  return true;
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::string LatencyHistogram::summary() const {
+  return util::format(
+      "n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+      static_cast<unsigned long long>(count_), mean(), p50(), p90(), p99(),
+      max());
+}
+
+}  // namespace iecd::obs

@@ -50,6 +50,9 @@ std::size_t UartPeripheral::send(const std::uint8_t* data, std::size_t len) {
   const sim::SimTime bt = tx_->config().byte_time();
   tx_busy_until_ = std::max(tx_busy_until_, queue().now()) +
                    bt * static_cast<sim::SimTime>(accepted);
+  if (tx_fifo_monitor_) {
+    tx_fifo_monitor_->update(static_cast<double>(in_flight + accepted));
+  }
   arm_drain_event();
   return accepted;
 }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "obs/watermark.hpp"
 #include "periph/peripheral.hpp"
 #include "sim/serial_link.hpp"
 
@@ -44,6 +45,13 @@ class UartPeripheral : public Peripheral {
 
   bool rx_full() const { return rx_valid_; }
   std::uint64_t overruns() const { return overruns_; }
+
+  /// Observability hook: when set, TX FIFO occupancy (bytes queued after
+  /// each accepted send) is pushed into \p monitor.  WatermarkMonitor is
+  /// header-only, so this costs no link dependency; null detaches.
+  void set_tx_fifo_monitor(obs::WatermarkMonitor* monitor) {
+    tx_fifo_monitor_ = monitor;
+  }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 
@@ -64,6 +72,7 @@ class UartPeripheral : public Peripheral {
   /// the TX interrupt when it passes.
   sim::SimTime tx_busy_until_ = 0;
   bool drain_armed_ = false;
+  obs::WatermarkMonitor* tx_fifo_monitor_ = nullptr;
 };
 
 }  // namespace iecd::periph

@@ -96,6 +96,9 @@ void HostEndpoint::on_frame(const Frame& frame) {
   if (found) {
     rtt_us = sim::to_microseconds(arrival - sent);
     rtt_us_.add(rtt_us);
+    // Per-sequence RTT monitor: release == service start == the send
+    // instant; completion is the decoded arrival.
+    if (rtt_monitor_) rtt_monitor_->record(sent, sent, arrival);
   }
   if (awaiting_response_) {
     if (auto* tr = trace::recorder()) {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/monitor.hpp"
 #include "pil/frame.hpp"
 #include "sim/serial_link.hpp"
 #include "sim/world.hpp"
@@ -59,6 +60,13 @@ class HostEndpoint {
   std::uint64_t exchanges() const { return exchanges_; }
   std::uint64_t deadline_misses() const { return deadline_misses_; }
   std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+  const FrameDecoder& decoder() const { return decoder_; }
+
+  /// Online observability: when set, every matched response feeds its
+  /// per-sequence round trip (send instant -> decoded arrival) into
+  /// \p monitor, keyed on the send instant for jitter tracking.  Null
+  /// detaches; passive either way.
+  void set_rtt_monitor(obs::TimingMonitor* monitor) { rtt_monitor_ = monitor; }
 
  private:
   void exchange();
@@ -79,6 +87,7 @@ class HostEndpoint {
   util::SampleSeries rtt_us_;
   std::uint64_t exchanges_ = 0;
   std::uint64_t deadline_misses_ = 0;
+  obs::TimingMonitor* rtt_monitor_ = nullptr;
 
   /// Session-lifetime scratch: reused every exchange.
   std::vector<double> sample_values_;

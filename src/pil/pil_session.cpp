@@ -31,7 +31,8 @@ PilSession::PilSession(sim::World& world, rt::Runtime& runtime,
     : world_(world),
       runtime_(runtime),
       options_(options),
-      rx_profile_key_(rt::Runtime::profile_key(serial.name(), "OnRxChar")) {
+      rx_profile_key_(rt::Runtime::profile_key(serial.name(), "OnRxChar")),
+      serial_(&serial) {
   const sim::SerialConfig cfg = options.link == LinkKind::kSpi
                                     ? sim::SerialConfig::spi(options.baud)
                                     : sim::SerialConfig::rs232(options.baud);
@@ -61,6 +62,50 @@ void PilSession::set_plant_buffered(
     std::function<void(double)> advance) {
   host_->set_plant_buffered(std::move(sample_into), std::move(apply),
                             std::move(advance));
+}
+
+void PilSession::set_monitors(obs::MonitorHub* hub) {
+  monitors_ = hub;
+  if (!hub) {
+    host_->set_rtt_monitor(nullptr);
+    if (serial_ && serial_->peripheral()) {
+      serial_->peripheral()->set_tx_fifo_monitor(nullptr);
+    }
+    return;
+  }
+
+  // Per-sequence round trip: the exchange interval is both the nominal
+  // period and the deadline (a response later than the next exchange is
+  // the PIL bench's deadline miss).
+  const double interval_s =
+      options_.period_s * static_cast<double>(options_.batch < 1
+                                                  ? 1
+                                                  : options_.batch);
+  obs::TimingMonitor::Config rtt_config;
+  rtt_config.period_s = interval_s;
+  rtt_config.deadline_s = interval_s;
+  host_->set_rtt_monitor(&hub->timing("pil.exchange", rtt_config));
+
+  // Board-side UART TX FIFO occupancy (the response frames queue here).
+  if (serial_ && serial_->peripheral()) {
+    serial_->peripheral()->set_tx_fifo_monitor(
+        &hub->watermark(serial_->name() + ".tx_fifo"));
+    periph::UartPeripheral* uart = serial_->peripheral();
+    hub->flight().add_counter_trigger(
+        "uart_overrun", [uart]() { return uart->overruns(); });
+  }
+
+  // Decoder CRC failures force a resynchronization rescan on either side
+  // of the wire; late actuator frames are the host's deadline misses.
+  HostEndpoint* host = host_.get();
+  TargetAgent* agent = agent_.get();
+  hub->flight().add_counter_trigger("frame_resync", [host, agent]() {
+    return host->crc_errors() + agent->crc_errors();
+  });
+  hub->flight().add_counter_trigger(
+      "pil_deadline_miss", [host]() { return host->deadline_misses(); });
+
+  hub->arm(world_, sim::from_seconds(interval_s));
 }
 
 PilReport PilSession::run() {

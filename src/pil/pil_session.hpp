@@ -78,6 +78,14 @@ class PilSession {
       std::function<void(const std::vector<double>&)> apply,
       std::function<void(double)> advance);
 
+  /// Online observability: per-exchange round-trip TimingMonitor
+  /// ("pil.exchange", deadline = the exchange interval), board UART TX
+  /// FIFO watermark, and flight-recorder counter triggers for frame
+  /// resyncs (decoder CRC rescans), UART overruns and late actuator
+  /// frames.  Arms \p hub's poll on the world at the exchange interval.
+  /// Passive; call before run().  Null detaches.
+  void set_monitors(obs::MonitorHub* hub);
+
   /// Runs the co-simulation and collects the report.
   PilReport run();
 
@@ -93,6 +101,8 @@ class PilSession {
   std::unique_ptr<sim::SerialLink> link_;
   std::unique_ptr<TargetAgent> agent_;
   std::unique_ptr<HostEndpoint> host_;
+  beans::SerialBean* serial_ = nullptr;
+  obs::MonitorHub* monitors_ = nullptr;
 };
 
 }  // namespace iecd::pil

@@ -116,6 +116,30 @@ void Runtime::install_event_task(std::size_t index) {
   bean->set_event_handler(task->event_name, std::move(handler));
 }
 
+void Runtime::attach_monitors(obs::MonitorHub& hub) {
+  monitors_ = &hub;
+  monitor_cache_.clear();
+  for (const auto& task : app_.tasks) {
+    obs::TimingMonitor::Config config;
+    std::string dispatch_key;
+    if (task.trigger == codegen::TaskSpec::Trigger::kPeriodic) {
+      // Implicit deadline: the next activation must not find the previous
+      // one still running.
+      config.period_s = task.period_s;
+      config.deadline_s = task.period_s;
+      dispatch_key = periodic_profile_key();
+    } else {
+      dispatch_key = profile_key(task.event_bean, task.event_name);
+    }
+    if (dispatch_key.empty()) continue;
+    // Monitors live in the hub under the application-level task name; the
+    // cache maps the ISR trampoline name the dispatch records carry.
+    monitor_cache_.emplace(
+        std::move(dispatch_key),
+        MonitorEntry{&hub.timing(task.name, config), task.name});
+  }
+}
+
 void Runtime::set_background_task(std::function<std::uint64_t()> chunk) {
   mcu_.cpu().set_background(std::move(chunk));
   mcu_.cpu().kick();
@@ -133,6 +157,22 @@ void Runtime::start() {
       tr->counter("rt", std::string(rec.name) + ".exec_us", "rt_sched",
                   rec.end_time,
                   sim::to_microseconds(rec.end_time - rec.start_time));
+    }
+    if (monitors_) {
+      auto it = monitor_cache_.find(rec.name);
+      if (it == monitor_cache_.end()) {
+        // ISR not declared as a task (e.g. a bean's own service interrupt):
+        // create its monitor lazily, aperiodic and deadline-free.
+        std::string name(rec.name);
+        it = monitor_cache_
+                 .emplace(name, MonitorEntry{&monitors_->timing(name), name})
+                 .first;
+      }
+      if (it->second.monitor->record(rec.raise_time, rec.start_time,
+                                     rec.end_time)) {
+        monitors_->flight().trigger("deadline_miss", rec.end_time,
+                                    it->second.task);
+      }
     }
   });
 

@@ -7,6 +7,7 @@
 /// application exhibits the true sampling-to-actuation delay.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "beans/bean_project.hpp"
@@ -14,6 +15,7 @@
 #include "beans/watchdog_bean.hpp"
 #include "codegen/generated_app.hpp"
 #include "mcu/mcu.hpp"
+#include "obs/monitor.hpp"
 #include "rt/profiler.hpp"
 
 namespace iecd::rt {
@@ -39,6 +41,15 @@ class Runtime {
   std::uint64_t step_cycles() const;
 
   Profiler& profiler() { return profiler_; }
+
+  /// Wires online timing monitors into the dispatch path: every task in the
+  /// application gets a TimingMonitor in \p hub (periodic tasks with their
+  /// period as implicit deadline), fed per activation with release/start/
+  /// completion times; a deadline miss fires the hub's flight recorder with
+  /// the offending task's name.  Call before or after start(); monitoring
+  /// is passive and does not perturb the simulation.
+  void attach_monitors(obs::MonitorHub& hub);
+  obs::MonitorHub* monitors() const { return monitors_; }
   /// The project's watchdog bean, if any (the kernel services it from the
   /// periodic task; a stuck or chronically overrunning step gets caught).
   beans::WatchdogBean* watchdog() { return watchdog_; }
@@ -82,6 +93,15 @@ class Runtime {
   beans::WatchdogBean* watchdog_ = nullptr;
   std::uint64_t periodic_activations_ = 0;
   bool started_ = false;
+  obs::MonitorHub* monitors_ = nullptr;
+  /// Dispatch-name ("<bean>.<event>") -> monitor + task label.  Transparent
+  /// comparator: the dispatch observer looks up by the record's string_view
+  /// without materializing a key string per activation.
+  struct MonitorEntry {
+    obs::TimingMonitor* monitor = nullptr;
+    std::string task;  ///< application-level task name for reports/triggers
+  };
+  std::map<std::string, MonitorEntry, std::less<>> monitor_cache_;
 };
 
 }  // namespace iecd::rt

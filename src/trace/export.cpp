@@ -60,12 +60,23 @@ std::map<NameId, int> assign_pids(const TraceRecorder& recorder,
 
 }  // namespace
 
-void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
+std::uint64_t write_chrome_trace(const TraceRecorder& recorder,
+                                 std::ostream& os) {
   std::vector<NameId> track_order;
   const auto pids = assign_pids(recorder, &track_order);
+  const std::uint64_t dropped = recorder.dropped();
 
   os << "{\"traceEvents\":[";
   bool first = true;
+  if (dropped > 0) {
+    // Metadata record: the viewer-visible warning that the ring overwrote
+    // the oldest events, so the timeline starts mid-run.
+    os << "\n{\"name\":\"trace_dropped_events\",\"ph\":\"M\",\"pid\":0,"
+       << "\"tid\":0,\"args\":{\"dropped\":" << dropped
+       << ",\"retained\":" << recorder.size()
+       << ",\"total_recorded\":" << recorder.total_recorded() << "}}";
+    first = false;
+  }
   for (NameId track : track_order) {
     if (!first) os << ",";
     first = false;
@@ -100,6 +111,7 @@ void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os) {
     os << "}";
   });
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return dropped;
 }
 
 std::string to_chrome_trace(const TraceRecorder& recorder) {
@@ -108,7 +120,12 @@ std::string to_chrome_trace(const TraceRecorder& recorder) {
   return os.str();
 }
 
-void write_csv(const TraceRecorder& recorder, std::ostream& os) {
+std::uint64_t write_csv(const TraceRecorder& recorder, std::ostream& os) {
+  const std::uint64_t dropped = recorder.dropped();
+  if (dropped > 0) {
+    os << "# dropped " << dropped
+       << " events (ring overwrote oldest; file starts mid-run)\n";
+  }
   os << "seq,type,category,name,track,time_ns,dur_ns,value\n";
   recorder.for_each([&](const Event& e) {
     const char* type = "";
@@ -128,6 +145,7 @@ void write_csv(const TraceRecorder& recorder, std::ostream& os) {
     std::snprintf(buf, sizeof buf, "%.9g", e.value);
     os << buf << '\n';
   });
+  return dropped;
 }
 
 std::string to_csv(const TraceRecorder& recorder) {

@@ -16,12 +16,18 @@ namespace iecd::trace {
 
 /// Writes the recorder's live events as Chrome trace-event JSON
 /// (`{"traceEvents":[...]}`).  Timestamps are microseconds of simulated
-/// time with nanosecond precision.
-void write_chrome_trace(const TraceRecorder& recorder, std::ostream& os);
+/// time with nanosecond precision.  Returns the number of events the ring
+/// overwrote before export (0 = the file holds the complete run); when
+/// events were dropped a "trace_dropped_events" metadata record carries
+/// the count into the exported file itself.
+std::uint64_t write_chrome_trace(const TraceRecorder& recorder,
+                                 std::ostream& os);
 std::string to_chrome_trace(const TraceRecorder& recorder);
 
 /// Writes events as CSV: seq,type,category,name,track,time_ns,dur_ns,value.
-void write_csv(const TraceRecorder& recorder, std::ostream& os);
+/// Returns the dropped-event count (see write_chrome_trace); a non-zero
+/// count additionally emits a leading `# dropped ...` comment line.
+std::uint64_t write_csv(const TraceRecorder& recorder, std::ostream& os);
 std::string to_csv(const TraceRecorder& recorder);
 
 /// Convenience: exports Chrome trace JSON to \p path.  Returns false if

@@ -221,8 +221,19 @@ TEST(FrameDecoderBurst, LastFrameTimeIsTheClosingByteArrival) {
 
 // ------------------------------------------------------ allocation counting
 
-std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+}  // namespace iecd
 
+namespace iecd::testhooks {
+// External linkage: only ONE global operator new may exist per binary, so
+// every zero-allocation test in the suite (framing here, the obs record
+// path in obs_test.cpp) shares this counter.
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace iecd::testhooks
+
+namespace iecd {
+namespace {
+using testhooks::g_allocations;
 }  // namespace
 }  // namespace iecd
 
@@ -230,7 +241,7 @@ std::atomic<std::uint64_t> g_allocations{0};
 // the whole test binary; the test only inspects deltas around its own
 // single-threaded region.
 void* operator new(std::size_t size) {
-  ++iecd::g_allocations;
+  ++iecd::testhooks::g_allocations;
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }

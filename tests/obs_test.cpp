@@ -1,0 +1,513 @@
+// Online timing analysis: latency-histogram percentiles against exact
+// sorted-vector references on seeded distributions, the deadline==response
+// boundary, monitor reset/merge determinism, flight-recorder trigger
+// ordering, the allocation-free record-path guarantee, and the end-to-end
+// deadline-miss injection that must yield a post-mortem dump plus a health
+// report naming the offending task.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/case_study.hpp"
+#include "exec/sweep.hpp"
+#include "obs/health_report.hpp"
+#include "obs/latency_histogram.hpp"
+#include "obs/monitor.hpp"
+#include "obs/watermark.hpp"
+#include "sim/world.hpp"
+#include "trace/trace.hpp"
+#include "util/statistics.hpp"
+
+// Shared with comm_fastpath_test.cpp: the one global counting operator new
+// the binary is allowed to define.
+namespace iecd::testhooks {
+extern std::atomic<std::uint64_t> g_allocations;
+}  // namespace iecd::testhooks
+
+namespace iecd {
+namespace {
+
+// ------------------------------------------------ histogram vs sorted ref
+
+/// Exact percentile reference: util::SampleSeries over the same samples.
+void expect_percentiles_close(const obs::LatencyHistogram& h,
+                              const std::vector<double>& samples,
+                              const char* label) {
+  util::SampleSeries ref;
+  for (double x : samples) ref.add(x);
+  const double tol = h.relative_error_bound();
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = ref.percentile(p);
+    const double approx = h.percentile(p);
+    // The answer lies in the bucket containing the rank; the rank's true
+    // order statistic shares that bucket or an adjacent one, and a bucket
+    // one octave up is twice as wide relative to the reference — hence two
+    // sub-bucket widths of the larger value.
+    const double bound =
+        2.0 * tol * std::max(std::abs(exact), std::abs(approx)) + 1e-9;
+    EXPECT_NEAR(approx, exact, bound) << label << " p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), ref.min()) << label;
+  EXPECT_DOUBLE_EQ(h.max(), ref.max()) << label;
+  EXPECT_EQ(h.count(), ref.count()) << label;
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedReferenceUniform) {
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(5.0, 900.0);
+  obs::LatencyHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist(rng);
+    samples.push_back(x);
+    h.record(x);
+  }
+  expect_percentiles_close(h, samples, "uniform");
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedReferenceLognormal) {
+  std::mt19937 rng(777);
+  std::lognormal_distribution<double> dist(3.0, 1.2);
+  obs::LatencyHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist(rng);
+    samples.push_back(x);
+    h.record(x);
+  }
+  expect_percentiles_close(h, samples, "lognormal");
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedReferenceBimodal) {
+  // Fast path vs slow path: the shape deadline analysis actually meets.
+  std::mt19937 rng(2024);
+  std::normal_distribution<double> fast(50.0, 2.0);
+  std::normal_distribution<double> slow(800.0, 30.0);
+  std::bernoulli_distribution pick(0.9);
+  obs::LatencyHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::max(0.1, pick(rng) ? fast(rng) : slow(rng));
+    samples.push_back(x);
+    h.record(x);
+  }
+  expect_percentiles_close(h, samples, "bimodal");
+}
+
+TEST(LatencyHistogram, ExactEdgesAndSmallCounts) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.percentile(50.0), 0.0);  // empty
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+  h.record(0.0);  // zero lands in the underflow bucket, min stays exact
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogram, MergeEqualsSequentialFeed) {
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dist(0.5, 5000.0);
+  obs::LatencyHistogram a, b, both;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist(rng);
+    (i % 2 ? a : b).record(x);
+    both.record(x);
+  }
+  ASSERT_TRUE(a.merge(b));
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double p : {1.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeRejectsConfigMismatchAndResetClears) {
+  obs::LatencyHistogram a;
+  obs::LatencyHistogram::Config coarse;
+  coarse.sub_bucket_bits = 2;
+  obs::LatencyHistogram b(coarse);
+  a.record(1.0);
+  b.record(2.0);
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_EQ(a.count(), 1u);  // untouched on rejection
+  a.reset();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+// ------------------------------------------------------- timing monitors
+
+TEST(TimingMonitor, DeadlineBoundaryIsMetExactly) {
+  obs::TimingMonitor::Config config;
+  config.period_s = 0.001;
+  config.deadline_s = 0.001;  // 1 ms == 1000 us
+  obs::TimingMonitor mon(config);
+  // response == deadline exactly: met.
+  EXPECT_FALSE(mon.record(0, 0, sim::from_seconds(0.001)));
+  EXPECT_EQ(mon.deadline_misses(), 0u);
+  // one nanosecond over: missed.
+  EXPECT_TRUE(mon.record(sim::from_seconds(0.001), sim::from_seconds(0.001),
+                         sim::from_seconds(0.002) + 1));
+  EXPECT_EQ(mon.deadline_misses(), 1u);
+  EXPECT_EQ(mon.last_miss_time(), sim::from_seconds(0.002) + 1);
+  EXPECT_EQ(mon.activations(), 2u);
+}
+
+TEST(TimingMonitor, ResponseCountsQueueingDelayNotJustExecution) {
+  obs::TimingMonitor::Config config;
+  config.deadline_s = 0.0005;
+  obs::TimingMonitor mon(config);
+  // Raised at t=0, served 400us later for 200us: exec meets the budget,
+  // response (600us) does not — the schedulability-analysis convention.
+  const sim::SimTime start = sim::microseconds(400);
+  const sim::SimTime end = sim::microseconds(600);
+  EXPECT_TRUE(mon.record(0, start, end));
+  EXPECT_DOUBLE_EQ(mon.exec_us().max(), 200.0);
+  EXPECT_DOUBLE_EQ(mon.worst_response_us(), 600.0);
+}
+
+TEST(TimingMonitor, JitterTracksDeviationFromNominalPeriod) {
+  obs::TimingMonitor::Config config;
+  config.period_s = 0.001;
+  obs::TimingMonitor mon(config);
+  sim::SimTime t = 0;
+  const sim::SimTime period = sim::from_seconds(0.001);
+  for (int i = 0; i < 5; ++i) {
+    mon.record(t, t, t + sim::microseconds(100));
+    t += period;
+  }
+  // Perfectly periodic so far.
+  EXPECT_DOUBLE_EQ(mon.jitter_us().max(), 0.0);
+  // One activation lands 30 us late.
+  mon.record(t + sim::microseconds(30), t + sim::microseconds(30),
+             t + sim::microseconds(130));
+  EXPECT_DOUBLE_EQ(mon.jitter_us().max(), 30.0);
+  EXPECT_EQ(mon.jitter_us().count(), 5u);
+}
+
+TEST(TimingMonitor, MergeMatchesSequentialFeedAndResetClears) {
+  obs::TimingMonitor::Config config;
+  config.period_s = 0.001;
+  config.deadline_s = 0.0012;
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<sim::SimTime> late(0, 500000);  // 0..500 us
+
+  obs::TimingMonitor first(config), second(config), sequential(config);
+  sim::SimTime t = 0;
+  const sim::SimTime period = sim::from_seconds(0.001);
+  std::vector<sim::SimTime> starts, ends;
+  for (int i = 0; i < 400; ++i) {
+    const sim::SimTime s = t + late(rng);
+    starts.push_back(s);
+    ends.push_back(s + sim::microseconds(700));
+    t += period;
+  }
+  for (int i = 0; i < 400; ++i) {
+    (i < 200 ? first : second).record(starts[i] - 100, starts[i], ends[i]);
+    sequential.record(starts[i] - 100, starts[i], ends[i]);
+  }
+  first.merge(second);
+  EXPECT_EQ(first.activations(), sequential.activations());
+  EXPECT_EQ(first.deadline_misses(), sequential.deadline_misses());
+  EXPECT_DOUBLE_EQ(first.worst_response_us(),
+                   sequential.worst_response_us());
+  for (double p : {50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(first.response_us().percentile(p),
+                     sequential.response_us().percentile(p));
+  }
+  // The merge seam drops exactly one jitter interval (run boundary).
+  EXPECT_EQ(first.jitter_us().count() + 1, sequential.jitter_us().count());
+
+  first.reset();
+  EXPECT_EQ(first.activations(), 0u);
+  EXPECT_TRUE(first.response_us().empty());
+}
+
+TEST(WatermarkMonitor, TracksPeakLowMeanAndMerges) {
+  obs::WatermarkMonitor a, b;
+  a.update(3.0);
+  a.update(9.0);
+  a.update(1.0);
+  EXPECT_DOUBLE_EQ(a.peak(), 9.0);
+  EXPECT_DOUBLE_EQ(a.low(), 1.0);
+  EXPECT_DOUBLE_EQ(a.current(), 1.0);
+  b.update(20.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.peak(), 20.0);
+  EXPECT_DOUBLE_EQ(a.low(), 1.0);
+  EXPECT_EQ(a.samples(), 4u);
+  // merge keeps THIS monitor's last observation as current.
+  EXPECT_DOUBLE_EQ(a.current(), 1.0);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, TriggersOrderedAndBounded) {
+  obs::FlightRecorder::Config config;
+  config.max_dumps = 2;
+  obs::FlightRecorder recorder(config);
+  recorder.trigger("deadline_miss", 100, "taskA");
+  recorder.trigger("fifo_overflow", 200, "uart");
+  recorder.trigger("deadline_miss", 300, "taskB");  // beyond max_dumps
+
+  ASSERT_EQ(recorder.dumps().size(), 2u);
+  EXPECT_EQ(recorder.dumps()[0].trigger, "deadline_miss");
+  EXPECT_EQ(recorder.dumps()[0].detail, "taskA");
+  EXPECT_EQ(recorder.dumps()[0].ordinal, 1u);
+  EXPECT_EQ(recorder.dumps()[1].trigger, "fifo_overflow");
+  EXPECT_EQ(recorder.dumps()[1].ordinal, 2u);
+  EXPECT_EQ(recorder.suppressed(), 1u);
+  EXPECT_EQ(recorder.triggers_total(), 3u);
+  EXPECT_EQ(recorder.trigger_counts().at("deadline_miss"), 2u);
+}
+
+TEST(FlightRecorder, CounterTriggersLatchAndFireOnIncrease) {
+  obs::FlightRecorder recorder;
+  std::uint64_t overruns = 5;  // pre-existing count must NOT trigger
+  recorder.add_counter_trigger("uart_overrun",
+                               [&overruns]() { return overruns; });
+  recorder.poll(1000);
+  EXPECT_TRUE(recorder.dumps().empty());
+  overruns += 3;
+  recorder.poll(2000);
+  ASSERT_EQ(recorder.dumps().size(), 1u);
+  EXPECT_EQ(recorder.dumps()[0].trigger, "uart_overrun");
+  EXPECT_EQ(recorder.dumps()[0].detail, "+3");
+  EXPECT_EQ(recorder.dumps()[0].time, 2000);
+  recorder.poll(3000);  // no further increase, no further dump
+  EXPECT_EQ(recorder.dumps().size(), 1u);
+}
+
+TEST(FlightRecorder, CapturesTrailingTraceEventsWithResolvedNames) {
+  trace::TraceRecorder rec(64);
+  trace::TraceSession session(rec);
+  for (int i = 0; i < 10; ++i) {
+    rec.instant("sim", "tick", "world", i * 100, i);
+  }
+  obs::FlightRecorder::Config config;
+  config.trail_depth = 4;
+  obs::FlightRecorder recorder(config);
+  recorder.trigger("anomaly", 1000, "x");
+  ASSERT_EQ(recorder.dumps().size(), 1u);
+  const auto& events = recorder.dumps()[0].events;
+  ASSERT_EQ(events.size(), 4u);  // trailing window only
+  EXPECT_EQ(events.front().name, "tick");
+  EXPECT_EQ(events.front().track, "world");
+  EXPECT_EQ(events.front().value, 6.0);  // events 6..9 remain
+  EXPECT_EQ(events.back().value, 9.0);
+  // Dump strings survive the recorder being cleared.
+  rec.clear();
+  EXPECT_EQ(recorder.dumps()[0].events.front().category, "sim");
+}
+
+// ------------------------------------------------- hub, report, sweeps
+
+TEST(MonitorHub, PollTracksQueueDepthAndStateProviderFillsDumps) {
+  sim::World world;
+  obs::MonitorHub hub;
+  hub.timing("ctrl").record(0, 0, sim::microseconds(10));
+  hub.arm(world, sim::milliseconds(1));
+  // Keep some events pending so the depth probe sees a non-empty queue.
+  world.queue().schedule_every(sim::milliseconds(10), [] {});
+  world.run_for(sim::milliseconds(5));
+  EXPECT_GE(hub.polls(), 4u);
+  const obs::WatermarkMonitor* depth = hub.find_watermark("sim.event_queue.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_GE(depth->peak(), 1.0);
+
+  hub.flight().trigger("anomaly", world.now(), "detail");
+  ASSERT_EQ(hub.flight().dumps().size(), 1u);
+  const auto& state = hub.flight().dumps()[0].monitor_state;
+  ASSERT_FALSE(state.empty());
+  EXPECT_NE(state[0].find("ctrl"), std::string::npos);
+}
+
+TEST(HealthReport, MergePreservesPercentilesAndNamesOffenders) {
+  auto make = [](int runs_seed) {
+    obs::MonitorHub hub;
+    obs::TimingMonitor::Config config;
+    config.period_s = 0.001;
+    config.deadline_s = 0.001;
+    auto& mon = hub.timing("servo_step", config);
+    std::mt19937 rng(runs_seed);
+    std::uniform_int_distribution<sim::SimTime> exec_us(100, 900);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 100; ++i) {
+      mon.record(t, t, t + sim::microseconds(exec_us(rng)));
+      t += sim::from_seconds(0.001);
+    }
+    return hub.report("unit");
+  };
+  obs::HealthReport merged = make(1);
+  merged.merge(make(2));
+  EXPECT_EQ(merged.runs, 2u);
+  EXPECT_EQ(merged.tasks.at("servo_step").activations(), 200u);
+  EXPECT_TRUE(merged.healthy());
+
+  // An unhealthy report names the offending task in both renderings.
+  obs::MonitorHub bad;
+  obs::TimingMonitor::Config tight;
+  tight.deadline_s = 0.0001;
+  bad.timing("laggard", tight).record(0, 0, sim::milliseconds(1));
+  bad.flight().trigger("deadline_miss", sim::milliseconds(1), "laggard");
+  obs::HealthReport report = bad.report("unit");
+  EXPECT_FALSE(report.healthy());
+  EXPECT_EQ(report.deadline_misses(), 1u);
+  EXPECT_NE(report.to_text().find("laggard"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"laggard\""), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"healthy\":false"), std::string::npos);
+}
+
+TEST(SweepRunner, HealthMergeIsThreadCountInvariant) {
+  const auto scenario = [](std::size_t index, trace::MetricsRegistry& metrics,
+                           obs::HealthReport& health) {
+    obs::MonitorHub hub;
+    obs::TimingMonitor::Config config;
+    config.period_s = 0.001;
+    config.deadline_s = 0.0008;
+    auto& mon = hub.timing("task", config);
+    std::mt19937 rng(static_cast<unsigned>(index) * 7919u + 13u);
+    std::uniform_int_distribution<sim::SimTime> exec_ns(100000, 1000000);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 50; ++i) {
+      if (mon.record(t, t, t + exec_ns(rng))) {
+        hub.flight().trigger("deadline_miss", t, "task");
+      }
+      t += sim::from_seconds(0.001);
+    }
+    metrics.counter("runs").value += 1;
+    health = hub.report("sweep");
+  };
+
+  exec::SweepRunner sequential({1});
+  exec::SweepRunner parallel({4});
+  const auto a = sequential.run(8, exec::SweepRunner::HealthScenario(scenario));
+  const auto b = parallel.run(8, exec::SweepRunner::HealthScenario(scenario));
+  EXPECT_EQ(a.health.runs, 8u);
+  EXPECT_EQ(a.health.to_json(), b.health.to_json());
+  EXPECT_EQ(a.health.tasks.at("task").activations(), 400u);
+  EXPECT_EQ(a.health.deadline_misses(), b.health.deadline_misses());
+}
+
+// ------------------------------------------------ allocation-free record
+
+TEST(ObsRecordPath, RecordIsAllocationFree) {
+  obs::LatencyHistogram histogram;
+  obs::WatermarkMonitor watermark;
+  obs::TimingMonitor::Config config;
+  config.period_s = 0.001;
+  config.deadline_s = 0.002;
+  obs::TimingMonitor monitor(config);
+
+  // Warm-up (constructors above did all the allocating they ever will).
+  monitor.record(0, 0, sim::microseconds(10));
+
+  const std::uint64_t before = testhooks::g_allocations.load();
+  sim::SimTime t = 0;
+  for (int i = 0; i < 10000; ++i) {
+    histogram.record(static_cast<double>(i % 997) + 0.5);
+    watermark.update(static_cast<double>(i % 31));
+    monitor.record(t, t + 1000, t + 500000);
+    t += sim::from_seconds(0.001);
+  }
+  EXPECT_EQ(testhooks::g_allocations.load(), before)
+      << "monitor record path touched the heap";
+}
+
+// -------------------------------------- end-to-end deadline-miss injection
+
+TEST(ObsEndToEnd, InjectedOverloadProducesFlightDumpAndUnhealthyReport) {
+  trace::TraceRecorder rec(1 << 12);
+  trace::TraceSession session(rec);
+
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.08;
+  core::ServoSystem servo(cfg);
+
+  obs::MonitorHub hub;
+  core::ServoSystem::HilOptions options;
+  options.duration_s = 0.08;
+  // Charge far more cycles than one period affords: every activation
+  // overruns, so responses exceed the implicit deadline.
+  options.extra_latency_cycles = 80000;
+  options.monitors = &hub;
+  servo.run_hil(options);
+
+  const obs::TimingMonitor* step = hub.find_timing("servo_hil_step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_GT(step->deadline_misses(), 0u);
+  EXPECT_GT(step->worst_response_us(), 1000.0);  // > 1 ms period
+
+  // Flight recorder: first dump is a deadline miss naming the task and
+  // carrying trailing trace events from the run.
+  ASSERT_FALSE(hub.flight().dumps().empty());
+  const auto& dump = hub.flight().dumps().front();
+  EXPECT_EQ(dump.trigger, "deadline_miss");
+  EXPECT_EQ(dump.detail, "servo_hil_step");
+  EXPECT_FALSE(dump.events.empty());
+  EXPECT_FALSE(dump.monitor_state.empty());
+
+  const obs::HealthReport report = hub.report("servo_hil_overload");
+  EXPECT_FALSE(report.healthy());
+  EXPECT_NE(report.to_text().find("servo_hil_step"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"deadline_miss\""), std::string::npos);
+  EXPECT_GT(hub.polls(), 0u);
+}
+
+TEST(ObsEndToEnd, MonitorsArePassiveTrajectoryIsUnchanged) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.1;
+  const auto bare = [&] {
+    core::ServoSystem servo(cfg);
+    core::ServoSystem::HilOptions options;
+    return servo.run_hil(options);
+  }();
+  obs::MonitorHub hub;
+  const auto monitored = [&] {
+    core::ServoSystem servo(cfg);
+    core::ServoSystem::HilOptions options;
+    options.monitors = &hub;
+    return servo.run_hil(options);
+  }();
+  EXPECT_EQ(bare.iae, monitored.iae);
+  EXPECT_EQ(bare.activations, monitored.activations);
+  EXPECT_EQ(bare.exec_us_max, monitored.exec_us_max);
+  // The monitored run's exact per-activation stats agree with the profiler.
+  const obs::TimingMonitor* step = hub.find_timing("servo_hil_step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->activations(), monitored.activations);
+  EXPECT_DOUBLE_EQ(step->exec_us().max(), monitored.exec_us.max());
+}
+
+TEST(ObsEndToEnd, PilSessionFeedsRttMonitorAndFifoWatermark) {
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.05;
+  core::ServoSystem servo(cfg);
+  obs::MonitorHub hub;
+  core::ServoSystem::PilRunOptions options;
+  options.duration_s = 0.05;
+  options.monitors = &hub;
+  const auto result = servo.run_pil(options);
+
+  const obs::TimingMonitor* rtt = hub.find_timing("pil.exchange");
+  ASSERT_NE(rtt, nullptr);
+  EXPECT_GT(rtt->activations(), 0u);
+  // Monitor max is exact: matches the session's own RTT series.
+  EXPECT_DOUBLE_EQ(rtt->worst_response_us(),
+                   result.report.round_trip_us.max());
+  const obs::WatermarkMonitor* fifo = hub.find_watermark("AS1.tx_fifo");
+  ASSERT_NE(fifo, nullptr);
+  EXPECT_GT(fifo->samples(), 0u);
+  EXPECT_GE(fifo->peak(), 1.0);
+}
+
+}  // namespace
+}  // namespace iecd

@@ -112,6 +112,53 @@ TEST(Schedulability, AnalysisBoundCoversObservedHilResponses) {
   EXPECT_LT(step.response_bound_s, 10 * observed_response_s + 1e-3);
 }
 
+TEST(Schedulability, AnalysisBoundCoversTimingMonitorWorstCase) {
+  // Same cross-validation through the online observability path: the
+  // per-task TimingMonitor measures worst-case response (completion -
+  // release) directly at dispatch retirement, so the analytic bound must
+  // dominate it without any scalar reassembly.
+  core::ServoConfig cfg;
+  cfg.duration_s = 0.5;
+  core::ServoSystem servo(cfg);
+  auto build = servo.build_target("servo_hil");
+  ASSERT_TRUE(build.ok());
+  const auto& cpu = mcu::find_derivative(cfg.derivative);
+  const auto report =
+      analyze_schedulability(build.app, cpu, {{"KeyUp_OnInterrupt", 0.05}});
+  EXPECT_TRUE(report.schedulable);
+
+  obs::MonitorHub hub;
+  core::ServoSystem::HilOptions options;
+  options.monitors = &hub;
+  // Exercise the event-driven task path too, so the sporadic task's bound
+  // is checked against a real activation.
+  options.key_up_presses = {sim::from_seconds(0.2), sim::from_seconds(0.3)};
+  servo.run_hil(options);
+
+  const obs::TimingMonitor* step = hub.find_timing("servo_hil_step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_GT(step->activations(), 0u);
+  EXPECT_EQ(step->deadline_misses(), 0u);
+  const double observed_s = step->worst_response_us() * 1e-6;
+  ASSERT_FALSE(report.tasks.empty());
+  const auto& analytic_step = report.tasks[0];
+  EXPECT_GE(analytic_step.response_bound_s + 1e-9, observed_s);
+  // Tightness: the analytic worst case stays within an order of magnitude
+  // of what the monitor actually saw.
+  EXPECT_LT(analytic_step.response_bound_s, 10 * observed_s + 1e-3);
+
+  // The sporadic key task's measured worst response obeys its bound too.
+  const obs::TimingMonitor* key = hub.find_timing("KeyUp_OnInterrupt");
+  if (key != nullptr && key->activations() > 0) {
+    for (const auto& task : report.tasks) {
+      if (task.name == "KeyUp_OnInterrupt" && task.bounded) {
+        EXPECT_GE(task.response_bound_s + 1e-9,
+                  key->worst_response_us() * 1e-6);
+      }
+    }
+  }
+}
+
 TEST(Schedulability, ReportRendersAllTasks) {
   const auto& cpu = mcu::find_derivative("DSC56F8367");
   const auto app = make_app(0.001, 100e-6, cpu, 50e-6);

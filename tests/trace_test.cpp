@@ -210,6 +210,35 @@ TEST(TraceExport, ChromeTraceIsStructurallyValidJson) {
   EXPECT_FALSE(in_string);
 }
 
+TEST(TraceExport, ExportersReturnZeroWhenNothingDropped) {
+  trace::TraceRecorder rec(16);
+  rec.instant("sim", "x", "t", 5);
+  std::ostringstream chrome, csv;
+  EXPECT_EQ(trace::write_chrome_trace(rec, chrome), 0u);
+  EXPECT_EQ(trace::write_csv(rec, csv), 0u);
+  EXPECT_EQ(chrome.str().find("trace_dropped_events"), std::string::npos);
+  EXPECT_NE(csv.str().rfind("seq,", 0), std::string::npos);  // no comment line
+}
+
+TEST(TraceExport, ExportersSurfaceRingDrops) {
+  trace::TraceRecorder rec(8);
+  for (int i = 0; i < 20; ++i) rec.instant("sim", "x", "t", i);
+  ASSERT_EQ(rec.dropped(), 12u);
+
+  std::ostringstream chrome;
+  EXPECT_EQ(trace::write_chrome_trace(rec, chrome), 12u);
+  const std::string json = chrome.str();
+  // Metadata record carries the warning into the file itself.
+  EXPECT_NE(json.find("\"name\":\"trace_dropped_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"total_recorded\":20"), std::string::npos);
+
+  std::ostringstream csv;
+  EXPECT_EQ(trace::write_csv(rec, csv), 12u);
+  EXPECT_EQ(csv.str().rfind("# dropped 12 events", 0), 0u);
+}
+
 TEST(TraceExport, CsvListsEveryEvent) {
   trace::TraceRecorder rec(8);
   rec.instant("sim", "x", "t", 5);

@@ -7,6 +7,7 @@
 #include "blocks/math_blocks.hpp"
 #include "blocks/routing.hpp"
 #include "beans/serial_bean.hpp"
+#include "fault/sites.hpp"
 #include "fixpt/autoscale.hpp"
 #include "mcu/mcu.hpp"
 #include "sim/world.hpp"
@@ -261,6 +262,16 @@ ServoSystem::HilResult ServoSystem::run_hil(const HilOptions& options) {
     options.monitors->arm(world, sim::from_seconds(config_.period_s));
   }
 
+  if (options.faults) {
+    fault::wire_cpu(*options.faults, mcu.cpu());
+    fault::wire_runtime(*options.faults, runtime);
+    fault::wire_encoder(*options.faults, encoder);
+    if (plant::LoadTorque load =
+            fault::make_load_torque(*options.faults, duration)) {
+      motor.set_load(std::move(load));
+    }
+  }
+
   runtime.start();
   encoder.start();
   if (options.timer_jitter && runtime.timer() &&
@@ -357,10 +368,15 @@ ServoSystem::PilResult ServoSystem::run_pil(const PilRunOptions& options) {
   pil::PilSession session(
       world, runtime, *serial, buffer,
       {config_.period_s, duration, options.baud, options.link,
-       options.batch});
+       options.batch, options.recovery});
   if (options.monitors) {
     runtime.attach_monitors(*options.monitors);
     session.set_monitors(options.monitors);
+  }
+  if (options.faults) {
+    fault::wire_cpu(*options.faults, mcu.cpu());
+    fault::wire_runtime(*options.faults, runtime);
+    fault::wire_pil(*options.faults, session);
   }
   session.set_plant_buffered(
       [&](std::vector<double>& out) {

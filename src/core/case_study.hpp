@@ -26,6 +26,10 @@
 #include "plant/encoder.hpp"
 #include "rt/runtime.hpp"
 
+namespace iecd::fault {
+class FaultInjector;
+}
+
 namespace iecd::core {
 
 struct ServoConfig {
@@ -101,6 +105,11 @@ class ServoSystem {
     /// flight recorder.  Passive — attaching a hub does not change the
     /// simulated trajectory.
     obs::MonitorHub* monitors = nullptr;
+    /// Fault injection (see src/fault/): wires interrupt-latency spikes,
+    /// task overruns, encoder glitches and load-torque disturbance pulses
+    /// into this run.  Null — or an injector whose plan is empty — leaves
+    /// the run bit-identical to an unwired one.
+    fault::FaultInjector* faults = nullptr;
   };
   struct HilResult {
     model::SampleLog speed;
@@ -138,6 +147,13 @@ class ServoSystem {
     /// Online observability (see HilOptions::monitors): per-exchange RTT
     /// monitor, UART TX FIFO watermark, resync/overrun anomaly triggers.
     obs::MonitorHub* monitors = nullptr;
+    /// Fault injection (see src/fault/): wires serial byte faults on both
+    /// link directions, PIL frame truncation/delay, interrupt-latency
+    /// spikes and task overruns.  Null or empty-plan: bit-identical run.
+    fault::FaultInjector* faults = nullptr;
+    /// Timeout/retransmit recovery for the exchange protocol
+    /// (HostEndpoint::Recovery); disabled by default.
+    pil::HostEndpoint::Recovery recovery;
   };
   struct PilResult {
     model::SampleLog speed;

@@ -1,0 +1,221 @@
+#include "fault/campaign.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace iecd::fault {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void json_histogram(std::ostream& os, const obs::LatencyHistogram& h) {
+  os << "{\"n\":" << h.count() << ",\"min\":" << num(h.min())
+     << ",\"mean\":" << num(h.mean()) << ",\"p50\":" << num(h.p50())
+     << ",\"p90\":" << num(h.p90()) << ",\"p99\":" << num(h.p99())
+     << ",\"p999\":" << num(h.p999()) << ",\"max\":" << num(h.max()) << "}";
+}
+
+constexpr const char kSitePrefix[] = "fault.";
+constexpr const char kInjectedSuffix[] = ".injected";
+
+}  // namespace
+
+CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
+  exec::SweepRunner runner({options_.threads});
+  const CampaignOptions& opts = options_;
+  const exec::SweepRunner::Result result = runner.run(
+      opts.runs,
+      exec::SweepRunner::HealthScenario(
+          [&opts, &scenario](std::size_t index,
+                             trace::MetricsRegistry& metrics,
+                             obs::HealthReport& health) {
+            FaultInjector injector(run_seed(opts.seed, index), opts.plan);
+            RunContext ctx{index, injector.seed(), injector, metrics, health};
+            const bool recovered = scenario(ctx);
+            injector.export_metrics(metrics);
+            metrics.counter("campaign.runs").increment();
+            if (!recovered) {
+              metrics.counter("campaign.unrecovered").increment();
+            }
+            metrics.counter("campaign.faults_injected").value +=
+                injector.total_injected();
+            metrics.counter("campaign.fault_opportunities").value +=
+                injector.total_opportunities();
+          }));
+
+  CampaignReport report;
+  report.name = opts.name;
+  report.seed = opts.seed;
+  report.runs = result.runs;
+  report.merged = result.merged;
+  report.per_run = result.per_run;
+  report.health = result.health;
+  report.per_run_health = result.per_run_health;
+  if (const auto* c = report.merged.find_counter("campaign.unrecovered")) {
+    report.unrecovered = c->value;
+  }
+  if (const auto* c = report.merged.find_counter("campaign.faults_injected")) {
+    report.faults_injected = c->value;
+  }
+  if (const auto* c =
+          report.merged.find_counter("campaign.fault_opportunities")) {
+    report.fault_opportunities = c->value;
+  }
+  for (std::size_t i = 0; i < report.per_run.size(); ++i) {
+    const auto* c = report.per_run[i].find_counter("campaign.unrecovered");
+    if (c && c->value > 0) report.unrecovered_runs.push_back(i);
+  }
+  return report;
+}
+
+std::string CampaignReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"campaign\":\"" << json_escape(name) << "\",\"seed\":" << seed
+     << ",\"runs\":" << runs << ",\"unrecovered\":" << unrecovered
+     << ",\"faults_injected\":" << faults_injected
+     << ",\"fault_opportunities\":" << fault_opportunities;
+
+  os << ",\"unrecovered_runs\":[";
+  bool first = true;
+  for (std::size_t index : unrecovered_runs) {
+    if (!first) os << ",";
+    first = false;
+    os << index;
+  }
+  os << "]";
+
+  // Per-site fault counts (merged over every run; map order, so the key
+  // sequence is deterministic).
+  os << ",\"sites\":{";
+  first = true;
+  for (const auto& [metric, counter] : merged.counters()) {
+    const std::size_t prefix_len = sizeof kSitePrefix - 1;
+    const std::size_t suffix_len = sizeof kInjectedSuffix - 1;
+    if (metric.size() <= prefix_len + suffix_len) continue;
+    if (metric.compare(0, prefix_len, kSitePrefix) != 0) continue;
+    if (metric.compare(metric.size() - suffix_len, suffix_len,
+                       kInjectedSuffix) != 0) {
+      continue;
+    }
+    const std::string site =
+        metric.substr(prefix_len, metric.size() - prefix_len - suffix_len);
+    std::uint64_t opportunities = 0;
+    if (const auto* c = merged.find_counter(kSitePrefix + site +
+                                            ".opportunities")) {
+      opportunities = c->value;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << json_escape(site) << "\":{\"injected\":" << counter.value
+       << ",\"opportunities\":" << opportunities << "}";
+  }
+  os << "}";
+
+  // Scenario-level results: every campaign.* counter, gauge and stat the
+  // scenario recorded (IAE, tracking error, ...).
+  os << ",\"scenario\":{";
+  first = true;
+  for (const auto& [metric, counter] : merged.counters()) {
+    if (metric.compare(0, 9, "campaign.") != 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(metric) << "\":" << counter.value;
+  }
+  for (const auto& [metric, value] : merged.gauges()) {
+    if (metric.compare(0, 9, "campaign.") != 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(metric) << "\":" << num(value);
+  }
+  for (const auto& [metric, stats] : merged.all_stats()) {
+    if (metric.compare(0, 9, "campaign.") != 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(metric) << "\":{\"n\":" << stats.count()
+       << ",\"mean\":" << num(stats.mean()) << ",\"min\":" << num(stats.min())
+       << ",\"max\":" << num(stats.max()) << "}";
+  }
+  os << "}";
+
+  // Recovery-latency percentiles from the merged "pil.recovery" monitor
+  // (original send -> matched response of every recovered exchange).
+  os << ",\"recovery\":";
+  auto it = health.tasks.find("pil.recovery");
+  if (it != health.tasks.end()) {
+    os << "{\"recovered\":" << it->second.activations()
+       << ",\"latency_us\":";
+    json_histogram(os, it->second.response_us());
+    os << "}";
+  } else {
+    os << "null";
+  }
+
+  // Flight-recorder evidence of the unrecovered runs: what tripped and
+  // when (full dumps live in the per-run health JSON).
+  os << ",\"unrecovered_dumps\":[";
+  first = true;
+  for (std::size_t index : unrecovered_runs) {
+    if (index >= per_run_health.size()) continue;
+    for (const auto& dump : per_run_health[index].dumps) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"run\":" << index << ",\"trigger\":\""
+         << json_escape(dump.trigger) << "\",\"detail\":\""
+         << json_escape(dump.detail)
+         << "\",\"time_s\":" << num(sim::to_seconds(dump.time))
+         << ",\"events\":" << dump.events.size() << "}";
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool CampaignReport::write_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << to_json();
+  return os.good();
+}
+
+std::string CampaignReport::summary() const {
+  return util::format(
+      "campaign %s: %zu runs, %llu faults injected (%llu opportunities), "
+      "%llu unrecovered",
+      name.c_str(), runs,
+      static_cast<unsigned long long>(faults_injected),
+      static_cast<unsigned long long>(fault_opportunities),
+      static_cast<unsigned long long>(unrecovered));
+}
+
+}  // namespace iecd::fault

@@ -1,0 +1,103 @@
+/// \file campaign.hpp
+/// Deterministic fault campaigns: N independent runs of one scenario, each
+/// with its own FaultInjector seeded from (campaign seed, run index), fanned
+/// out over exec::SweepRunner and merged in index order — the campaign
+/// report (per-site fault counts, IAE degradation, recovery-latency
+/// percentiles, flight-recorder dumps of unrecovered runs) is byte-identical
+/// for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/rng.hpp"
+#include "obs/health_report.hpp"
+#include "trace/metrics.hpp"
+
+namespace iecd::fault {
+
+struct CampaignOptions {
+  std::string name = "campaign";
+  std::uint64_t seed = 1;
+  std::size_t runs = 8;
+  /// Worker threads for the fan-out (see exec::SweepOptions); the merged
+  /// report and JSON are identical for every value.
+  std::size_t threads = 1;
+  FaultPlan plan;
+};
+
+/// Handed to the scenario for one campaign run.  The scenario wires
+/// \p injector into the world it builds (sites.hpp helpers), runs it, and
+/// records its results into \p metrics / \p health.  It must not touch
+/// shared mutable state — runs execute on arbitrary pool threads.
+struct RunContext {
+  std::size_t index = 0;
+  std::uint64_t run_seed = 0;
+  FaultInjector& injector;
+  trace::MetricsRegistry& metrics;
+  obs::HealthReport& health;
+};
+
+/// One campaign run; returns true when the run RECOVERED (met its
+/// scenario-defined acceptance: e.g. bounded tracking error, no abandoned
+/// exchange).  A false return marks the run unrecovered in the report and
+/// retains its health report's flight-recorder dumps.
+using CampaignScenario = std::function<bool(RunContext&)>;
+
+struct CampaignReport {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t runs = 0;
+
+  trace::MetricsRegistry merged;  ///< index-order fold of all runs
+  std::vector<trace::MetricsRegistry> per_run;
+  obs::HealthReport health;       ///< same fold; "pil.recovery" percentiles
+  std::vector<obs::HealthReport> per_run_health;
+
+  std::uint64_t unrecovered = 0;
+  std::vector<std::size_t> unrecovered_runs;  ///< run indices, ascending
+  std::uint64_t faults_injected = 0;
+  std::uint64_t fault_opportunities = 0;
+
+  /// Deterministic JSON artifact (CAMPAIGN_<name>.json in CI): campaign
+  /// identity, per-site fault counters, scenario stats (campaign.* stats,
+  /// e.g. IAE), recovery-latency percentiles, unrecovered run indices and
+  /// the flight-recorder dumps their health reports retained.  Thread
+  /// count and wall clock are deliberately absent — the document is
+  /// byte-identical across 1..N worker threads.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+  /// One-line human summary for bench tables / logs.
+  std::string summary() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options)
+      : options_(std::move(options)) {}
+
+  /// Seed of run \p index: a SplitMix64 hop from the campaign seed, so
+  /// replaying one run in isolation (one FaultInjector with this seed)
+  /// reproduces its exact fault sequence.
+  static std::uint64_t run_seed(std::uint64_t campaign_seed,
+                                std::size_t index) {
+    return SplitMix64(campaign_seed +
+                      0x9E3779B97F4A7C15ULL *
+                          static_cast<std::uint64_t>(index + 1))
+        .next();
+  }
+
+  const CampaignOptions& options() const { return options_; }
+
+  CampaignReport run(const CampaignScenario& scenario) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace iecd::fault

@@ -1,0 +1,15 @@
+#include "fault/injector.hpp"
+
+#include "trace/metrics.hpp"
+
+namespace iecd::fault {
+
+void FaultInjector::export_metrics(trace::MetricsRegistry& metrics) const {
+  for (const auto& [name, site] : sites_) {
+    metrics.counter("fault." + name + ".injected").value = site.injected();
+    metrics.counter("fault." + name + ".opportunities").value =
+        site.opportunities();
+  }
+}
+
+}  // namespace iecd::fault

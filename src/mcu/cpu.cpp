@@ -19,6 +19,11 @@ void Cpu::set_dispatch_observer(
   observer_ = std::move(obs);
 }
 
+void Cpu::set_dispatch_fault(
+    std::function<std::uint64_t(const DispatchRecord&)> fault) {
+  dispatch_fault_ = std::move(fault);
+}
+
 void Cpu::set_main_stack_bytes(std::uint32_t bytes) {
   main_stack_ = bytes;
   max_stack_ = std::max(max_stack_, bytes);
@@ -49,8 +54,9 @@ void Cpu::dispatch_next() {
   // The body runs logically at dispatch time (inputs sampled now); outputs
   // commit when the ISR retires, entry + body + exit cycles later.
   rec.body_cycles = handler.body();
-  const std::uint64_t total_cycles =
+  std::uint64_t total_cycles =
       costs_.isr_entry + rec.body_cycles + costs_.isr_exit;
+  if (dispatch_fault_) total_cycles += dispatch_fault_(rec);
   const sim::SimTime duration = clock_.cycles_to_time(total_cycles);
   busy_time_ += duration;
 

@@ -45,6 +45,14 @@ class Cpu {
   /// Observer invoked after every retired ISR.
   void set_dispatch_observer(std::function<void(const DispatchRecord&)> obs);
 
+  /// Fault-injection hook (see src/fault/): extra cycles added to a
+  /// dispatch on top of entry + body + exit — an interrupt-latency spike
+  /// (cache refill, flash wait states, a higher-priority blackout the model
+  /// does not represent).  Consulted once per dispatch, after the body ran;
+  /// null (the default) or a hook returning 0 leaves timing untouched.
+  void set_dispatch_fault(
+      std::function<std::uint64_t(const DispatchRecord&)> fault);
+
   /// Total cycles the core spent executing (ISR bodies + entry/exit +
   /// background) — utilisation = busy_time / elapsed.
   sim::SimTime busy_time() const { return busy_time_; }
@@ -71,6 +79,7 @@ class Cpu {
   bool busy_ = false;
   std::function<std::uint64_t()> background_;
   std::function<void(const DispatchRecord&)> observer_;
+  std::function<std::uint64_t(const DispatchRecord&)> dispatch_fault_;
   sim::SimTime busy_time_ = 0;
   std::uint64_t dispatches_ = 0;
   std::uint32_t main_stack_ = 128;

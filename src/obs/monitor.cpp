@@ -122,6 +122,14 @@ void MonitorHub::watch_can_bus(const sim::CanBus& bus) {
   add_probe(bus.name() + ".pending", [bus_ptr](sim::SimTime) {
     return static_cast<double>(bus_ptr->pending());
   });
+  // Error-path anomalies: integrity rejects and wire losses (the latter
+  // only move under fault injection) snapshot the flight recorder.
+  flight_.add_counter_trigger(bus.name() + ".crc_error", [bus_ptr]() {
+    return bus_ptr->stats().crc_errors;
+  });
+  flight_.add_counter_trigger(bus.name() + ".frame_dropped", [bus_ptr]() {
+    return bus_ptr->stats().frames_dropped;
+  });
 }
 
 void MonitorHub::arm(sim::World& world, sim::SimTime poll_period) {

@@ -57,7 +57,8 @@ bool AdcPeripheral::start_conversion(int channel) {
 }
 
 void AdcPeripheral::finish_conversion(int channel, double sampled_volts) {
-  results_[static_cast<std::size_t>(channel)] = volts_to_code(sampled_volts);
+  results_[static_cast<std::size_t>(channel)] =
+      apply_fault(channel, volts_to_code(sampled_volts));
   busy_ = false;
   ++completed_;
   if (config_.eoc_vector >= 0) mcu().raise_irq(config_.eoc_vector);
@@ -70,7 +71,8 @@ std::uint32_t AdcPeripheral::sample_now(int channel) {
   }
   const auto& src = sources_[static_cast<std::size_t>(channel)];
   const double volts = src ? src(now()) : config_.vref_low;
-  results_[static_cast<std::size_t>(channel)] = volts_to_code(volts);
+  results_[static_cast<std::size_t>(channel)] =
+      apply_fault(channel, volts_to_code(volts));
   ++completed_;
   return results_[static_cast<std::size_t>(channel)];
 }

@@ -62,12 +62,25 @@ class AdcPeripheral : public Peripheral {
 
   std::uint64_t conversions_completed() const { return completed_; }
 
+  /// Fault-injection hook (see src/fault/): transforms the converted code
+  /// before it is latched — stuck-at bits, reference noise, a flaky input
+  /// mux.  Applied on both the interrupt-driven and the busy-wait
+  /// (sample_now) paths; null (the default) or an identity hook leaves
+  /// results bit-identical.
+  using CodeFaultHook =
+      std::function<std::uint32_t(int channel, std::uint32_t code)>;
+  void set_code_fault_hook(CodeFaultHook hook) { fault_hook_ = std::move(hook); }
+
   void reset() override;
 
  private:
   void finish_conversion(int channel, double sampled_volts);
+  std::uint32_t apply_fault(int channel, std::uint32_t code) {
+    return fault_hook_ ? fault_hook_(channel, code) : code;
+  }
 
   AdcConfig config_;
+  CodeFaultHook fault_hook_;
   std::vector<std::function<double(sim::SimTime)>> sources_;
   std::vector<std::uint32_t> results_;
   bool busy_ = false;

@@ -59,6 +59,74 @@ void HostEndpoint::note_sent(std::uint8_t seq, sim::SimTime when) {
   sent_ring_.push_back({seq, when});
 }
 
+void HostEndpoint::transmit_faulted(const std::vector<std::uint8_t>& bytes) {
+  if (!tx_fault_hook_) {
+    tx_.transmit(bytes);
+    return;
+  }
+  const TxFault fault = tx_fault_hook_(bytes.size());
+  const std::size_t len = fault.truncate_to < bytes.size()
+                              ? fault.truncate_to
+                              : bytes.size();
+  if (fault.delay > 0) {
+    // The scratch buffer is reused next exchange: a deferred send must
+    // carry its own copy of the bytes.
+    world_.queue().schedule_in(
+        fault.delay,
+        [this, copy = std::vector<std::uint8_t>(
+                   bytes.begin(),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(len))] {
+          tx_.transmit(copy);
+        });
+  } else {
+    tx_.transmit(std::span<const std::uint8_t>(bytes.data(), len));
+  }
+}
+
+void HostEndpoint::arm_timeout() {
+  timeout_event_ = world_.queue().schedule_in(
+      current_timeout_,
+      [this, generation = exchange_generation_] { on_timeout(generation); });
+}
+
+void HostEndpoint::on_timeout(std::uint64_t generation) {
+  // A stale event (the exchange it watched was answered, abandoned or
+  // superseded) identifies itself by generation and dies quietly.
+  if (generation != exchange_generation_ || !awaiting_response_) return;
+  timeout_event_ = 0;
+  if (pending_retransmits_ >= options_.recovery.max_retransmits) {
+    // Persistent loss: give up on this exchange.  Nothing is applied — the
+    // plant holds the last actuator output (safe state); a late response
+    // still applies if it ever lands, and the next exchange supersedes.
+    ++abandoned_;
+    awaiting_response_ = false;
+    ++exchange_generation_;
+    if (auto* tr = trace::recorder()) {
+      tr->span_end("pil", "exchange", "pil_host", world_.now());
+      tr->instant("pil", "exchange_abandoned", "pil_host", world_.now());
+    }
+    return;
+  }
+  // Same sequence number on the wire: the board's duplicate cache replays
+  // its response if only the response was lost, without re-stepping the
+  // controller.  The original send instant stays — recovery latency spans
+  // the whole outage.
+  ++pending_retransmits_;
+  ++retransmits_;
+  transmit_faulted(tx_bytes_);
+  current_timeout_ = static_cast<sim::SimTime>(
+      static_cast<double>(current_timeout_) * options_.recovery.backoff);
+  const sim::SimTime cap = options_.recovery.backoff_cap > 0
+                               ? options_.recovery.backoff_cap
+                               : exchange_interval();
+  if (current_timeout_ > cap) current_timeout_ = cap;
+  if (auto* tr = trace::recorder()) {
+    tr->instant("pil", "retransmit", "pil_host", world_.now(),
+                static_cast<double>(pending_seq_));
+  }
+  arm_timeout();
+}
+
 void HostEndpoint::on_frame(const Frame& frame) {
   if (frame.type != FrameType::kActuatorData) return;
   if (apply_) {
@@ -80,14 +148,18 @@ void HostEndpoint::on_frame(const Frame& frame) {
     apply_(apply_values_);
   }
   // Responses come back in FIFO order: match against the oldest
-  // unanswered send with this sequence number.
+  // unanswered send with this sequence number.  Entries older than the
+  // match were never answered (their responses are lost for good) and are
+  // consumed with it; an unmatched response — a duplicate whose original
+  // already matched — must leave the ring alone, otherwise one stray
+  // frame would drain every outstanding send's timing entry.
   bool found = false;
   sim::SimTime sent = 0;
-  while (sent_head_ < sent_ring_.size()) {
-    const SentEntry e = sent_ring_[sent_head_++];
-    if (e.seq == frame.seq) {
-      sent = e.when;
+  for (std::size_t i = sent_head_; i < sent_ring_.size(); ++i) {
+    if (sent_ring_[i].seq == frame.seq) {
+      sent = sent_ring_[i].when;
       found = true;
+      sent_head_ = i + 1;
       break;
     }
   }
@@ -99,6 +171,24 @@ void HostEndpoint::on_frame(const Frame& frame) {
     // Per-sequence RTT monitor: release == service start == the send
     // instant; completion is the decoded arrival.
     if (rtt_monitor_) rtt_monitor_->record(sent, sent, arrival);
+  }
+  if (options_.recovery.enabled && awaiting_response_ &&
+      frame.seq == pending_seq_) {
+    // The outstanding exchange is answered: retire its timeout.  If it
+    // took a retransmit to get here, this is a recovery — log the outage
+    // span (original send -> response) for the campaign report.
+    if (timeout_event_ != 0) {
+      world_.queue().cancel(timeout_event_);
+      timeout_event_ = 0;
+    }
+    ++exchange_generation_;
+    if (pending_retransmits_ > 0) {
+      ++recoveries_;
+      recovery_us_.add(sim::to_microseconds(arrival - pending_sent_));
+      if (recovery_monitor_) {
+        recovery_monitor_->record(pending_sent_, pending_sent_, arrival);
+      }
+    }
   }
   if (awaiting_response_) {
     if (auto* tr = trace::recorder()) {
@@ -138,6 +228,14 @@ void HostEndpoint::exchange() {
       tr->instant("pil", "deadline_miss", "pil_host", world_.now());
     }
   }
+  if (options_.recovery.enabled) {
+    // Supersede any recovery still chasing the previous exchange.
+    if (timeout_event_ != 0) {
+      world_.queue().cancel(timeout_event_);
+      timeout_event_ = 0;
+    }
+    ++exchange_generation_;
+  }
   tx_payload_.clear();
   for (int k = 0; k < options_.batch; ++k) {
     // Sub-step k of the batch window ended at now - (batch-1-k) periods;
@@ -152,11 +250,24 @@ void HostEndpoint::exchange() {
   }
   tx_bytes_.clear();
   encode_frame_into(FrameType::kSensorData, seq_, tx_payload_, tx_bytes_);
-  tx_.transmit(tx_bytes_);
+  if (tx_fault_hook_) {
+    transmit_faulted(tx_bytes_);
+  } else {
+    tx_.transmit(tx_bytes_);
+  }
   note_sent(seq_, world_.now());
   const std::uint8_t sent_seq = seq_++;
   awaiting_response_ = true;
   ++exchanges_;
+  if (options_.recovery.enabled) {
+    pending_seq_ = sent_seq;
+    pending_sent_ = world_.now();
+    pending_retransmits_ = 0;
+    current_timeout_ = options_.recovery.timeout > 0
+                           ? options_.recovery.timeout
+                           : exchange_interval() / 2;
+    arm_timeout();
+  }
   if (auto* tr = trace::recorder()) {
     tr->span_begin("pil", "exchange", "pil_host", world_.now(),
                    static_cast<double>(sent_seq));

@@ -25,6 +25,30 @@ namespace iecd::pil {
 
 class HostEndpoint {
  public:
+  /// Timeout/retransmit recovery for lossy links (fault campaigns; see
+  /// src/fault/).  Disabled by default — a disabled Recovery leaves the
+  /// endpoint bit-identical to the pre-recovery protocol.  When enabled,
+  /// an exchange that has not been answered within \p timeout is
+  /// retransmitted with the SAME sequence number (the board's duplicate
+  /// cache replays its response without re-stepping the controller), the
+  /// timeout backing off exponentially up to \p backoff_cap.  After
+  /// \p max_retransmits unanswered copies the exchange is abandoned: the
+  /// plant holds the last applied actuator output (safe state) until the
+  /// next exchange or a late response supersedes it.
+  ///
+  /// Deployment note: retransmission is only useful when the round trip
+  /// fits well inside the exchange interval — on a link where RTT exceeds
+  /// the period (e.g. 115200 baud at a 1 ms period) a sub-period timeout
+  /// would retransmit healthy exchanges; use a faster link or leave
+  /// recovery off there.
+  struct Recovery {
+    bool enabled = false;
+    sim::SimTime timeout = 0;      ///< first timeout; 0 = interval / 2
+    int max_retransmits = 2;       ///< copies after the original send
+    double backoff = 2.0;          ///< timeout multiplier per retransmit
+    sim::SimTime backoff_cap = 0;  ///< ceiling; 0 = the exchange interval
+  };
+
   struct Options {
     sim::SimTime period = sim::milliseconds(1);  ///< control period
     sim::SimTime start = 0;
@@ -32,6 +56,7 @@ class HostEndpoint {
     /// (bit-identical to the unbatched protocol); N packs N samples into
     /// one frame and fires the exchange every N periods.
     int batch = 1;
+    Recovery recovery;
   };
 
   /// \p tx: channel toward the board, \p rx: channel from the board.
@@ -62,16 +87,48 @@ class HostEndpoint {
   std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
   const FrameDecoder& decoder() const { return decoder_; }
 
+  /// Recovery statistics (all zero while Recovery.enabled is false).
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t recovered_exchanges() const { return recoveries_; }
+  std::uint64_t exchanges_abandoned() const { return abandoned_; }
+  /// Latency of each recovered exchange: original send -> matched
+  /// response, in microseconds (only exchanges that needed >= 1
+  /// retransmit contribute).
+  const util::SampleSeries& recovery_us() const { return recovery_us_; }
+
   /// Online observability: when set, every matched response feeds its
   /// per-sequence round trip (send instant -> decoded arrival) into
   /// \p monitor, keyed on the send instant for jitter tracking.  Null
   /// detaches; passive either way.
   void set_rtt_monitor(obs::TimingMonitor* monitor) { rtt_monitor_ = monitor; }
 
+  /// Like set_rtt_monitor, for recovered exchanges only: release/start is
+  /// the original send, completion the response that finally matched.
+  void set_recovery_monitor(obs::TimingMonitor* monitor) {
+    recovery_monitor_ = monitor;
+  }
+
+  /// Fault-injection hook (see src/fault/): consulted once per wire send
+  /// (original and retransmit).  truncate_to clips the frame on the wire
+  /// (the receiver's decoder resynchronizes on the next SOF); delay defers
+  /// the send.  Null or a {SIZE_MAX, 0} answer leaves sends untouched.
+  struct TxFault {
+    std::size_t truncate_to = SIZE_MAX;
+    sim::SimTime delay = 0;
+  };
+  using TxFaultHook = std::function<TxFault(std::size_t frame_len)>;
+  void set_tx_fault_hook(TxFaultHook hook) { tx_fault_hook_ = std::move(hook); }
+
  private:
   void exchange();
   void on_frame(const Frame& frame);
   void note_sent(std::uint8_t seq, sim::SimTime when);
+  void transmit_faulted(const std::vector<std::uint8_t>& bytes);
+  void arm_timeout();
+  void on_timeout(std::uint64_t generation);
+  sim::SimTime exchange_interval() const {
+    return options_.period * static_cast<sim::SimTime>(options_.batch);
+  }
 
   sim::World& world_;
   sim::SerialChannel& tx_;
@@ -88,6 +145,20 @@ class HostEndpoint {
   std::uint64_t exchanges_ = 0;
   std::uint64_t deadline_misses_ = 0;
   obs::TimingMonitor* rtt_monitor_ = nullptr;
+
+  /// Recovery state for the outstanding exchange (Recovery.enabled only).
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t abandoned_ = 0;
+  util::SampleSeries recovery_us_;
+  obs::TimingMonitor* recovery_monitor_ = nullptr;
+  TxFaultHook tx_fault_hook_;
+  std::uint8_t pending_seq_ = 0;        ///< seq the timeout watches
+  sim::SimTime pending_sent_ = 0;       ///< original send instant
+  int pending_retransmits_ = 0;         ///< copies sent for this exchange
+  sim::SimTime current_timeout_ = 0;    ///< next timeout delay (backoff)
+  sim::EventId timeout_event_ = 0;
+  std::uint64_t exchange_generation_ = 0;  ///< guards stale timeout events
 
   /// Session-lifetime scratch: reused every exchange.
   std::vector<double> sample_values_;

@@ -45,6 +45,7 @@ PilSession::PilSession(sim::World& world, rt::Runtime& runtime,
   HostEndpoint::Options hopts;
   hopts.period = sim::from_seconds(options.period_s);
   hopts.batch = options.batch;
+  hopts.recovery = options.recovery;
   host_ = std::make_unique<HostEndpoint>(world, link_->a_to_b(),
                                          link_->b_to_a(), hopts);
 }
@@ -105,6 +106,17 @@ void PilSession::set_monitors(obs::MonitorHub* hub) {
   hub->flight().add_counter_trigger(
       "pil_deadline_miss", [host]() { return host->deadline_misses(); });
 
+  // Recovery instrumentation (inert while Recovery.enabled is false: the
+  // monitor stays empty and the triggers never fire).
+  obs::TimingMonitor::Config recovery_config;
+  recovery_config.period_s = interval_s;
+  recovery_config.deadline_s = interval_s;
+  host_->set_recovery_monitor(&hub->timing("pil.recovery", recovery_config));
+  hub->flight().add_counter_trigger(
+      "pil_retransmit", [host]() { return host->retransmits(); });
+  hub->flight().add_counter_trigger(
+      "pil_abandoned", [host]() { return host->exchanges_abandoned(); });
+
   hub->arm(world_, sim::from_seconds(interval_s));
 }
 
@@ -128,6 +140,26 @@ PilReport PilSession::run() {
       host_->crc_errors() + agent_->crc_errors();
   util::SampleSeries& rtt = m.series("pil.round_trip_us");
   for (double x : host_->round_trip_us().samples()) rtt.add(x);
+
+  // Robustness counters (all zero in clean runs with recovery disabled —
+  // present unconditionally so reports compare structurally).
+  m.counter("pil.retransmits").value = host_->retransmits();
+  m.counter("pil.recovered_exchanges").value = host_->recovered_exchanges();
+  m.counter("pil.exchanges_abandoned").value = host_->exchanges_abandoned();
+  m.counter("pil.duplicate_frames").value = agent_->duplicate_frames();
+  util::SampleSeries& rec = m.series("pil.recovery_us");
+  for (double x : host_->recovery_us().samples()) rec.add(x);
+  if (serial_ && serial_->peripheral()) {
+    m.counter("uart.overruns").value = serial_->peripheral()->overruns();
+  }
+  const sim::SerialChannel& a2b = link_->a_to_b();
+  const sim::SerialChannel& b2a = link_->b_to_a();
+  m.counter("link.bytes_corrupted").value =
+      a2b.bytes_corrupted() + b2a.bytes_corrupted();
+  m.counter("link.bytes_dropped").value =
+      a2b.bytes_dropped() + b2a.bytes_dropped();
+  m.counter("link.bytes_duplicated").value =
+      a2b.bytes_duplicated() + b2a.bytes_duplicated();
 
   // Wire time of one full exchange: the sensor frame down plus the
   // actuator frame back at the configured frame sizes.

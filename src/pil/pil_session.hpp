@@ -58,6 +58,10 @@ class PilSession {
     /// Control steps per exchanged frame (see HostEndpoint::Options::batch);
     /// 1 keeps the classic per-period exchange bit-identical.
     int batch = 1;
+    /// Timeout/retransmit recovery (see HostEndpoint::Recovery); disabled
+    /// by default, which keeps the session bit-identical to the
+    /// pre-recovery protocol.
+    HostEndpoint::Recovery recovery;
   };
 
   /// \p runtime must wrap the PIL variant of the application; \p serial is

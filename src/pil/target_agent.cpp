@@ -9,10 +9,25 @@ TargetAgent::TargetAgent(rt::Runtime& runtime, beans::SerialBean& serial,
     : runtime_(runtime), serial_(serial), buffer_(buffer) {
   decoder_.set_callback([this](const Frame& frame) {
     if (frame.type != FrameType::kSensorData) return;
+    if (have_last_seq_ && frame.seq == last_seq_) {
+      // Host retransmission of the frame just processed (recovery after a
+      // lost response): answer from the cache — tx_payload_ still holds
+      // the response encoded for the original — without re-stepping the
+      // controller, which would double-integrate the PI state.  Clean
+      // runs never repeat a sequence number back to back.
+      duplicate_ = true;
+      respond_ = true;
+      respond_seq_ = frame.seq;
+      ++duplicate_frames_;
+      return;
+    }
     inputs_scratch_.clear();
     decode_signals_into(frame.payload, inputs_scratch_);
+    duplicate_ = false;
     respond_ = true;
     respond_seq_ = frame.seq;
+    last_seq_ = frame.seq;
+    have_last_seq_ = true;
   });
 }
 
@@ -26,6 +41,11 @@ void TargetAgent::start() {
     if (!byte) return cycles;
     respond_ = false;
     decoder_.feed(*byte);
+    if (respond_ && duplicate_) {
+      // Cached replay: no controller step, no fresh encode — only the
+      // seq-compare cost, folded into the per-byte budget.
+      return cycles;
+    }
     if (respond_) {
       // The completed sensor frame stands in for the sampling interrupt:
       // run the controller step inside this ISR (reads from the buffer,
@@ -52,7 +72,7 @@ void TargetAgent::start() {
         ctx.dt = runtime_.period_s();
         runtime_.step_once(ctx);
         encode_signals_into(buffer_.output_values(), tx_payload_);
-        cycles += runtime_.step_cycles();
+        cycles += runtime_.step_cycles() + runtime_.draw_overrun_cycles();
       }
       ++frames_processed_;
     }
@@ -64,7 +84,12 @@ void TargetAgent::start() {
     tx_bytes_.clear();
     encode_frame_into(FrameType::kActuatorData, respond_seq_, tx_payload_,
                       tx_bytes_);
-    serial_.SendBlock(tx_bytes_.data(), tx_bytes_.size());
+    std::size_t len = tx_bytes_.size();
+    if (tx_fault_hook_) {
+      const std::size_t clipped = tx_fault_hook_(len);
+      if (clipped < len) len = clipped;
+    }
+    serial_.SendBlock(tx_bytes_.data(), len);
     respond_ = false;
   };
   serial_.set_event_handler("OnRxChar", std::move(handler));

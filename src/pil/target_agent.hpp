@@ -13,6 +13,8 @@
 /// group, back-dating each step's context time by one control period.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "beans/serial_bean.hpp"
@@ -33,6 +35,18 @@ class TargetAgent {
 
   std::uint64_t frames_processed() const { return frames_processed_; }
   std::uint64_t crc_errors() const { return decoder_.crc_errors(); }
+  /// Sensor frames whose sequence number matched the previous frame —
+  /// host retransmissions answered from the response cache without
+  /// re-stepping the controller (clean runs never repeat a seq, so this
+  /// stays 0 and the duplicate path is never taken).
+  std::uint64_t duplicate_frames() const { return duplicate_frames_; }
+
+  /// Fault-injection hook (see src/fault/): maps the response frame's
+  /// length to the number of bytes actually sent — a truncated response
+  /// (board reset mid-send, TX FIFO flush).  Null or an identity answer
+  /// leaves responses untouched.
+  using TxFaultHook = std::function<std::size_t(std::size_t frame_len)>;
+  void set_tx_fault_hook(TxFaultHook hook) { tx_fault_hook_ = std::move(hook); }
 
  private:
   rt::Runtime& runtime_;
@@ -40,9 +54,14 @@ class TargetAgent {
   codegen::SignalBuffer& buffer_;
   FrameDecoder decoder_;
   bool respond_ = false;
+  bool duplicate_ = false;
+  bool have_last_seq_ = false;
   std::uint8_t respond_seq_ = 0;
+  std::uint8_t last_seq_ = 0;
   std::uint64_t frames_processed_ = 0;
+  std::uint64_t duplicate_frames_ = 0;
   std::uint64_t per_byte_cycles_ = 40;
+  TxFaultHook tx_fault_hook_;
 
   /// Session-lifetime scratch: reused every frame.
   std::vector<double> inputs_scratch_;

@@ -41,7 +41,11 @@ void IncrementalEncoder::poll() {
   const auto counts = static_cast<std::int64_t>(
       std::floor(angle / (2.0 * std::numbers::pi) * cpr));
   const std::int64_t delta = counts - last_counts_;
-  if (delta != 0) {
+  if (fault_hook_) {
+    const std::int32_t emit = fault_hook_(static_cast<std::int32_t>(delta));
+    if (emit != 0) qdec_.add_counts(emit);
+    last_counts_ = counts;
+  } else if (delta != 0) {
     qdec_.add_counts(static_cast<std::int32_t>(delta));
     last_counts_ = counts;
   }

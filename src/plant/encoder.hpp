@@ -38,6 +38,17 @@ class IncrementalEncoder : public sim::Component {
   int counts_per_rev() const { return params_.lines * 4; }
   std::int64_t total_counts() const { return last_counts_; }
 
+  /// Fault-injection hook (see src/fault/): maps the true count delta of a
+  /// poll to the delta actually pushed into the decoder — EMI edges, missed
+  /// transitions.  Consulted once per poll; the encoder keeps tracking the
+  /// true shaft count, so an injected glitch is a persistent decoder offset
+  /// (exactly what a real miscount does until the next index/homing).  Null
+  /// (the default) or an identity hook leaves the count stream untouched.
+  using CountFaultHook = std::function<std::int32_t(std::int32_t true_delta)>;
+  void set_count_fault_hook(CountFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
   void poll();
 
@@ -47,6 +58,7 @@ class IncrementalEncoder : public sim::Component {
   EncoderParams params_;
   std::string name_;
   bool running_ = false;
+  CountFaultHook fault_hook_;
   sim::EventId poll_event_ = 0;
   std::int64_t last_counts_ = 0;
   std::int64_t last_index_rev_ = 0;

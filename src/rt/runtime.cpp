@@ -80,7 +80,7 @@ void Runtime::install_periodic_task(std::size_t index) {
     if (task->read) task->read(ctx);
     if (task->compute) task->compute(ctx);
     ++periodic_activations_;
-    return cycles;
+    return cycles + draw_overrun_cycles();
   };
   handler.commit = [this, task] {
     // Outputs reach the peripherals when the ISR retires: the generated
@@ -138,6 +138,10 @@ void Runtime::attach_monitors(obs::MonitorHub& hub) {
         std::move(dispatch_key),
         MonitorEntry{&hub.timing(task.name, config), task.name});
   }
+}
+
+void Runtime::set_overrun_hook(std::function<std::uint64_t()> hook) {
+  overrun_hook_ = std::move(hook);
 }
 
 void Runtime::set_background_task(std::function<std::uint64_t()> chunk) {

@@ -7,6 +7,7 @@
 /// application exhibits the true sampling-to-actuation delay.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -39,6 +40,19 @@ class Runtime {
   /// Charges one periodic-step activation in cycles (for callers that
   /// embed the step in their own ISR).
   std::uint64_t step_cycles() const;
+
+  /// Fault-injection hook (see src/fault/): extra cycles charged to a
+  /// periodic-step activation — a task overrun (data-dependent worst-case
+  /// path, cache-cold iteration).  The hook is drawn once per activation,
+  /// both on the timer-driven path and — via draw_overrun_cycles() — on
+  /// the PIL path where the communication ISR embeds the step.  Null (the
+  /// default) leaves timing untouched.
+  void set_overrun_hook(std::function<std::uint64_t()> hook);
+  /// One overrun draw for callers that embed the step in their own ISR
+  /// (the PIL target agent); 0 when no hook is installed.
+  std::uint64_t draw_overrun_cycles() {
+    return overrun_hook_ ? overrun_hook_() : 0;
+  }
 
   Profiler& profiler() { return profiler_; }
 
@@ -93,6 +107,7 @@ class Runtime {
   beans::WatchdogBean* watchdog_ = nullptr;
   std::uint64_t periodic_activations_ = 0;
   bool started_ = false;
+  std::function<std::uint64_t()> overrun_hook_;
   obs::MonitorHub* monitors_ = nullptr;
   /// Dispatch-name ("<bean>.<event>") -> monitor + task label.  Transparent
   /// comparator: the dispatch observer looks up by the record's string_view

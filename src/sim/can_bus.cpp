@@ -46,6 +46,7 @@ void CanBus::reset() {
   for (auto& n : nodes_) n.tx_queue.clear();
   busy_ = false;
   corrupt_armed_ = false;
+  in_flight_dropped_ = false;
   stats_ = Stats{};
 }
 
@@ -89,6 +90,10 @@ void CanBus::corrupt_next_frame(std::uint8_t xor_mask) {
   corrupt_armed_ = true;
 }
 
+void CanBus::set_fault_hook(FrameFaultHook hook) {
+  fault_hook_ = std::move(hook);
+}
+
 std::size_t CanBus::pending() const {
   std::size_t n = 0;
   for (const auto& node : nodes_) n += node.tx_queue.size();
@@ -124,6 +129,31 @@ void CanBus::try_start() {
     }
     corrupt_armed_ = false;
   }
+  in_flight_dropped_ = false;
+  if (fault_hook_) {
+    const FrameFault fault = fault_hook_(in_flight_.frame);
+    switch (fault.action) {
+      case FrameFaultAction::kCorrupt:
+        if (!in_flight_.frame.data.empty()) {
+          in_flight_.frame.data[0] ^= fault.xor_mask;
+        } else {
+          in_flight_.crc ^= fault.xor_mask;
+        }
+        break;
+      case FrameFaultAction::kDrop:
+        // The frame still occupies its wire time; delivery discards it.
+        in_flight_dropped_ = true;
+        break;
+      case FrameFaultAction::kDuplicate:
+        // Retransmit echo: a copy goes back to the head of the sender's
+        // queue and re-arbitrates right after this frame.
+        tx.tx_queue.push_front(in_flight_);
+        ++stats_.frames_duplicated;
+        break;
+      case FrameFaultAction::kNone:
+        break;
+    }
+  }
   const SimTime wire = frame_time(in_flight_.frame.dlc());
   stats_.busy_time += wire;
   in_flight_started_ = world_.now();
@@ -131,7 +161,10 @@ void CanBus::try_start() {
 }
 
 void CanBus::deliver() {
-  if (frame_crc(in_flight_.frame) != in_flight_.crc) {
+  if (in_flight_dropped_) {
+    ++stats_.frames_dropped;
+    in_flight_dropped_ = false;
+  } else if (frame_crc(in_flight_.frame) != in_flight_.crc) {
     // Integrity check failed: every receiver discards the frame.
     ++stats_.crc_errors;
   } else {

@@ -79,6 +79,8 @@ class CanBus : public Component {
   struct Stats {
     std::uint64_t frames_delivered = 0;
     std::uint64_t crc_errors = 0;  ///< frames dropped at delivery
+    std::uint64_t frames_dropped = 0;     ///< lost on the wire (fault hook)
+    std::uint64_t frames_duplicated = 0;  ///< re-queued copies (fault hook)
     SimTime busy_time = 0;
     double utilisation(SimTime elapsed) const {
       return elapsed > 0 ? static_cast<double>(busy_time) /
@@ -114,6 +116,24 @@ class CanBus : public Component {
   /// first payload byte (or, for an empty frame, its CRC word) XORed with
   /// \p xor_mask, so the delivery-side integrity check drops it.
   void corrupt_next_frame(std::uint8_t xor_mask);
+
+  /// Per-frame fault decision, consulted when a frame wins arbitration
+  /// (fault-injection campaigns; see src/fault/).
+  enum class FrameFaultAction : std::uint8_t {
+    kNone,
+    kCorrupt,    ///< corrupt payload/CRC -> receivers discard the frame
+    kDrop,       ///< frame occupies the bus but never reaches a receiver
+    kDuplicate,  ///< a copy re-queues on the sender (retransmit echo)
+  };
+  struct FrameFault {
+    FrameFaultAction action = FrameFaultAction::kNone;
+    std::uint8_t xor_mask = 0;
+  };
+  using FrameFaultHook = std::function<FrameFault(const CanFrame&)>;
+
+  /// Installs (null: removes) the fault hook.  A hook that always answers
+  /// kNone leaves bus behaviour bit-identical to the unhooked bus.
+  void set_fault_hook(FrameFaultHook hook);
 
   /// Wire time of one standard frame with \p dlc data bytes (includes a
   /// conservative stuff-bit estimate and the interframe space).
@@ -151,6 +171,8 @@ class CanBus : public Component {
   std::array<SimTime, 9> frame_times_{};
   bool corrupt_armed_ = false;
   std::uint8_t pending_corruption_ = 0;
+  FrameFaultHook fault_hook_;
+  bool in_flight_dropped_ = false;
   Stats stats_;
 };
 

@@ -31,6 +31,10 @@ void SerialChannel::set_burst_receiver(BurstCallback on_burst) {
   on_byte_ = nullptr;
 }
 
+void SerialChannel::set_fault_hook(ByteFaultHook hook) {
+  fault_hook_ = std::move(hook);
+}
+
 void SerialChannel::corrupt_next_byte(std::uint8_t xor_mask) {
   pending_corruption_ = xor_mask;
   corrupt_armed_ = true;
@@ -88,9 +92,35 @@ void SerialChannel::deliver_tick() {
     byte ^= pending_corruption_;
     corrupt_armed_ = false;
   }
+  bool drop = false;
+  bool duplicate = false;
+  if (fault_hook_) {
+    const ByteFault fault = fault_hook_(byte);
+    switch (fault.action) {
+      case ByteFaultAction::kCorrupt:
+        byte ^= fault.xor_mask;
+        ++bytes_corrupted_;
+        break;
+      case ByteFaultAction::kDrop:
+        // The byte still occupied its wire time; the receiver's UART
+        // discarded it (framing/start-bit corruption).
+        drop = true;
+        ++bytes_dropped_;
+        break;
+      case ByteFaultAction::kDuplicate:
+        duplicate = true;
+        ++bytes_duplicated_;
+        break;
+      case ByteFaultAction::kNone:
+        break;
+    }
+  }
   ++head_;
   ++bytes_transferred_;
-  if (on_byte_) on_byte_(byte, queue_.now());
+  if (on_byte_ && !drop) {
+    on_byte_(byte, queue_.now());
+    if (duplicate) on_byte_(byte, queue_.now());
+  }
   if (pending() == 0) {
     queue_.cancel(event_);
     event_ = 0;
@@ -116,11 +146,50 @@ void SerialChannel::deliver_burst() {
   bytes_transferred_ += n;
   active_ = false;
   event_ = 0;
+  // Per-byte fault pass.  The scratch copy materializes only at the first
+  // byte a fault actually touches: a hooked-but-quiet burst still hands the
+  // receiver the zero-copy aliasing span below, bit-identical to the
+  // unhooked channel.
+  bool faulted = false;
+  if (fault_hook_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint8_t byte = buf_[first + i];
+      const ByteFault fault = fault_hook_(byte);
+      if (!faulted && fault.action != ByteFaultAction::kNone) {
+        fault_scratch_.assign(buf_.begin() + static_cast<std::ptrdiff_t>(first),
+                              buf_.begin() +
+                                  static_cast<std::ptrdiff_t>(first + i));
+        faulted = true;
+      }
+      switch (fault.action) {
+        case ByteFaultAction::kCorrupt:
+          fault_scratch_.push_back(byte ^ fault.xor_mask);
+          ++bytes_corrupted_;
+          break;
+        case ByteFaultAction::kDrop:
+          ++bytes_dropped_;
+          break;
+        case ByteFaultAction::kDuplicate:
+          fault_scratch_.push_back(byte);
+          fault_scratch_.push_back(byte);
+          ++bytes_duplicated_;
+          break;
+        case ByteFaultAction::kNone:
+          if (faulted) fault_scratch_.push_back(byte);
+          break;
+      }
+    }
+  }
   if (on_burst_) {
-    // The span aliases the TX buffer: valid only during the callback, and
-    // the receiver must not transmit into this same channel from inside it.
-    on_burst_(std::span<const std::uint8_t>(buf_.data() + first, n),
-              first_done, bt);
+    if (faulted) {
+      on_burst_(std::span<const std::uint8_t>(fault_scratch_), first_done, bt);
+    } else {
+      // The span aliases the TX buffer: valid only during the callback, and
+      // the receiver must not transmit into this same channel from inside
+      // it.
+      on_burst_(std::span<const std::uint8_t>(buf_.data() + first, n),
+                first_done, bt);
+    }
   }
   if (pending() > 0) {
     // Bytes queued while this burst was on the wire: they followed
@@ -155,6 +224,9 @@ void SerialChannel::reset() {
   wire_free_at_ = 0;
   burst_t0_ = 0;
   corrupt_armed_ = false;
+  bytes_corrupted_ = 0;
+  bytes_dropped_ = 0;
+  bytes_duplicated_ = 0;
   bytes_transferred_ = 0;
   busy_time_ = 0;
 }

@@ -98,6 +98,34 @@ class SerialChannel {
   /// shift register is XORed with \p xor_mask.
   void corrupt_next_byte(std::uint8_t xor_mask);
 
+  /// Per-byte fault decision, consulted at delivery time for every byte on
+  /// the wire (fault-injection campaigns; see src/fault/).
+  enum class ByteFaultAction : std::uint8_t {
+    kNone,
+    kCorrupt,    ///< XOR with xor_mask before delivery
+    kDrop,       ///< byte occupies the wire but is never delivered
+    kDuplicate,  ///< byte delivered twice (receiver-side glitch echo)
+  };
+  struct ByteFault {
+    ByteFaultAction action = ByteFaultAction::kNone;
+    std::uint8_t xor_mask = 0;
+  };
+  using ByteFaultHook = std::function<ByteFault(std::uint8_t byte)>;
+
+  /// Installs (null: removes) the fault hook.  Without a hook — or with a
+  /// hook that always answers kNone — delivery is byte-identical to the
+  /// unhooked channel, including burst mode's zero-copy span.  Count-
+  /// changing faults (drop/duplicate) in burst mode shift the analytic
+  /// per-byte timestamps of the bytes behind them within the burst — the
+  /// burst still completes at the same instant.
+  void set_fault_hook(ByteFaultHook hook);
+
+  std::uint64_t bytes_corrupted() const { return bytes_corrupted_; }
+  std::uint64_t bytes_dropped() const { return bytes_dropped_; }
+  std::uint64_t bytes_duplicated() const { return bytes_duplicated_; }
+
+  const std::string& name() const { return name_; }
+
   const SerialConfig& config() const { return config_; }
   std::uint64_t bytes_transferred() const { return bytes_transferred_; }
   /// Total wire time spent transferring (busy time), for overhead metrics.
@@ -138,6 +166,15 @@ class SerialChannel {
   bool corrupt_armed_ = false;
   std::uint8_t pending_corruption_ = 0;
   std::uint64_t corrupt_index_ = 0;  ///< absolute delivery index to corrupt
+
+  ByteFaultHook fault_hook_;
+  /// Lazily-filled scratch for burst faults: allocated only the first time
+  /// a fault actually fires inside a burst, so clean traffic keeps the
+  /// zero-copy aliasing span.
+  std::vector<std::uint8_t> fault_scratch_;
+  std::uint64_t bytes_corrupted_ = 0;
+  std::uint64_t bytes_dropped_ = 0;
+  std::uint64_t bytes_duplicated_ = 0;
 
   std::uint64_t bytes_transferred_ = 0;
   SimTime busy_time_ = 0;

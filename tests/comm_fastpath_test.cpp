@@ -4,12 +4,14 @@
 // motivated the per-sequence round-trip bookkeeping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
 #include <vector>
 
 #include "core/case_study.hpp"
+#include "fault/rng.hpp"
 #include "pil/frame.hpp"
 #include "sim/serial_link.hpp"
 #include "sim/world.hpp"
@@ -203,6 +205,144 @@ TEST(FrameDecoderFuzz, EveryEmbeddedFrameIsRecovered) {
       }
     }
     ASSERT_TRUE(found) << "frame with seq " << int(f.seq) << " lost";
+  }
+}
+
+TEST(FrameDecoderResync, LengthCorruptedUpwardSpansIntoNextFrameAndResyncs) {
+  // Frame A's length byte is corrupted upward, so the decoder's false
+  // payload swallows frames B and C entirely.  The CRC check at the false
+  // frame's end fails, the raw bytes are rescanned from the next sync, and
+  // both swallowed frames must come out intact.
+  pil::Frame a, b, c;
+  a.seq = 1;
+  a.payload = {10, 11, 12, 13};
+  b.seq = 2;
+  b.payload = {20, 21};
+  c.seq = 3;
+  c.payload = {30, 31, 32};
+  auto bytes_a = pil::encode_frame(a);
+  const auto bytes_b = pil::encode_frame(b);
+  const auto bytes_c = pil::encode_frame(c);
+  bytes_a[3] = static_cast<std::uint8_t>(a.payload.size() + 40);  // len byte
+
+  std::vector<std::uint8_t> stream = bytes_a;
+  stream.insert(stream.end(), bytes_b.begin(), bytes_b.end());
+  stream.insert(stream.end(), bytes_c.begin(), bytes_c.end());
+  // Keep the line talking so the oversized false frame resolves.
+  stream.insert(stream.end(), 64, 0x00);
+
+  pil::FrameDecoder decoder;
+  std::vector<pil::Frame> got;
+  decoder.set_callback([&](const pil::Frame& f) { got.push_back(f); });
+  decoder.feed(std::span<const std::uint8_t>(stream));
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, b.seq);
+  EXPECT_EQ(got[0].payload, b.payload);
+  EXPECT_EQ(got[1].seq, c.seq);
+  EXPECT_EQ(got[1].payload, c.payload);
+  EXPECT_GE(decoder.crc_errors(), 1u);
+  EXPECT_EQ(decoder.frames_ok(), 2u);
+}
+
+TEST(FrameDecoderResync, LengthCorruptedDownwardResyncsOnNextFrame) {
+  // Frame A's length byte shrinks: the CRC is checked too early and fails,
+  // and A's tail bytes become garbage the decoder scans through.  B must
+  // still decode.
+  pil::Frame a, b;
+  a.seq = 1;
+  a.payload = {10, 11, 12, 13, 14, 15};
+  b.seq = 2;
+  b.payload = {20, 21, 22};
+  auto bytes_a = pil::encode_frame(a);
+  const auto bytes_b = pil::encode_frame(b);
+  bytes_a[3] = 2;  // claim a 2-byte payload
+
+  std::vector<std::uint8_t> stream = bytes_a;
+  stream.insert(stream.end(), bytes_b.begin(), bytes_b.end());
+
+  pil::FrameDecoder decoder;
+  std::vector<pil::Frame> got;
+  decoder.set_callback([&](const pil::Frame& f) { got.push_back(f); });
+  decoder.feed(std::span<const std::uint8_t>(stream));
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, b.seq);
+  EXPECT_EQ(got[0].payload, b.payload);
+  EXPECT_GE(decoder.crc_errors(), 1u);
+}
+
+TEST(FrameDecoderFuzz, SeededBurstCorruptionNeverLosesACleanFrame) {
+  // feed_burst under seeded corruption and truncation: a damaged frame may
+  // lose itself, but the rescan must recover every clean frame behind it —
+  // resynchronization within one frame — with no out-of-bounds access
+  // (this test runs under the ASan job).
+  fault::Xoshiro256ss rng(0xFEEDFACE);
+  const auto rnd = [&rng](std::uint64_t mod) { return rng.next() % mod; };
+
+  std::vector<std::uint8_t> stream;
+  std::vector<pil::Frame> clean;
+  std::uint64_t damaged = 0;
+  for (int i = 0; i < 300; ++i) {
+    pil::Frame f;
+    f.type = rnd(2) ? pil::FrameType::kSensorData
+                    : pil::FrameType::kActuatorData;
+    f.seq = static_cast<std::uint8_t>(i);
+    const std::uint64_t len = rnd(33);
+    for (std::uint64_t b = 0; b < len; ++b) {
+      f.payload.push_back(static_cast<std::uint8_t>(rnd(256)));
+    }
+    auto bytes = pil::encode_frame(f);
+    const std::uint64_t dice = rnd(10);
+    if (dice == 0) {
+      // Single-bit corruption anywhere in the frame (sync, header, length,
+      // payload or CRC).
+      bytes[rnd(bytes.size())] ^= static_cast<std::uint8_t>(1u << rnd(8));
+      ++damaged;
+    } else if (dice == 1) {
+      // Truncation: the tail never reaches the wire (reset mid-send).
+      bytes.resize(1 + rnd(bytes.size() - 1));
+      ++damaged;
+    } else {
+      clean.push_back(f);
+    }
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  stream.insert(stream.end(), 600, 0x00);  // flush any dangling false frame
+
+  pil::FrameDecoder decoder;
+  std::vector<pil::Frame> got;
+  decoder.set_callback([&](const pil::Frame& f) { got.push_back(f); });
+
+  // Deliver as bursts of random size, the way the serial channel does.
+  const sim::SimTime byte_time = 86806;
+  sim::SimTime t = 0;
+  std::size_t cursor = 0;
+  while (cursor < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rnd(64), stream.size() - cursor);
+    decoder.feed_burst(
+        std::span<const std::uint8_t>(stream.data() + cursor, n), t,
+        byte_time);
+    cursor += n;
+    t += static_cast<sim::SimTime>(n) * byte_time;
+  }
+
+  EXPECT_GT(damaged, 10u);
+  EXPECT_GE(decoder.crc_errors(), 1u);
+  // Every clean frame survives, in order.
+  std::size_t scan = 0;
+  for (const auto& f : clean) {
+    bool found = false;
+    for (; scan < got.size(); ++scan) {
+      if (got[scan].type == f.type && got[scan].seq == f.seq &&
+          got[scan].payload == f.payload) {
+        ++scan;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "clean frame with seq " << int(f.seq) << " lost";
   }
 }
 

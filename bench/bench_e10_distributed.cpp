@@ -45,10 +45,13 @@ void run_point(std::size_t index, trace::MetricsRegistry& m) {
   m.gauge("iae") = r.iae;
   m.gauge("lat_mean") = r.loop_latency_us_mean;
   m.gauge("lat_max") = r.loop_latency_us_max;
+  m.gauge("lat_p99") = r.loop_latency_us_p99;
   m.gauge("busy") = r.bus_utilisation;
   m.gauge("overshoot") = r.metrics.overshoot_percent;
   m.gauge("settled") = r.metrics.settled ? 1.0 : 0.0;
   m.gauge("overruns") = static_cast<double>(r.controller_rx_overruns);
+  m.gauge("loops") = static_cast<double>(r.loop_samples);
+  m.gauge("misses") = static_cast<double>(r.loop_deadline_misses);
   if (r.frames_delivered > 0) {
     m.gauge("events_per_frame") = static_cast<double>(r.events_executed) /
                                   static_cast<double>(r.frames_delivered);
@@ -70,41 +73,54 @@ void print_table() {
   };
 
   std::printf("reference (500 kbit/s, idle bus): IAE %.3f, latency %.0f us "
-              "mean, %.1f events/frame\n\n",
-              g(0, "iae"), g(0, "lat_mean"), g(0, "events_per_frame"));
+              "mean / %.0f us p99, %.0f/%.0f deadline misses, %.1f "
+              "events/frame\n\n",
+              g(0, "iae"), g(0, "lat_mean"), g(0, "lat_p99"),
+              g(0, "misses"), g(0, "loops"), g(0, "events_per_frame"));
   bench::summarize("ref.iae", g(0, "iae"));
+  bench::summarize("ref.latency_us", g(0, "lat_mean"));
+  bench::summarize("ref.latency_us_p99", g(0, "lat_p99"));
+  bench::summarize("ref.deadline_misses", g(0, "misses"));
+  bench::summarize("ref.loops", g(0, "loops"));
   bench::summarize("ref.events_per_frame", g(0, "events_per_frame"));
 
   std::printf("(a) bus bit-rate sweep\n\n");
-  std::printf("%-10s | %-10s %-14s %-12s %-10s %-9s\n", "bitrate", "IAE",
-              "latency[us]", "bus busy[%]", "over[%]", "settled");
-  bench::print_rule(72);
+  std::printf("%-10s | %-10s %-14s %-12s %-8s %-10s %-9s\n", "bitrate",
+              "IAE", "latency[us]", "bus busy[%]", "misses", "over[%]",
+              "settled");
+  bench::print_rule(82);
   for (std::size_t b = 0; b < kBitrateCount; ++b) {
     const std::size_t i = 1 + b;
-    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-10.2f %s\n",
+    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.2f %s\n",
                 kBitrates[b], g(i, "iae"), g(i, "lat_mean"), g(i, "lat_max"),
-                g(i, "busy") * 100.0, g(i, "overshoot"),
+                g(i, "busy") * 100.0, g(i, "misses"), g(i, "overshoot"),
                 g(i, "settled") != 0.0 ? "yes" : "NO");
     const std::string key = "can." + std::to_string(kBitrates[b]);
     bench::summarize(key + ".iae", g(i, "iae"));
     bench::summarize(key + ".latency_us", g(i, "lat_mean"));
+    bench::summarize(key + ".latency_us_p99", g(i, "lat_p99"));
+    bench::summarize(key + ".deadline_misses", g(i, "misses"));
   }
 
   std::printf("\n(b) background traffic sweep (higher-priority frames, "
               "500 kbit/s)\n\n");
-  std::printf("%-12s | %-10s %-14s %-12s %-10s %-9s\n", "frames/s", "IAE",
-              "latency[us]", "bus busy[%]", "overruns", "settled");
-  bench::print_rule(74);
+  std::printf("%-12s | %-10s %-14s %-12s %-8s %-10s %-9s\n", "frames/s",
+              "IAE", "latency[us]", "bus busy[%]", "misses", "overruns",
+              "settled");
+  bench::print_rule(84);
   for (std::size_t t = 0; t < kTrafficCount; ++t) {
     const std::size_t i = 1 + kBitrateCount + t;
-    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-10.0f %s\n",
+    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.0f %s\n",
                 kTrafficRates[t], g(i, "iae"), g(i, "lat_mean"),
-                g(i, "lat_max"), g(i, "busy") * 100.0, g(i, "overruns"),
-                g(i, "settled") != 0.0 ? "yes" : "NO");
+                g(i, "lat_max"), g(i, "busy") * 100.0, g(i, "misses"),
+                g(i, "overruns"), g(i, "settled") != 0.0 ? "yes" : "NO");
     const std::string key =
         "traffic." + std::to_string(static_cast<int>(kTrafficRates[t]));
     bench::summarize(key + ".iae", g(i, "iae"));
     bench::summarize(key + ".latency_us", g(i, "lat_mean"));
+    bench::summarize(key + ".latency_us_p99", g(i, "lat_p99"));
+    bench::summarize(key + ".deadline_misses", g(i, "misses"));
+    bench::summarize(key + ".overruns", g(i, "overruns"));
   }
 
   std::printf("\nsweep wall time: %.1f ms across %zu points (%zu threads)\n",

@@ -108,19 +108,24 @@ inline std::string bench_name_from_argv0(const char* argv0) {
 }
 
 /// Standard bench main body: print the table, run microbenchmarks, then
-/// write the machine-readable BENCH_<name>.json summary.
+/// write the machine-readable BENCH_<name>.json summary.  The summary is
+/// written once right after the experiment table and again after the
+/// microbenchmarks: a rejected flag or a crash in the benchmark phase can
+/// then no longer leave an empty (or missing) BENCH_*.json behind.
 #define IECD_BENCH_MAIN(print_table_fn)                            \
   int main(int argc, char** argv) {                                \
+    const std::string bench_name =                                 \
+        iecd::bench::bench_name_from_argv0(argc > 0 ? argv[0]      \
+                                                    : nullptr);    \
     print_table_fn();                                              \
+    iecd::bench::RunSummary::instance().write(bench_name);         \
     benchmark::Initialize(&argc, argv);                            \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
       return 1;                                                    \
     }                                                              \
     benchmark::RunSpecifiedBenchmarks();                           \
     benchmark::Shutdown();                                         \
-    iecd::bench::RunSummary::instance().write(                     \
-        iecd::bench::bench_name_from_argv0(argc > 0 ? argv[0]      \
-                                                    : nullptr));   \
+    iecd::bench::RunSummary::instance().write(bench_name);         \
     return 0;                                                      \
   }
 

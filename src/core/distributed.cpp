@@ -235,6 +235,12 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
       bus.stats().utilisation(sim::from_seconds(config.duration_s));
   result.loop_latency_us_mean = loop_latency_us.mean();
   result.loop_latency_us_max = loop_latency_us.max();
+  result.loop_latency_us_p99 = loop_latency_us.percentile(99.0);
+  result.loop_samples = loop_latency_us.count();
+  const double deadline_us = config.period_s * 1e6;
+  for (double us : loop_latency_us.samples()) {
+    if (us > deadline_us) ++result.loop_deadline_misses;
+  }
   return result;
 }
 

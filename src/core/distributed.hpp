@@ -64,6 +64,11 @@ struct DistributedResult {
   /// Sensor-sample -> actuation latency across the two hops [us].
   double loop_latency_us_mean = 0.0;
   double loop_latency_us_max = 0.0;
+  double loop_latency_us_p99 = 0.0;
+  /// Closed loops measured, and how many blew their implicit deadline
+  /// (one sampling period): the "miss" figure for networked control.
+  std::uint64_t loop_samples = 0;
+  std::uint64_t loop_deadline_misses = 0;
   /// Scheduler pressure: event-queue dispatches for the whole run, and the
   /// frames the bus delivered — the benches report events per frame.
   std::uint64_t events_executed = 0;

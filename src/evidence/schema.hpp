@@ -1,0 +1,95 @@
+/// \file schema.hpp
+/// Versioned record schemas.  Every artifact embeds the definitions of
+/// the schemas it uses, making the file self-describing; the reader then
+/// checks the embedded definitions against its own built-in registry.
+///
+/// Evolution rules (enforced by SchemaRegistry::compatible and locked by
+/// tests):
+///   * schema ids are append-only — a new record kind takes a fresh id;
+///   * a schema may only grow: new fields append to the end and bump the
+///     version; existing fields never change name, type or order;
+///   * a reader accepts an artifact schema whose version is <= its
+///     built-in version and whose fields are a prefix of the built-in
+///     field list (an old writer), and rejects mismatched prefixes;
+///   * records with ids the reader does not know at all are skipped —
+///     the length prefix makes every cell skippable — and counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evidence/format.hpp"
+
+namespace iecd::evidence {
+
+enum class FieldType : std::uint8_t {
+  kU8 = 1,
+  kU16 = 2,
+  kU32 = 3,
+  kU64 = 4,
+  kI64 = 5,
+  kF64 = 6,    ///< double as IEEE-754 bit pattern
+  kString = 7, ///< u32 length + UTF-8 bytes
+  kBytes = 8,  ///< u32 length + raw bytes (packed arrays)
+};
+
+/// Fixed encoded size of \p t, or 0 for variable-length fields.
+std::size_t field_fixed_size(FieldType t);
+
+struct SchemaField {
+  FieldType type;
+  std::string name;
+
+  bool operator==(const SchemaField& other) const {
+    return type == other.type && name == other.name;
+  }
+};
+
+struct Schema {
+  std::uint16_t id = 0;
+  std::uint16_t version = 1;
+  std::string name;
+  std::vector<SchemaField> fields;
+
+  /// Minimum payload bytes a record of this schema can occupy (variable
+  /// fields count their 4-byte length prefix).
+  std::size_t min_payload_size() const;
+};
+
+class SchemaRegistry {
+ public:
+  /// Registers (or replaces) a schema under its id.
+  void add(Schema schema);
+
+  const Schema* find(std::uint16_t id) const;
+  const std::map<std::uint16_t, Schema>& schemas() const { return schemas_; }
+  std::size_t size() const { return schemas_.size(); }
+
+  /// True when \p artifact (read from a file) can be decoded by \p reader
+  /// (the built-in registry): same id and name, artifact version <= reader
+  /// version, artifact fields a prefix of reader fields.  \p why receives
+  /// a diagnostic on failure.
+  static bool compatible(const Schema& artifact, const Schema& reader,
+                         std::string* why = nullptr);
+
+  /// The registry every writer/reader in this tree uses: the built-in
+  /// record schemas of format.hpp at their current versions.
+  static const SchemaRegistry& builtin();
+
+  // ------------------------------------------------------- serialization
+  /// Appends one schema-definition cell: u32 len + payload
+  /// {u16 id, u16 version, str name, u16 field_count,
+  ///  fields: u8 type + str name}.
+  static void encode(const Schema& schema, std::vector<std::uint8_t>& out);
+  /// Parses one schema payload (the bytes after the u32 length prefix).
+  /// Returns false on malformed input.
+  static bool decode(const std::uint8_t* payload, std::size_t size,
+                     Schema& out);
+
+ private:
+  std::map<std::uint16_t, Schema> schemas_;
+};
+
+}  // namespace iecd::evidence

@@ -1,0 +1,267 @@
+#include "evidence/sink.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "evidence/hash.hpp"
+#include "evidence/reader.hpp"
+#include "evidence/verify.hpp"
+#include "trace/export.hpp"
+
+namespace iecd::evidence {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  return out;
+}
+
+std::string build_line() {
+  return "{\"kind\":\"build\",\"build\":" + util::build_info_json() + "}";
+}
+
+std::string artifact_line(const char* kind, const RunArtifact& artifact,
+                          std::uint64_t index, std::uint64_t seed,
+                          bool with_run_fields) {
+  std::string line = "{\"kind\":\"" + std::string(kind) + "\"";
+  if (with_run_fields) {
+    line += ",\"index\":" + std::to_string(index);
+    line += ",\"seed\":" + std::to_string(seed);
+  }
+  line += ",\"path\":\"" + json_escape(artifact.filename) + "\"";
+  line += ",\"bytes\":" + std::to_string(artifact.bytes);
+  line += ",\"records\":" + std::to_string(artifact.records);
+  line += ",\"chain_hash\":\"" + hex64(artifact.chain_hash) + "\"";
+  line += ",\"sha256\":\"" + artifact.sha256_hex + "\"}";
+  return line;
+}
+
+std::string run_filename(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "run_%04llu.evd",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << content;
+  return os.good();
+}
+
+RunArtifact describe(const std::string& filename,
+                     const EvidenceWriter& writer) {
+  RunArtifact artifact;
+  artifact.filename = filename;
+  artifact.bytes = writer.bytes().size();
+  artifact.records = writer.record_count();
+  artifact.chain_hash = writer.chain_hash();
+  artifact.sha256_hex = writer.sha256_hex();
+  return artifact;
+}
+
+}  // namespace
+
+EvidenceWriter build_run_artifact(const std::string& name,
+                                  std::uint64_t index, std::uint64_t seed,
+                                  const trace::MetricsRegistry& metrics,
+                                  const obs::HealthReport* health,
+                                  const trace::TraceRecorder* trace_rec) {
+  EvidenceWriter writer;
+  writer.record_build_info();
+  writer.record_run_meta(name, index, seed);
+  writer.record_metrics(metrics);
+  if (health != nullptr) writer.record_health(*health);
+  if (trace_rec != nullptr) writer.record_trace(*trace_rec);
+  writer.finish();
+  return writer;
+}
+
+RunArtifact write_artifact_with_sidecar(const std::string& dir,
+                                        const std::string& filename,
+                                        const EvidenceWriter& writer,
+                                        const std::string& name,
+                                        std::uint64_t index,
+                                        std::uint64_t seed) {
+  std::filesystem::create_directories(dir);
+  const RunArtifact artifact = describe(filename, writer);
+  writer.write_file((std::filesystem::path(dir) / filename).string());
+
+  std::string sidecar;
+  sidecar += "{\"kind\":\"artifact\",\"name\":\"" + json_escape(name) +
+             "\",\"index\":" + std::to_string(index) +
+             ",\"seed\":" + std::to_string(seed) +
+             ",\"path\":\"" + json_escape(filename) +
+             "\",\"bytes\":" + std::to_string(artifact.bytes) +
+             ",\"records\":" + std::to_string(artifact.records) +
+             ",\"chain_hash\":\"" + hex64(artifact.chain_hash) +
+             "\",\"sha256\":\"" + artifact.sha256_hex + "\"}\n";
+  sidecar += build_line() + "\n";
+  write_text_file(
+      (std::filesystem::path(dir) / (filename + ".meta.jsonl")).string(),
+      sidecar);
+  return artifact;
+}
+
+CampaignEvidence write_campaign_evidence(
+    const std::string& dir, const fault::CampaignOptions& options,
+    const fault::CampaignReport& report) {
+  CampaignEvidence evidence;
+  std::filesystem::create_directories(dir);
+
+  for (std::size_t i = 0; i < report.per_run.size(); ++i) {
+    const std::uint64_t seed =
+        fault::CampaignRunner::run_seed(options.seed, i);
+    const obs::HealthReport* health =
+        i < report.per_run_health.size() ? &report.per_run_health[i]
+                                         : nullptr;
+    EvidenceWriter writer = build_run_artifact(
+        report.name, i, seed, report.per_run[i], health, nullptr);
+    evidence.runs.push_back(write_artifact_with_sidecar(
+        dir, run_filename(i), writer, report.name, i, seed));
+  }
+
+  // Merged artifact: campaign summary + merged metrics/health.
+  {
+    EvidenceWriter writer;
+    writer.record_build_info();
+    writer.record_run_meta(report.name, report.runs, options.seed);
+    writer.record_campaign_summary(report.name, report.seed, report.runs,
+                                   report.unrecovered,
+                                   report.faults_injected,
+                                   report.fault_opportunities,
+                                   report.to_json());
+    writer.record_metrics(report.merged);
+    writer.record_health(report.health);
+    writer.finish();
+    evidence.merged = write_artifact_with_sidecar(
+        dir, "merged.evd", writer, report.name, report.runs, options.seed);
+  }
+
+  std::string manifest;
+  manifest += "{\"kind\":\"campaign\",\"name\":\"" +
+              json_escape(report.name) +
+              "\",\"seed\":" + std::to_string(report.seed) +
+              ",\"runs\":" + std::to_string(report.runs) +
+              ",\"unrecovered\":" + std::to_string(report.unrecovered) +
+              ",\"faults_injected\":" +
+              std::to_string(report.faults_injected) + "}\n";
+  manifest += build_line() + "\n";
+  for (std::size_t i = 0; i < evidence.runs.size(); ++i) {
+    manifest += artifact_line("run", evidence.runs[i], i,
+                              fault::CampaignRunner::run_seed(options.seed, i),
+                              true) +
+                "\n";
+  }
+  manifest += artifact_line("merged", evidence.merged, 0, 0, false) + "\n";
+  evidence.manifest = manifest;
+  evidence.manifest_path =
+      (std::filesystem::path(dir) / "MANIFEST.jsonl").string();
+  write_text_file(evidence.manifest_path, manifest);
+  return evidence;
+}
+
+CampaignEvidence write_sweep_evidence(const std::string& dir,
+                                      const std::string& name,
+                                      const exec::SweepRunner::Result& result,
+                                      const std::vector<std::uint64_t>& seeds) {
+  CampaignEvidence evidence;
+  std::filesystem::create_directories(dir);
+
+  for (std::size_t i = 0; i < result.per_run.size(); ++i) {
+    const std::uint64_t seed = i < seeds.size() ? seeds[i] : 0;
+    const obs::HealthReport* health =
+        i < result.per_run_health.size() ? &result.per_run_health[i]
+                                         : nullptr;
+    EvidenceWriter writer = build_run_artifact(name, i, seed,
+                                               result.per_run[i], health,
+                                               nullptr);
+    evidence.runs.push_back(write_artifact_with_sidecar(
+        dir, run_filename(i), writer, name, i, seed));
+  }
+
+  {
+    EvidenceWriter writer;
+    writer.record_build_info();
+    writer.record_run_meta(name, result.runs, 0);
+    writer.record_metrics(result.merged);
+    writer.record_health(result.health);
+    writer.finish();
+    evidence.merged = write_artifact_with_sidecar(dir, "merged.evd", writer,
+                                                  name, result.runs, 0);
+  }
+
+  std::string manifest;
+  manifest += "{\"kind\":\"sweep\",\"name\":\"" + json_escape(name) +
+              "\",\"runs\":" + std::to_string(result.runs) + "}\n";
+  manifest += build_line() + "\n";
+  for (std::size_t i = 0; i < evidence.runs.size(); ++i) {
+    manifest += artifact_line("run", evidence.runs[i], i,
+                              i < seeds.size() ? seeds[i] : 0, true) +
+                "\n";
+  }
+  manifest += artifact_line("merged", evidence.merged, 0, 0, false) + "\n";
+  evidence.manifest = manifest;
+  evidence.manifest_path =
+      (std::filesystem::path(dir) / "MANIFEST.jsonl").string();
+  write_text_file(evidence.manifest_path, manifest);
+  return evidence;
+}
+
+namespace {
+
+bool reexport(const std::string& artifact_path, const std::string& out_path,
+              std::string* error, int kind) {
+  EvidenceReader reader;
+  const Status status = reader.parse_file(artifact_path);
+  if (status != Status::kOk) {
+    if (error) {
+      *error = std::string(status_name(status)) +
+               (reader.error().empty() ? "" : ": " + reader.error());
+    }
+    return false;
+  }
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) {
+    if (error) *error = "cannot open " + out_path;
+    return false;
+  }
+  if (kind == 2) {
+    reader.metrics().write_csv(os);
+  } else {
+    const trace::TraceRecorder recorder = reader.rebuild_trace();
+    if (kind == 0) {
+      trace::write_chrome_trace(recorder, os);
+    } else {
+      trace::write_csv(recorder, os);
+    }
+  }
+  return os.good();
+}
+
+}  // namespace
+
+bool reexport_chrome_trace(const std::string& artifact_path,
+                           const std::string& out_path, std::string* error) {
+  return reexport(artifact_path, out_path, error, 0);
+}
+
+bool reexport_trace_csv(const std::string& artifact_path,
+                        const std::string& out_path, std::string* error) {
+  return reexport(artifact_path, out_path, error, 1);
+}
+
+bool reexport_metrics_csv(const std::string& artifact_path,
+                          const std::string& out_path, std::string* error) {
+  return reexport(artifact_path, out_path, error, 2);
+}
+
+}  // namespace iecd::evidence

@@ -1,0 +1,91 @@
+/// \file sink.hpp
+/// Wiring the evidence recorder into the execution layers: helpers that
+/// turn an exec::SweepRunner result or a fault::CampaignReport into a
+/// directory of per-run artifacts plus an index-deterministic JSONL
+/// manifest, and re-export an artifact back through the existing
+/// Chrome-trace/CSV paths.
+///
+/// Determinism contract (same discipline as PRs 2–5): everything written
+/// here derives from per-run data that is already index-deterministic, so
+/// the manifest and every artifact are byte-identical across sweep thread
+/// counts; wall clock and thread ids never appear in any output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evidence/writer.hpp"
+#include "exec/sweep.hpp"
+#include "fault/campaign.hpp"
+
+namespace iecd::evidence {
+
+/// What one written artifact looked like (manifest/sidecar raw material).
+struct RunArtifact {
+  std::string filename;  ///< artifact file name within its directory
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t chain_hash = 0;
+  std::string sha256_hex;
+};
+
+/// Builds (in memory) one run artifact: build info, run meta, metrics,
+/// optional health report and optional trace.  The returned writer is
+/// sealed (finish() already called).
+EvidenceWriter build_run_artifact(const std::string& name,
+                                  std::uint64_t index, std::uint64_t seed,
+                                  const trace::MetricsRegistry& metrics,
+                                  const obs::HealthReport* health = nullptr,
+                                  const trace::TraceRecorder* trace_rec =
+                                      nullptr);
+
+/// Writes \p writer (sealed) to \p dir / \p filename plus a
+/// `<filename>.meta.jsonl` sidecar carrying identity, digests and build
+/// info.  Creates \p dir if needed.
+RunArtifact write_artifact_with_sidecar(const std::string& dir,
+                                        const std::string& filename,
+                                        const EvidenceWriter& writer,
+                                        const std::string& name,
+                                        std::uint64_t index,
+                                        std::uint64_t seed);
+
+struct CampaignEvidence {
+  std::vector<RunArtifact> runs;  ///< index order
+  RunArtifact merged;             ///< merged metrics + campaign summary
+  std::string manifest;           ///< MANIFEST.jsonl content
+  std::string manifest_path;
+};
+
+/// Writes per-run artifacts (`run_<index>.evd`), a merged artifact
+/// (`merged.evd` with the campaign summary + merged metrics/health) and
+/// `MANIFEST.jsonl` into \p dir.  The manifest content is byte-identical
+/// across campaign thread counts.
+CampaignEvidence write_campaign_evidence(const std::string& dir,
+                                         const fault::CampaignOptions& options,
+                                         const fault::CampaignReport& report);
+
+/// Same shape for a plain sweep: per-run artifacts from
+/// exec::SweepRunner::Result::per_run (+ per_run_health when present) and
+/// a manifest.  \p seed_of maps a run index to the seed recorded in its
+/// run-meta record (pass {} for seedless sweeps).
+CampaignEvidence write_sweep_evidence(
+    const std::string& dir, const std::string& name,
+    const exec::SweepRunner::Result& result,
+    const std::vector<std::uint64_t>& seeds = {});
+
+/// Re-exports an artifact's trace to Chrome trace-event JSON / trace CSV
+/// and its metrics to the MetricsRegistry CSV, via the existing
+/// trace::write_chrome_trace / write_csv / MetricsRegistry::write_csv
+/// paths.  Returns false when the artifact does not verify.
+bool reexport_chrome_trace(const std::string& artifact_path,
+                           const std::string& out_path,
+                           std::string* error = nullptr);
+bool reexport_trace_csv(const std::string& artifact_path,
+                        const std::string& out_path,
+                        std::string* error = nullptr);
+bool reexport_metrics_csv(const std::string& artifact_path,
+                          const std::string& out_path,
+                          std::string* error = nullptr);
+
+}  // namespace iecd::evidence

@@ -1,0 +1,66 @@
+/// \file verify.hpp
+/// Artifact and manifest verification — the library behind the
+/// `evidence_verify` CLI and the CI evidence job.  An artifact passes
+/// when its header/schema section/record stream/footer all parse, the
+/// record chain hash and SHA-256 digest match, and every embedded schema
+/// is compatible with the built-in registry.  A manifest passes when
+/// every artifact line it lists exists, passes verification, and hashes
+/// to the digest the manifest pinned.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evidence/reader.hpp"
+
+namespace iecd::evidence {
+
+struct VerifyResult {
+  bool ok = false;
+  Status status = Status::kOk;
+  std::string error;            ///< diagnostic when !ok
+  std::string path;             ///< artifact path (or "<memory>")
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t unknown_records = 0;
+  std::uint64_t events = 0;     ///< decoded trace events
+  std::string chain_hash_hex;
+  std::string sha256_hex;
+  std::vector<std::string> schema_names;  ///< embedded schemas, id order
+
+  /// One line: "PASS path (records=..., sha256=...)" or "FAIL path: why".
+  std::string summary() const;
+  /// Deterministic JSON object for tooling.
+  std::string to_json() const;
+};
+
+/// Verifies an in-memory artifact.
+VerifyResult verify_artifact(const std::uint8_t* data, std::size_t size,
+                             const std::string& label = "<memory>");
+VerifyResult verify_artifact(const std::vector<std::uint8_t>& bytes,
+                             const std::string& label = "<memory>");
+/// Reads and verifies an artifact file.
+VerifyResult verify_artifact_file(const std::string& path);
+
+struct ManifestEntry {
+  std::string path;        ///< artifact path, relative to the manifest
+  std::string sha256_hex;  ///< pinned digest ("" when the line has none)
+  bool verified = false;
+  std::string error;
+};
+
+struct ManifestVerifyResult {
+  bool ok = false;
+  std::string path;
+  std::string error;
+  std::vector<ManifestEntry> entries;
+  std::size_t passed = 0;
+};
+
+/// Verifies every artifact a JSONL manifest lists: each line with a
+/// "path" key names an artifact (resolved relative to the manifest's
+/// directory); a "sha256" key on the same line pins its digest.
+ManifestVerifyResult verify_manifest(const std::string& manifest_path);
+
+}  // namespace iecd::evidence

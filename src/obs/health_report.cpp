@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/build_info.hpp"
 #include "util/strings.hpp"
 
 namespace iecd::obs {
@@ -129,6 +130,7 @@ std::string HealthReport::to_text() const {
 std::string HealthReport::to_json() const {
   std::ostringstream os;
   os << "{\"source\":\"" << json_escape(source) << "\",\"runs\":" << runs
+     << ",\"build\":" << util::build_info_json()
      << ",\"healthy\":" << (healthy() ? "true" : "false")
      << ",\"deadline_misses\":" << deadline_misses();
 

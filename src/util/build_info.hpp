@@ -1,0 +1,28 @@
+/// \file build_info.hpp
+/// Build provenance: the git revision, compiler and flags a binary was
+/// produced from, captured at compile time.  Every evidence artifact and
+/// health report embeds this so a figure in a CI upload can always be
+/// traced back to the exact tree and toolchain that produced it.
+#pragma once
+
+#include <string>
+
+namespace iecd::util {
+
+struct BuildInfo {
+  std::string git_sha;     ///< short revision hash; "unknown" outside git
+  std::string compiler;    ///< compiler id + version string
+  std::string flags;       ///< CMAKE_CXX_FLAGS + build-type flags
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+/// The process-wide build info, assembled once from compile-time macros
+/// (the util CMakeLists injects IECD_GIT_SHA / IECD_CXX_FLAGS /
+/// IECD_BUILD_TYPE into this translation unit).
+const BuildInfo& build_info();
+
+/// Deterministic one-line JSON object:
+/// {"git_sha":"...","compiler":"...","flags":"...","build_type":"..."}
+std::string build_info_json();
+
+}  // namespace iecd::util

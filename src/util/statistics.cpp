@@ -23,6 +23,19 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+RunningStats RunningStats::from_raw(std::size_t count, double mean, double m2,
+                                    double sum, double min, double max) {
+  RunningStats s;
+  if (count == 0) return s;
+  s.count_ = count;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.sum_ = sum;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void RunningStats::merge(const RunningStats& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
@@ -119,6 +132,16 @@ bool Histogram::merge(const Histogram& other) {
   }
   total_ += other.total_;
   return true;
+}
+
+Histogram Histogram::from_raw(double lo, double hi,
+                              const std::vector<std::uint64_t>& counts) {
+  Histogram h(lo, hi, counts.empty() ? 1 : counts.size());
+  if (counts.empty()) return h;
+  h.counts_ = counts;
+  h.total_ = 0;
+  for (auto c : counts) h.total_ += c;
+  return h;
 }
 
 double Histogram::bin_lo(std::size_t i) const {

@@ -25,6 +25,15 @@ class RunningStats {
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+  /// Raw second central moment (sum of squared deviations); together with
+  /// count/mean/sum/min/max it reconstructs the accumulator exactly —
+  /// the evidence artifact round-trips stats through these.
+  double m2() const { return m2_; }
+
+  /// Rebuilds an accumulator from its raw state (see m2()).  A zero
+  /// count yields a fresh accumulator regardless of the other fields.
+  static RunningStats from_raw(std::size_t count, double mean, double m2,
+                               double sum, double min, double max);
 
   /// Merges another accumulator (parallel reduction).
   void merge(const RunningStats& other);
@@ -82,6 +91,8 @@ class Histogram {
   void add(double x);
 
   std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
@@ -89,6 +100,10 @@ class Histogram {
 
   /// Renders a compact ASCII bar chart (for bench output).
   std::string to_ascii(std::size_t width = 40) const;
+
+  /// Rebuilds a histogram from its raw bin counts (evidence round-trip).
+  static Histogram from_raw(double lo, double hi,
+                            const std::vector<std::uint64_t>& counts);
 
   /// Adds \p other bin-wise.  Returns false (and leaves this histogram
   /// untouched) if the ranges or bin counts differ.

@@ -1,0 +1,141 @@
+// evidence_verify — validates IECD evidence artifacts and re-exports
+// their content through the existing trace/metrics paths.
+//
+//   evidence_verify run_0000.evd [more.evd ...]
+//       verify each artifact: header, schema compatibility, record
+//       stream, chained record hash, SHA-256 digest, footer.
+//   evidence_verify --manifest evidence_out/MANIFEST.jsonl
+//       verify every artifact the manifest lists against its pinned
+//       digest.
+//   evidence_verify --export-chrome out.json artifact.evd
+//   evidence_verify --export-csv out.csv artifact.evd
+//   evidence_verify --export-metrics out.csv artifact.evd
+//       verify, then re-export the artifact's trace (Chrome trace-event
+//       JSON / trace CSV) or its rebuilt MetricsRegistry (metrics CSV).
+//   --json   print one JSON verification report per artifact
+//   --quiet  suppress PASS lines (failures always print)
+//
+// Exit code: 0 when everything passed, 1 on any verification failure,
+// 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "evidence/sink.hpp"
+#include "evidence/verify.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: evidence_verify [--quiet] [--json] artifact.evd ...\n"
+      "       evidence_verify --manifest MANIFEST.jsonl\n"
+      "       evidence_verify --export-chrome OUT artifact.evd\n"
+      "       evidence_verify --export-csv OUT artifact.evd\n"
+      "       evidence_verify --export-metrics OUT artifact.evd\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iecd::evidence;
+
+  bool quiet = false;
+  bool json = false;
+  std::string manifest;
+  std::string export_kind;
+  std::string export_out;
+  std::vector<std::string> artifacts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](std::string& out) {
+      if (i + 1 >= argc) return false;
+      out = argv[++i];
+      return true;
+    };
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--manifest") {
+      if (!next(manifest)) return usage();
+    } else if (arg == "--export-chrome" || arg == "--export-csv" ||
+               arg == "--export-metrics") {
+      export_kind = arg;
+      if (!next(export_out)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    } else {
+      artifacts.push_back(arg);
+    }
+  }
+
+  // ------------------------------------------------------------ manifest
+  if (!manifest.empty()) {
+    if (!artifacts.empty() || !export_kind.empty()) return usage();
+    const ManifestVerifyResult result = verify_manifest(manifest);
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", manifest.c_str(),
+                   result.error.c_str());
+      return 1;
+    }
+    for (const auto& entry : result.entries) {
+      if (entry.verified) {
+        if (!quiet) {
+          std::printf("PASS %s (%s)\n", entry.path.c_str(),
+                      entry.sha256_hex.substr(0, 12).c_str());
+        }
+      } else {
+        std::printf("FAIL %s: %s\n", entry.path.c_str(),
+                    entry.error.c_str());
+      }
+    }
+    std::printf("manifest %s: %zu/%zu artifacts verified\n",
+                manifest.c_str(), result.passed, result.entries.size());
+    return result.ok ? 0 : 1;
+  }
+
+  if (artifacts.empty()) return usage();
+
+  // ------------------------------------------------------------- exports
+  if (!export_kind.empty()) {
+    if (artifacts.size() != 1) return usage();
+    std::string error;
+    bool ok = false;
+    if (export_kind == "--export-chrome") {
+      ok = reexport_chrome_trace(artifacts[0], export_out, &error);
+    } else if (export_kind == "--export-csv") {
+      ok = reexport_trace_csv(artifacts[0], export_out, &error);
+    } else {
+      ok = reexport_metrics_csv(artifacts[0], export_out, &error);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "FAIL %s: %s\n", artifacts[0].c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("exported %s -> %s\n", artifacts[0].c_str(),
+                  export_out.c_str());
+    }
+    return 0;
+  }
+
+  // --------------------------------------------------------- plain verify
+  int failures = 0;
+  for (const auto& path : artifacts) {
+    const VerifyResult result = verify_artifact_file(path);
+    if (json) {
+      std::printf("%s\n", result.to_json().c_str());
+    } else if (!result.ok || !quiet) {
+      std::printf("%s\n", result.summary().c_str());
+    }
+    if (!result.ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -93,10 +93,11 @@ void print_table() {
   // ---------------------------------------------------------------- PIL
   std::printf("(a) PIL campaign: default fault plan scaled by a rate "
               "multiplier; recovery on (1 Mbaud)\n\n");
-  std::printf("%-6s | %-9s %-11s %-8s %-8s %-8s %-7s %-9s %-9s %-11s\n",
+  std::printf("%-6s | %-9s %-11s %-8s %-8s %-8s %-7s %-9s %-9s %-11s %-8s\n",
               "mult", "injected", "opportun.", "retrans", "recov",
-              "abandon", "unrec", "IAE", "IAE ratio", "rec p99[us]");
-  bench::print_rule(102);
+              "abandon", "unrec", "IAE", "IAE ratio", "rec p99[us]",
+              "runs/s");
+  bench::print_rule(111);
 
   double clean_iae = 0.0;
   for (const double mult : {0.0, 0.5, 1.0, 2.0}) {
@@ -106,8 +107,11 @@ void print_table() {
     opts.runs = campaign_runs();
     opts.threads = 2;
     opts.plan = fault::FaultPlan::defaults().scaled(mult);
+    bench::Stopwatch watch;
     const fault::CampaignReport report =
         fault::CampaignRunner(opts).run(pil_scenario);
+    const double runs_per_s =
+        1000.0 * static_cast<double>(report.runs) / watch.elapsed_ms();
 
     const double iae = merged_iae_mean(report);
     if (mult == 0.0) clean_iae = iae;
@@ -118,7 +122,7 @@ void print_table() {
       recovery_p99 = task->second.response_us().p99();
     }
     std::printf("%-6.1f | %-9llu %-11llu %-8llu %-8llu %-8llu %-7llu "
-                "%-9.3f %-9.3f %-11.1f\n",
+                "%-9.3f %-9.3f %-11.1f %-8.2f\n",
                 mult,
                 static_cast<unsigned long long>(report.faults_injected),
                 static_cast<unsigned long long>(report.fault_opportunities),
@@ -129,7 +133,7 @@ void print_table() {
                 static_cast<unsigned long long>(
                     merged_counter(report, "pil.exchanges_abandoned")),
                 static_cast<unsigned long long>(report.unrecovered), iae,
-                ratio, recovery_p99);
+                ratio, recovery_p99, runs_per_s);
 
     const std::string key =
         "e11.pil.x" + std::to_string(mult).substr(0, 3);
@@ -151,15 +155,16 @@ void print_table() {
                        static_cast<double>(
                            merged_counter(report, "pil.retransmits")));
       bench::summarize("e11.pil.recovery_p99_us", recovery_p99);
+      bench::summarize("e11.pil.runs_per_s", runs_per_s);
     }
   }
 
   // ---------------------------------------------------------------- HIL
   std::printf("\n(b) HIL campaign: sensor/plant faults, no protocol "
               "recovery (raw degradation)\n\n");
-  std::printf("%-8s | %-9s %-11s %-8s %-9s %-9s\n", "plan", "injected",
-              "opportun.", "settled", "IAE", "IAE ratio");
-  bench::print_rule(62);
+  std::printf("%-8s | %-9s %-11s %-8s %-9s %-9s %-8s\n", "plan", "injected",
+              "opportun.", "settled", "IAE", "IAE ratio", "runs/s");
+  bench::print_rule(71);
 
   double hil_clean_iae = 0.0;
   for (const double mult : {0.0, 1.0}) {
@@ -169,17 +174,21 @@ void print_table() {
     opts.runs = campaign_runs();
     opts.threads = 2;
     opts.plan = fault::FaultPlan::defaults().scaled(mult);
+    bench::Stopwatch watch;
     const fault::CampaignReport report =
         fault::CampaignRunner(opts).run(hil_scenario);
+    const double runs_per_s =
+        1000.0 * static_cast<double>(report.runs) / watch.elapsed_ms();
     const double iae = merged_iae_mean(report);
     if (mult == 0.0) hil_clean_iae = iae;
     const double ratio = hil_clean_iae > 0.0 ? iae / hil_clean_iae : 0.0;
-    std::printf("x%-7.1f | %-9llu %-11llu %-8llu %-9.3f %-9.3f\n", mult,
+    std::printf("x%-7.1f | %-9llu %-11llu %-8llu %-9.3f %-9.3f %-8.2f\n",
+                mult,
                 static_cast<unsigned long long>(report.faults_injected),
                 static_cast<unsigned long long>(report.fault_opportunities),
                 static_cast<unsigned long long>(
                     merged_counter(report, "campaign.settled")),
-                iae, ratio);
+                iae, ratio, runs_per_s);
     if (mult == 1.0) {
       report.write_json("CAMPAIGN_servo_hil.json");
       bench::summarize("e11.hil.iae_ratio", ratio);
@@ -187,6 +196,7 @@ void print_table() {
                        static_cast<double>(report.unrecovered));
       bench::summarize("e11.hil.injected",
                        static_cast<double>(report.faults_injected));
+      bench::summarize("e11.hil.runs_per_s", runs_per_s);
     }
   }
 

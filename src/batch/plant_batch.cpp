@@ -1,0 +1,278 @@
+#include "batch/plant_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rk4.hpp"
+
+namespace iecd::batch {
+
+namespace {
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+}
+
+double grid_time(std::uint64_t major, std::int64_t base_ns) {
+  return static_cast<double>(major) * static_cast<double>(base_ns) * 1e-9;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- WaterTank
+
+WaterTankBatch::WaterTankBatch(
+    PlantBatchConfig config,
+    std::span<const plant::WaterTankBlock::Params> lanes)
+    : config_(config), width_(lanes.size()) {
+  if (config_.minor_steps < 1) {
+    throw std::invalid_argument("WaterTankBatch: minor_steps >= 1");
+  }
+  if (!(config_.period_s > 0.0)) {
+    throw std::invalid_argument("WaterTankBatch: period_s > 0");
+  }
+  base_period_ns_ = to_ns(config_.period_s);
+  base_period_ = static_cast<double>(base_period_ns_) * 1e-9;
+
+  const std::size_t w = width_;
+  area_.resize(w);
+  inflow_gain_.resize(w);
+  outlet_area_.resize(w);
+  max_level_.resize(w);
+  state_.resize(w);
+  level_.resize(w);
+  input_.assign(w, 0.0);
+  y_.resize(w);
+  k1_.resize(w);
+  k2_.resize(w);
+  k3_.resize(w);
+  k4_.resize(w);
+  lvl_.resize(w);
+  for (std::size_t l = 0; l < w; ++l) {
+    area_[l] = lanes[l].area;
+    inflow_gain_[l] = lanes[l].inflow_gain;
+    outlet_area_[l] = lanes[l].outlet_area;
+    max_level_[l] = lanes[l].max_level;
+    // Engine initialization: the block sets its raw initial level and the
+    // integrator reads it back unclamped (write_states clamps, initialize
+    // does not).
+    state_[l] = lanes[l].initial_level;
+    level_[l] = lanes[l].initial_level;
+  }
+}
+
+double WaterTankBatch::time() const {
+  return grid_time(major_, base_period_ns_);
+}
+
+bool WaterTankBatch::done() const {
+  return time() >= config_.duration_s - 1e-12;
+}
+
+void WaterTankBatch::set_inputs(std::span<const double> valve) {
+  if (valve.size() != width_) {
+    throw std::invalid_argument("WaterTankBatch::set_inputs: width mismatch");
+  }
+  std::copy(valve.begin(), valve.end(), input_.begin());
+}
+
+bool WaterTankBatch::step() {
+  const double t = time();
+  if (t >= config_.duration_s - 1e-12) return false;
+  times_.push_back(t);
+  hist_.insert(hist_.end(), level_.begin(), level_.end());
+
+  const std::size_t w = width_;
+  const double h = base_period_ / static_cast<double>(config_.minor_steps);
+  // WaterTankBlock::derivatives over lanes, with the engine's stage
+  // protocol: write_states clamps the candidate into level_, derivatives
+  // evaluate against the clamped level.
+  auto eval = [&](const LaneVector<>& cand, LaneVector<>& k) {
+    for (std::size_t l = 0; l < w; ++l) {
+      const double raw = cand[l];
+      const double lvl =
+          raw < 0.0 ? 0.0 : (max_level_[l] < raw ? max_level_[l] : raw);
+      const double uc = input_[l];
+      const double u = uc < 0.0 ? 0.0 : (1.0 < uc ? 1.0 : uc);
+      const double head = lvl < 0.0 ? 0.0 : lvl;
+      const double inflow = inflow_gain_[l] * u;
+      const double outflow = outlet_area_[l] * std::sqrt(2.0 * 9.81 * head);
+      double dx = (inflow - outflow) / area_[l];
+      if (lvl >= max_level_[l] && dx > 0) dx = 0;
+      if (lvl <= 0 && dx < 0) dx = 0;
+      k[l] = dx;
+    }
+  };
+  for (int m = 0; m < config_.minor_steps; ++m) {
+    eval(state_, k1_);
+    util::rk4_stage(state_, k1_, 0.5 * h, y_);
+    eval(y_, k2_);
+    util::rk4_stage(state_, k2_, 0.5 * h, y_);
+    eval(y_, k3_);
+    util::rk4_stage(state_, k3_, h, y_);
+    eval(y_, k4_);
+    util::rk4_combine(state_, h, k1_, k2_, k3_, k4_);
+  }
+  // Engine epilogue: write_states(states_) leaves the block clamped.
+  for (std::size_t l = 0; l < w; ++l) {
+    const double raw = state_[l];
+    level_[l] = raw < 0.0 ? 0.0 : (max_level_[l] < raw ? max_level_[l] : raw);
+  }
+  ++major_;
+  return true;
+}
+
+model::SampleLog WaterTankBatch::levels(std::size_t lane) const {
+  if (lane >= width_) {
+    throw std::out_of_range("WaterTankBatch::levels: lane out of range");
+  }
+  model::SampleLog log;
+  for (std::size_t j = 0; j < times_.size(); ++j) {
+    log.record(times_[j], hist_[j * width_ + lane]);
+  }
+  return log;
+}
+
+// ------------------------------------------------------------- Thermal
+
+ThermalBatch::ThermalBatch(
+    PlantBatchConfig config,
+    std::span<const plant::ThermalPlantBlock::Params> lanes)
+    : config_(config), width_(lanes.size()) {
+  if (config_.minor_steps < 1) {
+    throw std::invalid_argument("ThermalBatch: minor_steps >= 1");
+  }
+  if (!(config_.period_s > 0.0)) {
+    throw std::invalid_argument("ThermalBatch: period_s > 0");
+  }
+  base_period_ns_ = to_ns(config_.period_s);
+  base_period_ = static_cast<double>(base_period_ns_) * 1e-9;
+
+  const std::size_t w = width_;
+  capacity_.resize(w);
+  resistance_.resize(w);
+  power_.resize(w);
+  ambient_.resize(w);
+  state_.resize(w);
+  input_.assign(w, 0.0);
+  y_.resize(w);
+  k1_.resize(w);
+  k2_.resize(w);
+  k3_.resize(w);
+  k4_.resize(w);
+  for (std::size_t l = 0; l < w; ++l) {
+    capacity_[l] = lanes[l].thermal_capacity;
+    resistance_[l] = lanes[l].thermal_resistance;
+    power_[l] = lanes[l].heater_power;
+    ambient_[l] = lanes[l].ambient;
+    state_[l] = lanes[l].ambient;
+  }
+}
+
+double ThermalBatch::time() const {
+  return grid_time(major_, base_period_ns_);
+}
+
+bool ThermalBatch::done() const {
+  return time() >= config_.duration_s - 1e-12;
+}
+
+void ThermalBatch::set_inputs(std::span<const double> heater) {
+  if (heater.size() != width_) {
+    throw std::invalid_argument("ThermalBatch::set_inputs: width mismatch");
+  }
+  std::copy(heater.begin(), heater.end(), input_.begin());
+}
+
+bool ThermalBatch::step() {
+  const double t = time();
+  if (t >= config_.duration_s - 1e-12) return false;
+  times_.push_back(t);
+  hist_.insert(hist_.end(), state_.begin(), state_.end());
+
+  const std::size_t w = width_;
+  const double h = base_period_ / static_cast<double>(config_.minor_steps);
+  auto eval = [&](const LaneVector<>& cand, LaneVector<>& k) {
+    for (std::size_t l = 0; l < w; ++l) {
+      const double uc = input_[l];
+      const double u = uc < 0.0 ? 0.0 : (1.0 < uc ? 1.0 : uc);
+      k[l] = (power_[l] * u - (cand[l] - ambient_[l]) / resistance_[l]) /
+             capacity_[l];
+    }
+  };
+  for (int m = 0; m < config_.minor_steps; ++m) {
+    eval(state_, k1_);
+    util::rk4_stage(state_, k1_, 0.5 * h, y_);
+    eval(y_, k2_);
+    util::rk4_stage(state_, k2_, 0.5 * h, y_);
+    eval(y_, k3_);
+    util::rk4_stage(state_, k3_, h, y_);
+    eval(y_, k4_);
+    util::rk4_combine(state_, h, k1_, k2_, k3_, k4_);
+  }
+  ++major_;
+  return true;
+}
+
+model::SampleLog ThermalBatch::temperatures(std::size_t lane) const {
+  if (lane >= width_) {
+    throw std::out_of_range("ThermalBatch::temperatures: lane out of range");
+  }
+  model::SampleLog log;
+  for (std::size_t j = 0; j < times_.size(); ++j) {
+    log.record(times_[j], hist_[j * width_ + lane]);
+  }
+  return log;
+}
+
+// ------------------------------------------------------------- latches
+
+void pwm_latch_lanes(std::span<const double> ratio, std::int64_t modulo,
+                     std::span<double> duty) {
+  const std::size_t n = ratio.size();
+  if (modulo <= 0) {
+    for (std::size_t l = 0; l < n; ++l) {
+      const double v = ratio[l];
+      duty[l] = v < 0.0 ? 0.0 : (1.0 < v ? 1.0 : v);
+    }
+    return;
+  }
+  const double steps = static_cast<double>(modulo);
+  for (std::size_t l = 0; l < n; ++l) {
+    const double v = ratio[l];
+    const double clamped = v < 0.0 ? 0.0 : (1.0 < v ? 1.0 : v);
+    duty[l] = std::round(clamped * steps) / steps;
+  }
+}
+
+void qdec_latch_lanes(std::span<const double> angle_rad, double cpr,
+                      std::span<double> counts) {
+  const std::size_t n = angle_rad.size();
+  for (std::size_t l = 0; l < n; ++l) {
+    const double c = std::floor(angle_rad[l] / (2.0 * std::numbers::pi) * cpr);
+    // Guard the int64 conversion: UB for non-finite / out-of-range values
+    // (the scalar block never sees them because its run has already blown
+    // up; a batch retires the lane instead).
+    std::int64_t wide = 0;
+    if (c >= -9.2e18 && c <= 9.2e18) wide = static_cast<std::int64_t>(c);
+    counts[l] = static_cast<double>(static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(wide & 0xFFFF)));
+  }
+}
+
+void adc_latch_lanes(std::span<const double> volts, int bits, double vref,
+                     std::span<std::uint16_t> codes) {
+  const std::size_t n = volts.size();
+  const double max_code = std::ldexp(1.0, bits) - 1.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    const double scaled = std::round(volts[l] / vref * max_code);
+    const double code =
+        scaled < 0.0 ? 0.0 : (max_code < scaled ? max_code : scaled);
+    codes[l] = static_cast<std::uint16_t>(
+        static_cast<std::uint32_t>(code) << (16 - bits));
+  }
+}
+
+}  // namespace iecd::batch

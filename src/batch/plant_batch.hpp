@@ -1,0 +1,126 @@
+/// \file plant_batch.hpp
+/// Lane-batched integration of the simple plants (water tank, thermal
+/// process) plus the batched peripheral latch kernels the servo batch and
+/// the tests share.  Same determinism contract as servo_batch.hpp: every
+/// lane is bit-identical to the scalar engine integrating the same block,
+/// because the kernels replicate the engine's arithmetic expression for
+/// expression (including the tank's clamp-on-write / raw-initial-sample
+/// behaviour, which lives in WaterTankBlock::write_states rather than in
+/// the integrator).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "batch/lanes.hpp"
+#include "model/logging.hpp"
+#include "plant/simple_plants.hpp"
+
+namespace iecd::batch {
+
+/// Shared schedule for a batched plant run; mirrors model::EngineOptions.
+struct PlantBatchConfig {
+  double period_s = 0.001;  ///< major (sample) period
+  double duration_s = 1.0;  ///< stop time
+  int minor_steps = 4;      ///< RK4 substeps per major step
+};
+
+/// Batched WaterTankBlock: N tanks advanced in lockstep.  The caller holds
+/// the valve command per lane over each major step (the engine's ZOH
+/// behaviour for a discrete source feeding a continuous block), reading
+/// time() to evaluate its command schedule.
+class WaterTankBatch {
+ public:
+  WaterTankBatch(PlantBatchConfig config,
+                 std::span<const plant::WaterTankBlock::Params> lanes);
+
+  std::size_t width() const { return width_; }
+  /// Time of the next major step, on the engine's integer-ns grid.
+  double time() const;
+  bool done() const;
+
+  void set_input(std::size_t lane, double valve) { input_.at(lane) = valve; }
+  void set_inputs(std::span<const double> valve);
+
+  /// Records each lane's output sample, then integrates one major step.
+  /// Returns false once the stop time is reached (nothing recorded).
+  bool step();
+
+  /// Recorded level trajectory for one lane (engine scope parity: the
+  /// first sample is the raw initial level, later samples the clamped
+  /// integrated state).
+  model::SampleLog levels(std::size_t lane) const;
+
+ private:
+  PlantBatchConfig config_;
+  std::size_t width_ = 0;
+  std::int64_t base_period_ns_ = 0;
+  double base_period_ = 0.0;
+  std::uint64_t major_ = 0;
+
+  LaneVector<> area_, inflow_gain_, outlet_area_, max_level_;
+  LaneVector<> state_;  ///< raw (unclamped) integrator state, engine states_
+  LaneVector<> level_;  ///< clamped mirror, engine's WaterTankBlock::level_
+  LaneVector<> input_;
+  LaneVector<> y_, k1_, k2_, k3_, k4_, lvl_;
+
+  std::vector<double> times_;
+  std::vector<double> hist_;
+};
+
+/// Batched ThermalPlantBlock: same shape as WaterTankBatch, no clamping.
+class ThermalBatch {
+ public:
+  ThermalBatch(PlantBatchConfig config,
+               std::span<const plant::ThermalPlantBlock::Params> lanes);
+
+  std::size_t width() const { return width_; }
+  double time() const;
+  bool done() const;
+
+  void set_input(std::size_t lane, double heater) { input_.at(lane) = heater; }
+  void set_inputs(std::span<const double> heater);
+  bool step();
+
+  model::SampleLog temperatures(std::size_t lane) const;
+
+ private:
+  PlantBatchConfig config_;
+  std::size_t width_ = 0;
+  std::int64_t base_period_ns_ = 0;
+  double base_period_ = 0.0;
+  std::uint64_t major_ = 0;
+
+  LaneVector<> capacity_, resistance_, power_, ambient_;
+  LaneVector<> state_;
+  LaneVector<> input_;
+  LaneVector<> y_, k1_, k2_, k3_, k4_;
+
+  std::vector<double> times_;
+  std::vector<double> hist_;
+};
+
+// ---------------------------------------------------------------- latches
+// Lane kernels for the PE-block hardware latches, one call per batch
+// instead of one virtual dispatch per run.  Each replicates the scalar
+// expression exactly (core/pe_blocks.cpp).
+
+/// PwmPeBlock::quantize_duty over lanes.  modulo <= 0 is the unvalidated
+/// pass-through (clamp only).
+void pwm_latch_lanes(std::span<const double> ratio, std::int64_t modulo,
+                     std::span<double> duty);
+
+/// QuadDecPeBlock::angle_to_counts over lanes, widened back to double (the
+/// value the decoder block outputs into the diagram).  Non-finite angles
+/// latch 0 instead of invoking the scalar path's undefined int64 cast; the
+/// batch engines retire such lanes as faulted.
+void qdec_latch_lanes(std::span<const double> angle_rad, double cpr,
+                      std::span<double> counts);
+
+/// AdcPeBlock::quantize_volts over lanes (left-justified 16-bit codes).
+void adc_latch_lanes(std::span<const double> volts, int bits, double vref,
+                     std::span<std::uint16_t> codes);
+
+}  // namespace iecd::batch

@@ -67,6 +67,9 @@ class ServoSystem {
 
   QuadDecPeBlock& qdec_block() { return *qdec_block_; }
   PwmPeBlock& pwm_block() { return *pwm_block_; }
+  /// MIL plant block (e.g. to attach a load-torque disturbance before
+  /// run_mil(); PIL/HIL use their own DcMotorSim instances).
+  plant::DcMotorBlock& motor_block() { return *motor_block_; }
   BitIoPeBlock& key_mode_block() { return *key_mode_; }
   BitIoPeBlock& key_up_block() { return *key_up_; }
   model::StateChart& mode_chart() { return *mode_chart_; }

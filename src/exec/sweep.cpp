@@ -44,6 +44,91 @@ SweepRunner::Result SweepRunner::run(std::size_t runs,
 }
 
 SweepRunner::Result SweepRunner::run(std::size_t runs,
+                                     const BatchScenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  const std::size_t batch = std::max<std::size_t>(1, options_.batch);
+  const std::size_t groups = runs == 0 ? 0 : (runs + batch - 1) / batch;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, groups));
+  result.threads_used = threads;
+  if (runs == 0) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+  result.per_run.resize(runs);
+  // Group g covers run indices [g*batch, min(runs, (g+1)*batch)): the
+  // scenario sees a subspan of the preallocated per-run registries, so the
+  // batched execution shares the scalar path's isolation and the merge
+  // below stays the untouched index-order fold.
+  auto run_group = [&](std::size_t g) {
+    const std::size_t first = g * batch;
+    const std::size_t count = std::min(runs - first, batch);
+    scenario(first,
+             std::span<trace::MetricsRegistry>(result.per_run)
+                 .subspan(first, count));
+  };
+  if (threads == 1) {
+    for (std::size_t g = 0; g < groups; ++g) run_group(g);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(groups, run_group);
+  }
+  for (const auto& registry : result.per_run) {
+    result.merged.merge(registry);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+SweepRunner::Result SweepRunner::run(
+    std::size_t runs, const BatchHealthScenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  const std::size_t batch = std::max<std::size_t>(1, options_.batch);
+  const std::size_t groups = runs == 0 ? 0 : (runs + batch - 1) / batch;
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, groups));
+  result.threads_used = threads;
+  if (runs == 0) return result;
+
+  const auto start = std::chrono::steady_clock::now();
+  result.per_run.resize(runs);
+  result.per_run_health.resize(runs);
+  auto run_group = [&](std::size_t g) {
+    const std::size_t first = g * batch;
+    const std::size_t count = std::min(runs - first, batch);
+    scenario(first,
+             std::span<trace::MetricsRegistry>(result.per_run)
+                 .subspan(first, count),
+             std::span<obs::HealthReport>(result.per_run_health)
+                 .subspan(first, count));
+  };
+  if (threads == 1) {
+    for (std::size_t g = 0; g < groups; ++g) run_group(g);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(groups, run_group);
+  }
+  result.health.runs = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    result.merged.merge(result.per_run[i]);
+    result.health.merge(result.per_run_health[i]);
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+SweepRunner::Result SweepRunner::run(std::size_t runs,
                                      const HealthScenario& scenario) const {
   Result result;
   result.runs = runs;

@@ -11,10 +11,19 @@
 /// registry — report(), to_csv(), every metric — is byte-identical to a
 /// sequential run, for any thread count.  The determinism suite
 /// (tests/determinism_test.cpp) locks this property in.
+///
+/// Batched execution: with SweepOptions::batch = N, runs are tiled into
+/// ceil(runs / N) contiguous lane groups and a BatchScenario advances each
+/// group in lockstep (typically through the SoA engines in src/batch/).
+/// The merge is untouched — still a fold over per-run registries in index
+/// order — so a batched sweep's report is byte-identical to the scalar
+/// sweep whenever each lane's scenario is (the batch engines' determinism
+/// contract makes that hold bit-for-bit).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "obs/health_report.hpp"
@@ -26,6 +35,11 @@ struct SweepOptions {
   /// Worker threads; 0 selects hardware_concurrency.  1 runs the scenarios
   /// inline on the calling thread (the sequential reference execution).
   std::size_t threads = 0;
+  /// Lane-batch width for the BatchScenario overloads: each work item
+  /// covers up to `batch` consecutive run indices.  1 degenerates to one
+  /// run per item (the scalar tiling).  Ignored by the scalar Scenario
+  /// overloads.
+  std::size_t batch = 1;
 };
 
 class SweepRunner {
@@ -41,6 +55,19 @@ class SweepRunner {
   using HealthScenario = std::function<void(
       std::size_t index, trace::MetricsRegistry& metrics,
       obs::HealthReport& health)>;
+
+  /// A batched scenario: advance the lane group covering run indices
+  /// [first, first + metrics.size()) in lockstep, recording run
+  /// first + k into metrics[k].  Groups are contiguous; the last group of
+  /// a sweep may be narrower than SweepOptions::batch (remainder lanes).
+  /// Same isolation rule as Scenario: write only the handed registries.
+  using BatchScenario = std::function<void(
+      std::size_t first, std::span<trace::MetricsRegistry> metrics)>;
+
+  /// Batched health-aware scenario (health.size() == metrics.size()).
+  using BatchHealthScenario = std::function<void(
+      std::size_t first, std::span<trace::MetricsRegistry> metrics,
+      std::span<obs::HealthReport> health)>;
 
   explicit SweepRunner(SweepOptions options = {});
 
@@ -64,6 +91,13 @@ class SweepRunner {
   /// index order (Result::health starts from runs == 0 and folds each
   /// per-run report, so its `runs` counts the sweep points).
   Result run(std::size_t runs, const HealthScenario& scenario) const;
+
+  /// Batched variants: the work items handed to the pool are lane groups
+  /// of SweepOptions::batch consecutive runs.  Per-run registries and the
+  /// index-order merge are identical to the scalar overloads, so thread
+  /// count and batch width never change the merged report.
+  Result run(std::size_t runs, const BatchScenario& scenario) const;
+  Result run(std::size_t runs, const BatchHealthScenario& scenario) const;
 
   std::size_t threads() const { return options_.threads; }
 

@@ -1,7 +1,9 @@
 #include "fault/campaign.hpp"
 
 #include <cstdio>
+#include <deque>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -49,31 +51,25 @@ void json_histogram(std::ostream& os, const obs::LatencyHistogram& h) {
 constexpr const char kSitePrefix[] = "fault.";
 constexpr const char kInjectedSuffix[] = ".injected";
 
-}  // namespace
+/// Campaign bookkeeping of one finished run: the fault counters and
+/// campaign.* markers every run records regardless of how it executed.
+/// Shared by the scalar and the batched path so the two produce the same
+/// per-run registries byte for byte.
+void finalize_run(const FaultInjector& injector, bool recovered,
+                  trace::MetricsRegistry& metrics) {
+  injector.export_metrics(metrics);
+  metrics.counter("campaign.runs").increment();
+  if (!recovered) {
+    metrics.counter("campaign.unrecovered").increment();
+  }
+  metrics.counter("campaign.faults_injected").value +=
+      injector.total_injected();
+  metrics.counter("campaign.fault_opportunities").value +=
+      injector.total_opportunities();
+}
 
-CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
-  exec::SweepRunner runner({options_.threads});
-  const CampaignOptions& opts = options_;
-  const exec::SweepRunner::Result result = runner.run(
-      opts.runs,
-      exec::SweepRunner::HealthScenario(
-          [&opts, &scenario](std::size_t index,
-                             trace::MetricsRegistry& metrics,
-                             obs::HealthReport& health) {
-            FaultInjector injector(run_seed(opts.seed, index), opts.plan);
-            RunContext ctx{index, injector.seed(), injector, metrics, health};
-            const bool recovered = scenario(ctx);
-            injector.export_metrics(metrics);
-            metrics.counter("campaign.runs").increment();
-            if (!recovered) {
-              metrics.counter("campaign.unrecovered").increment();
-            }
-            metrics.counter("campaign.faults_injected").value +=
-                injector.total_injected();
-            metrics.counter("campaign.fault_opportunities").value +=
-                injector.total_opportunities();
-          }));
-
+CampaignReport assemble_report(const CampaignOptions& opts,
+                               const exec::SweepRunner::Result& result) {
   CampaignReport report;
   report.name = opts.name;
   report.seed = opts.seed;
@@ -97,6 +93,60 @@ CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
     if (c && c->value > 0) report.unrecovered_runs.push_back(i);
   }
   return report;
+}
+
+}  // namespace
+
+CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
+  exec::SweepRunner runner({options_.threads});
+  const CampaignOptions& opts = options_;
+  const exec::SweepRunner::Result result = runner.run(
+      opts.runs,
+      exec::SweepRunner::HealthScenario(
+          [&opts, &scenario](std::size_t index,
+                             trace::MetricsRegistry& metrics,
+                             obs::HealthReport& health) {
+            FaultInjector injector(run_seed(opts.seed, index), opts.plan);
+            RunContext ctx{index, injector.seed(), injector, metrics, health};
+            const bool recovered = scenario(ctx);
+            finalize_run(injector, recovered, metrics);
+          }));
+  return assemble_report(opts, result);
+}
+
+CampaignReport CampaignRunner::run(
+    const BatchCampaignScenario& scenario) const {
+  exec::SweepRunner runner({options_.threads, options_.batch});
+  const CampaignOptions& opts = options_;
+  const exec::SweepRunner::Result result = runner.run(
+      opts.runs,
+      exec::SweepRunner::BatchHealthScenario(
+          [&opts, &scenario](std::size_t first,
+                             std::span<trace::MetricsRegistry> metrics,
+                             std::span<obs::HealthReport> health) {
+            const std::size_t width = metrics.size();
+            // FaultInjector is pinned in place (non-copyable, non-movable):
+            // a deque grows without relocating the lanes already built.
+            std::deque<FaultInjector> injectors;
+            std::vector<RunContext> lanes;
+            lanes.reserve(width);
+            for (std::size_t k = 0; k < width; ++k) {
+              const std::size_t index = first + k;
+              injectors.emplace_back(run_seed(opts.seed, index), opts.plan);
+              lanes.push_back(RunContext{index, injectors.back().seed(),
+                                         injectors.back(), metrics[k],
+                                         health[k]});
+            }
+            // std::vector<bool> is a proxy type, unusable as span<bool>.
+            auto rec = std::make_unique<bool[]>(width);
+            for (std::size_t k = 0; k < width; ++k) rec[k] = true;
+            scenario(std::span<RunContext>(lanes),
+                     std::span<bool>(rec.get(), width));
+            for (std::size_t k = 0; k < width; ++k) {
+              finalize_run(injectors[k], rec[k], metrics[k]);
+            }
+          }));
+  return assemble_report(opts, result);
 }
 
 std::string CampaignReport::to_json() const {

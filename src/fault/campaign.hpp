@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,12 @@ struct CampaignOptions {
   /// Worker threads for the fan-out (see exec::SweepOptions); the merged
   /// report and JSON are identical for every value.
   std::size_t threads = 1;
+  /// Lane-batch width for the BatchCampaignScenario overload: each work
+  /// item covers up to `batch` consecutive run indices, which the scenario
+  /// advances in lockstep (src/batch/ engines).  Per-run seeding, metrics
+  /// and the merge are unchanged, so the report stays byte-identical to
+  /// the scalar campaign for every batch width and thread count.
+  std::size_t batch = 1;
   FaultPlan plan;
 };
 
@@ -48,6 +55,13 @@ struct RunContext {
 /// exchange).  A false return marks the run unrecovered in the report and
 /// retains its health report's flight-recorder dumps.
 using CampaignScenario = std::function<bool(RunContext&)>;
+
+/// Batched scenario: one lane group of consecutive campaign runs, each
+/// lane carrying its own seeded injector/registry/health triple exactly as
+/// the scalar scenario would see it.  Sets recovered[k] for lane k
+/// (recovered.size() == lanes.size(); entries are pre-set to true).
+using BatchCampaignScenario =
+    std::function<void(std::span<RunContext> lanes, std::span<bool> recovered)>;
 
 struct CampaignReport {
   std::string name;
@@ -95,6 +109,12 @@ class CampaignRunner {
   const CampaignOptions& options() const { return options_; }
 
   CampaignReport run(const CampaignScenario& scenario) const;
+
+  /// Batched variant: fans lane groups of CampaignOptions::batch runs out
+  /// over the sweep pool.  When each lane reproduces the scalar scenario
+  /// bit-for-bit (the src/batch/ determinism contract), the returned
+  /// report — and its JSON artifact — is byte-identical to run(scalar).
+  CampaignReport run(const BatchCampaignScenario& scenario) const;
 
  private:
   CampaignOptions options_;

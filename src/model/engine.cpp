@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "trace/trace.hpp"
+#include "util/rk4.hpp"
 #include "util/strings.hpp"
 
 namespace iecd::model {
@@ -180,24 +181,17 @@ void Engine::integrate(double t0) {
       base_period_ / static_cast<double>(options_.minor_steps);
   for (int m = 0; m < options_.minor_steps; ++m) {
     const double t = t0 + h * m;
-    // Classic RK4.
+    // Classic RK4 (stage/combination loops shared via util/rk4.hpp; the
+    // derivative evaluations stay here because they re-run the continuous
+    // blocks' output methods between stages).
     eval_derivatives(t, states_, k1_);
-    for (std::size_t i = 0; i < total_states_; ++i) {
-      scratch_[i] = states_[i] + 0.5 * h * k1_[i];
-    }
+    util::rk4_stage(states_, k1_, 0.5 * h, scratch_);
     eval_derivatives(t + 0.5 * h, scratch_, k2_);
-    for (std::size_t i = 0; i < total_states_; ++i) {
-      scratch_[i] = states_[i] + 0.5 * h * k2_[i];
-    }
+    util::rk4_stage(states_, k2_, 0.5 * h, scratch_);
     eval_derivatives(t + 0.5 * h, scratch_, k3_);
-    for (std::size_t i = 0; i < total_states_; ++i) {
-      scratch_[i] = states_[i] + h * k3_[i];
-    }
+    util::rk4_stage(states_, k3_, h, scratch_);
     eval_derivatives(t + h, scratch_, k4_);
-    for (std::size_t i = 0; i < total_states_; ++i) {
-      states_[i] +=
-          h / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
-    }
+    util::rk4_combine(states_, h, k1_, k2_, k3_, k4_);
   }
   // Leave the blocks holding the integrated states.
   for (std::size_t i = 0; i < continuous_blocks_.size(); ++i) {

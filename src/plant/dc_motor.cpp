@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/rk4.hpp"
+
 namespace iecd::plant {
 
 void DcMotorDynamics::derivatives(const double state[3], double voltage,
@@ -85,20 +87,15 @@ void DcMotorSim::advance_to(sim::SimTime t) {
     // The duty is piecewise constant; sampling at the interval midpoint
     // limits the error when a change lands inside the step.
     const double u = voltage_at(last_ + step / 2);
-    const auto load = [&](double time, double w) {
-      return load_ ? load_(time, w) : 0.0;
-    };
-    double k1[3], k2[3], k3[3], k4[3], y[3];
-    dynamics_.derivatives(state_, u, load(t0, state_[1]), k1);
-    for (int i = 0; i < 3; ++i) y[i] = state_[i] + 0.5 * h * k1[i];
-    dynamics_.derivatives(y, u, load(t0 + h / 2, y[1]), k2);
-    for (int i = 0; i < 3; ++i) y[i] = state_[i] + 0.5 * h * k2[i];
-    dynamics_.derivatives(y, u, load(t0 + h / 2, y[1]), k3);
-    for (int i = 0; i < 3; ++i) y[i] = state_[i] + h * k3[i];
-    dynamics_.derivatives(y, u, load(t0 + h, y[1]), k4);
-    for (int i = 0; i < 3; ++i) {
-      state_[i] += h / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
-    }
+    // Shared classic RK4 (util/rk4.hpp): same stage candidates, stage
+    // times and combination weights the inline loops always used —
+    // tests/batch_test.cpp locks the trajectory bits.
+    util::rk4_step(state_, t0, h,
+                   [&](double time, const double* y, double* dx) {
+                     dynamics_.derivatives(y, u,
+                                           load_ ? load_(time, y[1]) : 0.0,
+                                           dx);
+                   });
     last_ += step;
   }
 }

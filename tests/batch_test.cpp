@@ -1,0 +1,586 @@
+// Batched SoA simulation core: the determinism contract (every lane
+// bit-identical to the scalar engine), divergence masking, the shared-RK4
+// refactor lock, the batched sweep/campaign plumbing, and the batched
+// simple plants.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "batch/plant_batch.hpp"
+#include "batch/servo_batch.hpp"
+#include "core/case_study.hpp"
+#include "exec/sweep.hpp"
+#include "fault/campaign.hpp"
+#include "fault/sites.hpp"
+#include "model/engine.hpp"
+#include "model/model.hpp"
+#include "blocks/sinks.hpp"
+#include "blocks/sources.hpp"
+#include "plant/dc_motor.hpp"
+#include "plant/simple_plants.hpp"
+#include "util/rk4.hpp"
+
+namespace iecd {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_logs_identical(const model::SampleLog& a,
+                           const model::SampleLog& b,
+                           const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(bits(a.time_at(i)), bits(b.time_at(i)))
+        << what << " time sample " << i;
+    ASSERT_EQ(bits(a.value_at(i)), bits(b.value_at(i)))
+        << what << " value sample " << i << " t=" << a.time_at(i);
+  }
+}
+
+void expect_metrics_identical(const model::StepMetrics& a,
+                              const model::StepMetrics& b) {
+  EXPECT_EQ(bits(a.rise_time), bits(b.rise_time));
+  EXPECT_EQ(bits(a.overshoot_percent), bits(b.overshoot_percent));
+  EXPECT_EQ(bits(a.settling_time), bits(b.settling_time));
+  EXPECT_EQ(bits(a.steady_state_error), bits(b.steady_state_error));
+  EXPECT_EQ(bits(a.peak_value), bits(b.peak_value));
+  EXPECT_EQ(a.settled, b.settled);
+}
+
+std::int64_t pwm_modulo_of(core::ServoSystem& servo) {
+  return servo.pwm_block().bean().properties().get_int("modulo");
+}
+
+batch::ServoBatchConfig batch_config_from(const core::ServoConfig& c,
+                                          std::int64_t pwm_modulo = 0) {
+  batch::ServoBatchConfig cfg;
+  cfg.period_s = c.period_s;
+  cfg.duration_s = c.duration_s;
+  cfg.encoder_lines = c.encoder_lines;
+  cfg.speed_filter_taps = c.speed_filter_taps;
+  cfg.hw_fidelity = c.mil_hw_fidelity;
+  cfg.pwm_modulo = pwm_modulo;
+  return cfg;
+}
+
+batch::ServoLane lane_from(const core::ServoConfig& c) {
+  batch::ServoLane lane;
+  lane.setpoint = c.setpoint;
+  lane.setpoint_time = c.setpoint_time;
+  lane.kp = c.kp;
+  lane.ki = c.ki;
+  lane.motor = c.motor;
+  return lane;
+}
+
+void expect_lane_matches_scalar(const batch::ServoLaneResult& got,
+                                const core::ServoSystem::MilResult& want,
+                                const char* what) {
+  expect_logs_identical(got.speed, want.speed, what);
+  expect_logs_identical(got.duty, want.duty, what);
+  expect_metrics_identical(got.metrics, want.metrics);
+  EXPECT_EQ(bits(got.iae), bits(want.iae)) << what;
+  EXPECT_FALSE(got.faulted) << what;
+}
+
+// ------------------------------------------------------------ identity
+
+TEST(BatchIdentity, Width1MatchesScalarMil) {
+  core::ServoConfig config;
+  config.duration_s = 0.4;
+  core::ServoSystem servo(config);
+  const auto scalar = servo.run_mil();
+
+  const batch::ServoLane lane = lane_from(config);
+  const auto results = batch::run_servo_batch(
+      batch_config_from(config, pwm_modulo_of(servo)), {&lane, 1});
+  ASSERT_EQ(results.size(), 1u);
+  expect_lane_matches_scalar(results[0], scalar, "width-1");
+}
+
+TEST(BatchIdentity, HeterogeneousLanesEachMatchOwnScalarRun) {
+  core::ServoConfig base;
+  base.duration_s = 0.3;
+
+  std::vector<batch::ServoLane> lanes;
+  std::vector<core::ServoConfig> configs;
+  for (int k = 0; k < 8; ++k) {
+    core::ServoConfig c = base;
+    c.setpoint = 60.0 + 15.0 * k;
+    c.setpoint_time = 0.02 + 0.01 * k;
+    c.kp = 0.003 + 0.0004 * k;
+    c.ki = 0.10 + 0.01 * k;
+    c.motor.inertia = 1e-4 * (1.0 + 0.1 * k);
+    c.motor.resistance = 1.0 + 0.2 * k;
+    configs.push_back(c);
+    lanes.push_back(lane_from(c));
+  }
+
+  core::ServoSystem probe(base);
+  const auto results = batch::run_servo_batch(
+      batch_config_from(base, pwm_modulo_of(probe)), lanes);
+  ASSERT_EQ(results.size(), lanes.size());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    core::ServoSystem servo(configs[k]);
+    const auto scalar = servo.run_mil();
+    SCOPED_TRACE(k);
+    expect_lane_matches_scalar(results[k], scalar, "lane");
+  }
+}
+
+TEST(BatchIdentity, ValidatedPwmModuloMatchesScalar) {
+  core::ServoConfig config;
+  config.duration_s = 0.3;
+  core::ServoSystem servo(config);
+  servo.validate();  // derives the real PWM modulo into the bean
+  const auto modulo =
+      servo.pwm_block().bean().properties().get_int("modulo");
+  ASSERT_GT(modulo, 0);
+  const auto scalar = servo.run_mil();
+
+  const batch::ServoLane lane = lane_from(config);
+  const auto results = batch::run_servo_batch(
+      batch_config_from(config, modulo), {&lane, 1});
+  expect_lane_matches_scalar(results[0], scalar, "validated-modulo");
+}
+
+TEST(BatchIdentity, HardwareFidelityAblationMatchesScalar) {
+  core::ServoConfig config;
+  config.duration_s = 0.3;
+  config.mil_hw_fidelity = false;
+  config.encoder_lines = 16;
+  core::ServoSystem servo(config);
+  const auto scalar = servo.run_mil();
+
+  const batch::ServoLane lane = lane_from(config);
+  const auto results =
+      batch::run_servo_batch(batch_config_from(config), {&lane, 1});
+  expect_lane_matches_scalar(results[0], scalar, "ablation");
+}
+
+TEST(BatchIdentity, CoarseScheduleConfigMatchesScalar) {
+  core::ServoConfig config;
+  config.duration_s = 0.25;
+  config.period_s = 0.002;
+  config.encoder_lines = 32;
+  config.speed_filter_taps = 3;
+  core::ServoSystem servo(config);
+  const auto scalar = servo.run_mil();
+
+  const batch::ServoLane lane = lane_from(config);
+  const auto results = batch::run_servo_batch(
+      batch_config_from(config, pwm_modulo_of(servo)), {&lane, 1});
+  expect_lane_matches_scalar(results[0], scalar, "coarse");
+}
+
+TEST(BatchIdentity, LoadTorqueLaneMatchesScalar) {
+  core::ServoConfig config;
+  config.duration_s = 0.3;
+
+  auto pulse = [](double t, double) {
+    return (t >= 0.1 && t < 0.15) ? 0.02 : 0.0;
+  };
+  core::ServoSystem servo(config);
+  servo.motor_block().set_load(pulse);
+  const auto scalar = servo.run_mil();
+
+  batch::ServoLane lane = lane_from(config);
+  lane.load = pulse;
+  const auto results = batch::run_servo_batch(
+      batch_config_from(config, pwm_modulo_of(servo)), {&lane, 1});
+  expect_lane_matches_scalar(results[0], scalar, "load-torque");
+}
+
+// ------------------------------------------------------------- masking
+
+TEST(BatchMask, EarlyFinishingLanesKeepNeighborsBitIdentical) {
+  core::ServoConfig base;
+  base.duration_s = 0.5;
+  const double durations[4] = {0.2, 0.5, 0.35, 0.41};
+
+  std::vector<batch::ServoLane> lanes;
+  for (double d : durations) {
+    batch::ServoLane lane = lane_from(base);
+    lane.duration_s = d;
+    lanes.push_back(lane);
+  }
+  core::ServoSystem probe(base);
+  const auto results = batch::run_servo_batch(
+      batch_config_from(base, pwm_modulo_of(probe)), lanes);
+
+  for (int k = 0; k < 4; ++k) {
+    core::ServoConfig c = base;
+    c.duration_s = durations[k];
+    core::ServoSystem servo(c);
+    const auto scalar = servo.run_mil();
+    SCOPED_TRACE(k);
+    expect_lane_matches_scalar(results[k], scalar, "early-finish lane");
+  }
+}
+
+TEST(BatchMask, NonFiniteLaneIsRetiredAndNeighborsStayExact) {
+  core::ServoConfig base;
+  base.duration_s = 0.2;
+
+  std::vector<batch::ServoLane> lanes(3, lane_from(base));
+  // Middle lane: electrical time constant far below the integrator step —
+  // RK4 at h = 0.25 ms diverges to non-finite within a few majors.
+  lanes[1].motor.inductance = 1e-9;
+
+  core::ServoSystem probe(base);
+  batch::ServoBatch batch(batch_config_from(base, pwm_modulo_of(probe)),
+                          lanes);
+  batch.run();
+
+  EXPECT_FALSE(batch.lane_faulted(0));
+  EXPECT_TRUE(batch.lane_faulted(1));
+  EXPECT_FALSE(batch.lane_faulted(2));
+
+  // The faulted lane stops recording when it blows up...
+  const auto faulted = batch.result(1);
+  EXPECT_TRUE(faulted.faulted);
+  EXPECT_LT(faulted.speed.size(), batch.result(0).speed.size());
+
+  // ...and the healthy neighbors never see it.
+  core::ServoSystem servo(base);
+  const auto scalar = servo.run_mil();
+  expect_lane_matches_scalar(batch.result(0), scalar, "neighbor 0");
+  expect_lane_matches_scalar(batch.result(2), scalar, "neighbor 2");
+}
+
+// -------------------------------------------------- shared RK4 refactor
+
+TEST(BatchRk4Refactor, SharedStepMatchesInlineClassicRk4) {
+  // Reference: the inline loops dc_motor.cpp carried before the refactor.
+  plant::DcMotorDynamics dyn;
+  double ref[3] = {0.0, 0.0, 0.0};
+  double shared[3] = {0.0, 0.0, 0.0};
+  const double u = 9.0;
+  const double h = 2e-5;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double t0 = h * step;
+    {
+      double k1[3], k2[3], k3[3], k4[3], y[3];
+      dyn.derivatives(ref, u, 0.0, k1);
+      for (int i = 0; i < 3; ++i) y[i] = ref[i] + 0.5 * h * k1[i];
+      dyn.derivatives(y, u, 0.0, k2);
+      for (int i = 0; i < 3; ++i) y[i] = ref[i] + 0.5 * h * k2[i];
+      dyn.derivatives(y, u, 0.0, k3);
+      for (int i = 0; i < 3; ++i) y[i] = ref[i] + h * k3[i];
+      dyn.derivatives(y, u, 0.0, k4);
+      for (int i = 0; i < 3; ++i) {
+        ref[i] += h / 6.0 * (k1[i] + 2 * k2[i] + 2 * k3[i] + k4[i]);
+      }
+    }
+    util::rk4_step(shared, t0, h, [&](double, const double* y, double* dx) {
+      dyn.derivatives(y, u, 0.0, dx);
+    });
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(bits(ref[i]), bits(shared[i])) << "state " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------- batched plants
+
+TEST(PlantBatch, WaterTankLanesMatchEngine) {
+  plant::WaterTankBlock::Params params[3];
+  params[1].initial_level = 0.5;
+  params[1].inflow_gain = 0.006;
+  params[2].initial_level = 2.5;  // above the brim: raw initial recorded
+  params[2].outlet_area = 4.0e-4;
+
+  batch::PlantBatchConfig cfg;
+  cfg.duration_s = 0.5;
+  const double step_time = 0.2;
+  batch::WaterTankBatch tanks(cfg, params);
+  while (!tanks.done()) {
+    const double t = tanks.time();
+    const double valve = t >= step_time ? 1.0 : 0.0;
+    for (std::size_t l = 0; l < tanks.width(); ++l) tanks.set_input(l, valve);
+    tanks.step();
+  }
+
+  for (int k = 0; k < 3; ++k) {
+    model::Model m("tank");
+    auto& src = m.add<blocks::StepBlock>("valve", step_time, 0.0, 1.0);
+    auto& tank = m.add<plant::WaterTankBlock>("plant", params[k]);
+    auto& scope = m.add<blocks::ScopeBlock>("scope");
+    m.connect(src, 0, tank, 0);
+    m.connect(tank, 0, scope, 0);
+    model::EngineOptions opts;
+    opts.stop_time = cfg.duration_s;
+    opts.base_period = cfg.period_s;
+    opts.minor_steps = cfg.minor_steps;
+    model::Engine engine(m, opts);
+    engine.run();
+    SCOPED_TRACE(k);
+    expect_logs_identical(tanks.levels(k), scope.log(), "tank lane");
+  }
+}
+
+TEST(PlantBatch, ThermalLanesMatchEngine) {
+  plant::ThermalPlantBlock::Params params[2];
+  params[1].heater_power = 90.0;
+  params[1].ambient = 18.0;
+
+  batch::PlantBatchConfig cfg;
+  cfg.period_s = 0.01;
+  cfg.duration_s = 2.0;
+  batch::ThermalBatch plants(cfg, params);
+  while (!plants.done()) {
+    for (std::size_t l = 0; l < plants.width(); ++l) {
+      plants.set_input(l, 0.75);
+    }
+    plants.step();
+  }
+
+  for (int k = 0; k < 2; ++k) {
+    model::Model m("thermal");
+    auto& src = m.add<blocks::ConstantBlock>("heat", 0.75);
+    auto& proc = m.add<plant::ThermalPlantBlock>("plant", params[k]);
+    auto& scope = m.add<blocks::ScopeBlock>("scope");
+    m.connect(src, 0, proc, 0);
+    m.connect(proc, 0, scope, 0);
+    model::EngineOptions opts;
+    opts.stop_time = cfg.duration_s;
+    opts.base_period = cfg.period_s;
+    opts.minor_steps = cfg.minor_steps;
+    model::Engine engine(m, opts);
+    engine.run();
+    SCOPED_TRACE(k);
+    expect_logs_identical(plants.temperatures(k), scope.log(),
+                          "thermal lane");
+  }
+}
+
+TEST(PlantBatch, LatchKernelsMatchPeBlocks) {
+  beans::BeanProject project("p");
+  auto& adc_bean = project.add<beans::AdcBean>("AD1");
+  core::AdcPeBlock adc("AD1", adc_bean);
+  const auto bits_prop = adc_bean.properties().get_int("resolution_bits");
+  const double vref = adc_bean.properties().get_real("vref_high");
+
+  core::ServoSystem servo(core::ServoConfig{});
+  const double cpr =
+      static_cast<double>(servo.config().encoder_lines * 4);
+
+  std::vector<double> angles, ratios, volts;
+  for (int i = -40; i <= 40; ++i) {
+    angles.push_back(0.37 * i);
+    ratios.push_back(0.03 * i);
+    volts.push_back(0.09 * i);
+  }
+  const std::size_t n = angles.size();
+  std::vector<double> counts(n), duty(n);
+  std::vector<std::uint16_t> codes(n);
+
+  batch::qdec_latch_lanes(angles, cpr, counts);
+  batch::adc_latch_lanes(volts, static_cast<int>(bits_prop), vref, codes);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i], static_cast<double>(
+                             servo.qdec_block().angle_to_counts(angles[i])));
+    EXPECT_EQ(codes[i], adc.quantize_volts(volts[i]));
+  }
+
+  // Solved-modulo path against the real PWM block (the servo constructor
+  // derives the modulo from pwm_frequency_hz).
+  const auto modulo = pwm_modulo_of(servo);
+  ASSERT_GT(modulo, 0);
+  batch::pwm_latch_lanes(ratios, modulo, duty);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits(duty[i]),
+              bits(servo.pwm_block().quantize_duty(ratios[i])));
+  }
+
+  // Unsolved bean (modulo 0): clamp-only pass-through.
+  batch::pwm_latch_lanes(ratios, 0, duty);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bits(duty[i]), bits(std::clamp(ratios[i], 0.0, 1.0)));
+  }
+}
+
+// -------------------------------------------------------- batched sweep
+
+TEST(SweepBatch, ZeroRunsIsEmpty) {
+  exec::SweepRunner runner({.threads = 4, .batch = 8});
+  const auto result = runner.run(
+      0, exec::SweepRunner::BatchScenario(
+             [](std::size_t, std::span<trace::MetricsRegistry>) {
+               FAIL() << "no groups expected";
+             }));
+  EXPECT_EQ(result.runs, 0u);
+  EXPECT_TRUE(result.merged.empty());
+  EXPECT_TRUE(result.per_run.empty());
+}
+
+TEST(SweepBatch, RemainderGroupGetsNarrowSpan) {
+  exec::SweepRunner runner({.threads = 1, .batch = 4});
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  const auto result = runner.run(
+      10, exec::SweepRunner::BatchScenario(
+              [&](std::size_t first,
+                  std::span<trace::MetricsRegistry> metrics) {
+                groups.emplace_back(first, metrics.size());
+                for (std::size_t k = 0; k < metrics.size(); ++k) {
+                  metrics[k].gauge("run.index") =
+                      static_cast<double>(first + k);
+                }
+              }));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(groups[1], (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(groups[2], (std::pair<std::size_t, std::size_t>{8, 2}));
+  ASSERT_EQ(result.per_run.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double* g = result.per_run[i].find_gauge("run.index");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(*g, static_cast<double>(i));
+  }
+}
+
+TEST(SweepBatch, FewerRunsThanThreadsAndWidth) {
+  exec::SweepRunner runner({.threads = 8, .batch = 16});
+  const auto result = runner.run(
+      3, exec::SweepRunner::BatchScenario(
+             [](std::size_t first, std::span<trace::MetricsRegistry> metrics) {
+               EXPECT_EQ(first, 0u);
+               EXPECT_EQ(metrics.size(), 3u);
+               for (std::size_t k = 0; k < metrics.size(); ++k) {
+                 metrics[k].counter("ran").increment();
+               }
+             }));
+  EXPECT_EQ(result.threads_used, 1u);  // one group -> one worker
+  const auto* c = result.merged.find_counter("ran");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 3u);
+}
+
+TEST(SweepBatch, MergedReportInvariantAcrossThreadsAndWidths) {
+  auto scenario = exec::SweepRunner::BatchScenario(
+      [](std::size_t first, std::span<trace::MetricsRegistry> metrics) {
+        for (std::size_t k = 0; k < metrics.size(); ++k) {
+          const auto index = static_cast<double>(first + k);
+          metrics[k].counter("runs").increment();
+          metrics[k].stats("value").add(std::sin(index) * 10.0);
+        }
+      });
+  std::string reference;
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    for (std::size_t batch : {1u, 3u, 4u, 16u}) {
+      exec::SweepRunner runner({.threads = threads, .batch = batch});
+      const std::string report = runner.run(13, scenario).merged.report();
+      if (reference.empty()) {
+        reference = report;
+      } else {
+        EXPECT_EQ(report, reference)
+            << "threads=" << threads << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(SweepBatch, BatchWidthOneMatchesScalarScenarioMerge) {
+  auto fill = [](std::size_t index, trace::MetricsRegistry& metrics) {
+    metrics.counter("runs").increment();
+    metrics.gauge("last") = static_cast<double>(index);
+    metrics.stats("value").add(1.0 / (1.0 + static_cast<double>(index)));
+  };
+  exec::SweepRunner scalar({.threads = 1});
+  const std::string want =
+      scalar
+          .run(7, exec::SweepRunner::Scenario(fill))
+          .merged.report();
+  exec::SweepRunner batched({.threads = 2, .batch = 3});
+  const std::string got =
+      batched
+          .run(7, exec::SweepRunner::BatchScenario(
+                      [&](std::size_t first,
+                          std::span<trace::MetricsRegistry> metrics) {
+                        for (std::size_t k = 0; k < metrics.size(); ++k) {
+                          fill(first + k, metrics[k]);
+                        }
+                      }))
+          .merged.report();
+  EXPECT_EQ(got, want);
+}
+
+// ----------------------------------------------------- batched campaign
+
+// One MIL fault-campaign run, scalar engine: seeded load-torque pulses on
+// the default servo, recovery = the loop still settles.
+bool scalar_campaign_run(fault::RunContext& ctx, double duration) {
+  core::ServoConfig config;
+  config.duration_s = duration;
+  core::ServoSystem servo(config);
+  if (auto load = fault::make_load_torque(ctx.injector, duration)) {
+    servo.motor_block().set_load(std::move(load));
+  }
+  const auto result = servo.run_mil();
+  ctx.metrics.stats("campaign.iae").add(result.iae);
+  if (result.metrics.settled) {
+    ctx.metrics.counter("campaign.settled").increment();
+  }
+  return result.metrics.settled;
+}
+
+TEST(CampaignBatch, BatchedMilCampaignReportByteIdenticalToScalar) {
+  const double duration = 0.25;
+  fault::CampaignOptions options;
+  options.name = "servo_mil_batch";
+  options.seed = 2026;
+  options.runs = 6;
+  options.threads = 1;
+  options.plan.torque_pulse_rate_hz = 20.0;
+  options.plan.torque_pulse_nm = 0.03;
+  options.plan.torque_pulse_s = 0.02;
+
+  const auto scalar_report =
+      fault::CampaignRunner(options).run(
+          fault::CampaignScenario([&](fault::RunContext& ctx) {
+            return scalar_campaign_run(ctx, duration);
+          }));
+  const std::string want = scalar_report.to_json();
+  EXPECT_EQ(scalar_report.runs, 6u);
+
+  auto batch_scenario = fault::BatchCampaignScenario(
+      [&](std::span<fault::RunContext> lanes, std::span<bool> recovered) {
+        core::ServoConfig config;
+        config.duration_s = duration;
+        core::ServoSystem probe(config);
+        std::vector<batch::ServoLane> bl;
+        for (auto& lane : lanes) {
+          batch::ServoLane b = lane_from(config);
+          b.load = fault::make_load_torque(lane.injector, duration);
+          bl.push_back(std::move(b));
+        }
+        const auto results = batch::run_servo_batch(
+            batch_config_from(config, pwm_modulo_of(probe)), bl);
+        for (std::size_t k = 0; k < lanes.size(); ++k) {
+          lanes[k].metrics.stats("campaign.iae").add(results[k].iae);
+          if (results[k].metrics.settled) {
+            lanes[k].metrics.counter("campaign.settled").increment();
+          }
+          recovered[k] = results[k].metrics.settled;
+        }
+      });
+
+  for (std::size_t threads : {1u, 2u}) {
+    for (std::size_t batch : {1u, 4u, 8u}) {
+      fault::CampaignOptions opts = options;
+      opts.threads = threads;
+      opts.batch = batch;
+      const auto report = fault::CampaignRunner(opts).run(batch_scenario);
+      EXPECT_EQ(report.to_json(), want)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iecd

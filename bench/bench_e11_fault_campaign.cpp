@@ -22,7 +22,13 @@ using namespace iecd;
 
 namespace {
 
-std::size_t campaign_runs() { return bench::smoke() ? 2 : 6; }
+std::size_t campaign_runs() {
+  if (bench::overrides().runs > 0) return bench::overrides().runs;
+  return bench::smoke() ? 2 : 6;
+}
+std::size_t campaign_threads() {
+  return bench::overrides().threads > 0 ? bench::overrides().threads : 2;
+}
 double campaign_duration() { return bench::smoke() ? 0.2 : 0.5; }
 
 core::ServoConfig campaign_config() {
@@ -105,7 +111,7 @@ void print_table() {
     opts.name = "servo_pil_x" + std::to_string(mult).substr(0, 3);
     opts.seed = 2026;
     opts.runs = campaign_runs();
-    opts.threads = 2;
+    opts.threads = campaign_threads();
     opts.plan = fault::FaultPlan::defaults().scaled(mult);
     bench::Stopwatch watch;
     const fault::CampaignReport report =
@@ -172,7 +178,7 @@ void print_table() {
     opts.name = mult == 0.0 ? "servo_hil_clean" : "servo_hil";
     opts.seed = 2026;
     opts.runs = campaign_runs();
-    opts.threads = 2;
+    opts.threads = campaign_threads();
     opts.plan = fault::FaultPlan::defaults().scaled(mult);
     bench::Stopwatch watch;
     const fault::CampaignReport report =

@@ -27,11 +27,24 @@ using namespace iecd;
 
 namespace {
 
-std::size_t sweep_runs() { return bench::smoke() ? 16 : 64; }
+std::size_t sweep_runs() {
+  if (bench::overrides().runs > 0) return bench::overrides().runs;
+  return bench::smoke() ? 16 : 64;
+}
 double sweep_duration() { return bench::smoke() ? 0.2 : 0.5; }
 
-std::size_t campaign_runs() { return bench::smoke() ? 4 : 24; }
+std::size_t campaign_runs() {
+  if (bench::overrides().runs > 0) return bench::overrides().runs;
+  return bench::smoke() ? 4 : 24;
+}
 double campaign_duration() { return bench::smoke() ? 0.2 : 0.4; }
+
+std::size_t campaign_threads() {
+  return bench::overrides().threads > 0 ? bench::overrides().threads : 1;
+}
+std::size_t campaign_batch() {
+  return bench::overrides().batch > 0 ? bench::overrides().batch : 8;
+}
 
 core::ServoConfig sweep_config(std::size_t index) {
   core::ServoConfig cfg;
@@ -146,7 +159,7 @@ fault::CampaignOptions campaign_options() {
   opts.name = "servo_mil_torque";
   opts.seed = 2026;
   opts.runs = campaign_runs();
-  opts.threads = 1;
+  opts.threads = campaign_threads();
   opts.plan.torque_pulse_rate_hz = 20.0;
   opts.plan.torque_pulse_nm = 0.03;
   opts.plan.torque_pulse_s = 0.02;
@@ -189,7 +202,7 @@ void campaign_table(std::int64_t pwm_modulo) {
   bench::summarize("batch.campaign.scalar_runs_per_s", scalar_rps);
 
   fault::CampaignOptions batched_opts = campaign_options();
-  batched_opts.batch = 8;
+  batched_opts.batch = campaign_batch();
   bench::Stopwatch watch;
   const auto batched_report = fault::CampaignRunner(batched_opts)
           .run(fault::BatchCampaignScenario(

@@ -9,9 +9,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace iecd::bench {
 
@@ -37,6 +42,61 @@ class Stopwatch {
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Peak resident set size of this process in kB (getrusage ru_maxrss;
+/// bytes on macOS, kB on Linux).  0 where the platform has no rusage.
+/// Note ru_maxrss is a process-lifetime high-water mark — it never goes
+/// down, so a bench comparing configurations within one process must fork
+/// a child per measurement (bench_e14 does).
+inline double peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#else
+  return static_cast<double>(ru.ru_maxrss);
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// Workload overrides shared by the campaign-scale benches: --threads=N,
+/// --batch=N and --runs=N on the command line scale the experiment tables
+/// without a rebuild (0 = keep the bench's default).  IECD_BENCH_MAIN
+/// strips them from argv before google-benchmark sees (and rejects) them.
+struct Overrides {
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  std::size_t runs = 0;
+};
+
+inline Overrides& overrides() {
+  static Overrides o;
+  return o;
+}
+
+inline void parse_overrides(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    auto take = [&arg](const char* prefix, std::size_t& slot) {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) != 0) return false;
+      slot = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + n, nullptr, 10));
+      return true;
+    };
+    if (take("--threads=", overrides().threads) ||
+        take("--batch=", overrides().batch) ||
+        take("--runs=", overrides().runs)) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
 }
 
 /// Machine-readable run summary: each bench binary records its headline
@@ -117,7 +177,10 @@ inline std::string bench_name_from_argv0(const char* argv0) {
     const std::string bench_name =                                 \
         iecd::bench::bench_name_from_argv0(argc > 0 ? argv[0]      \
                                                     : nullptr);    \
+    iecd::bench::parse_overrides(argc, argv);                      \
     print_table_fn();                                              \
+    iecd::bench::summarize("proc.peak_rss_kb",                     \
+                           iecd::bench::peak_rss_kb());            \
     iecd::bench::RunSummary::instance().write(bench_name);         \
     benchmark::Initialize(&argc, argv);                            \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
@@ -125,6 +188,8 @@ inline std::string bench_name_from_argv0(const char* argv0) {
     }                                                              \
     benchmark::RunSpecifiedBenchmarks();                           \
     benchmark::Shutdown();                                         \
+    iecd::bench::summarize("proc.peak_rss_kb",                     \
+                           iecd::bench::peak_rss_kb());            \
     iecd::bench::RunSummary::instance().write(bench_name);         \
     return 0;                                                      \
   }

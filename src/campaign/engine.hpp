@@ -1,0 +1,100 @@
+/// \file engine.hpp
+/// CampaignEngine: the fleet-scale fault-campaign driver — the
+/// work-stealing StreamRunner feeding one streaming, index-ordered sink
+/// that merges each run, retains only the unrecovered runs' health,
+/// writes per-run evidence as runs complete, and periodically seals a
+/// resume checkpoint (checkpoint.hpp).  Memory is O(sites + histograms +
+/// reorder window + unrecovered), never O(runs) — the difference the E14
+/// bench gates at 100k runs.
+///
+/// Contracts (all locked by the campaign suite):
+///   * the final CampaignReport and its JSON are byte-identical to
+///     fault::CampaignRunner's for the same options (modulo the retained
+///     per_run vectors, which the engine leaves empty);
+///   * outputs are byte-identical for any thread count, chunk size,
+///     steal schedule and reorder window;
+///   * kill the process after any checkpoint seal, run the engine again,
+///     and the resumed merged report + evidence manifest are
+///     byte-identical to the uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/stream.hpp"
+#include "evidence/sink.hpp"
+#include "fault/campaign.hpp"
+
+namespace iecd::campaign {
+
+struct EngineOptions {
+  /// Campaign identity + fault plan + threads/batch (fault layer options;
+  /// the engine reuses fault::CampaignRunner::run_seed and
+  /// fault::finalize_run_bookkeeping so per-run registries are
+  /// byte-identical to the retained runner's).
+  fault::CampaignOptions campaign;
+  /// Evidence directory: run_<index>.evd artifacts stream in as runs
+  /// complete, CHECKPOINT.evd lives here between seals, merged.evd and
+  /// MANIFEST.jsonl seal the finished campaign.
+  std::string evidence_dir;
+  /// Seal a checkpoint after (at least) this many runs since the previous
+  /// seal, at the next lane-group boundary.  0 disables checkpointing.
+  std::size_t checkpoint_every = 0;
+  /// Pick up a matching CHECKPOINT.evd and resume at its watermark.  A
+  /// missing, corrupt or configuration-mismatched checkpoint silently
+  /// starts fresh — a lost checkpoint costs recomputation, not
+  /// correctness.
+  bool resume = true;
+  /// Stream one sealed artifact + sidecar per run.  Off for fleet-scale
+  /// measurement campaigns where 100k files would dominate the cost; the
+  /// merged artifact and manifest are still written.
+  bool write_run_artifacts = true;
+
+  // ------------------------- scheduling knobs (StreamOptions semantics)
+  std::size_t window = 0;  ///< reorder window in runs (0 = auto)
+  std::size_t chunk = 0;   ///< groups per placement chunk (0 = auto)
+  bool stealing = true;    ///< steal-half work stealing
+  bool contiguous = false; ///< static-tiling baseline placement
+  obs::CampaignProgress* progress = nullptr;
+
+  /// Called after every checkpoint seal with the state just written
+  /// (checkpoint cadence tests and campaign_ctl's crash-after-checkpoint
+  /// flag hang off this).  Runs on the fold's drain thread — keep it
+  /// cheap.
+  std::function<void(const CheckpointState&)> on_checkpoint;
+};
+
+struct EngineResult {
+  /// Same content as fault::CampaignRunner's report except per_run /
+  /// per_run_health stay empty (streaming); unrecovered_health carries the
+  /// retained flight-recorder evidence instead.
+  fault::CampaignReport report;
+  evidence::CampaignEvidence evidence;
+  StreamStats sched;
+  bool resumed = false;
+  std::size_t resume_start = 0;      ///< watermark the run started from
+  std::uint64_t checkpoints_sealed = 0;
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(EngineOptions options);
+
+  const EngineOptions& options() const { return options_; }
+
+  EngineResult run(const fault::CampaignScenario& scenario) const;
+  EngineResult run(const fault::BatchCampaignScenario& scenario) const;
+
+  /// "CHECKPOINT.evd" within the evidence directory.
+  static std::string checkpoint_filename();
+  std::string checkpoint_path() const;
+
+ private:
+  EngineResult execute(const StreamRunner::GroupFn& group_fn) const;
+
+  EngineOptions options_;
+};
+
+}  // namespace iecd::campaign

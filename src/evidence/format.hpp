@@ -69,6 +69,7 @@ enum : std::uint16_t {
   kSchemaRunMeta = 9,        ///< run name, sweep index, seed
   kSchemaHealthSummary = 10, ///< HealthReport headline + full JSON
   kSchemaCampaignSummary = 11,  ///< CampaignReport headline + full JSON
+  kSchemaCampaignCheckpoint = 12,  ///< campaign resume point (fold state)
 };
 
 // --------------------------------------------------- little-endian codec

@@ -295,6 +295,20 @@ bool EvidenceReader::decode_record(std::uint16_t schema_id,
       campaign_summaries_.push_back(std::move(s));
       return true;
     }
+    case kSchemaCampaignCheckpoint: {
+      CampaignCheckpointRecord c;
+      std::uint32_t state_len = 0;
+      if (!cur.read_str(c.name) || !cur.read(c.config_hash) ||
+          !cur.read(c.total_runs) || !cur.read(c.watermark) ||
+          !cur.read(state_len)) {
+        return false;
+      }
+      const std::uint8_t* state = nullptr;
+      if (!cur.read_bytes(state, state_len)) return false;
+      c.state.assign(state, state + state_len);
+      campaign_checkpoints_.push_back(std::move(c));
+      return true;
+    }
     default:
       // Registered in registry_ but not handled here — treat as skippable.
       ++unknown_records_;

@@ -71,6 +71,18 @@ struct RunMeta {
   std::uint64_t seed = 0;
 };
 
+/// A campaign resume point as stored in the artifact: identity, the
+/// completed-run watermark and the opaque fold-state blob (decoded by
+/// campaign/checkpoint.hpp; the merged metrics travel as ordinary metric
+/// records in the same artifact).
+struct CampaignCheckpointRecord {
+  std::string name;
+  std::uint64_t config_hash = 0;
+  std::uint64_t total_runs = 0;
+  std::uint64_t watermark = 0;
+  std::vector<std::uint8_t> state;
+};
+
 class EvidenceReader {
  public:
   explicit EvidenceReader(
@@ -105,6 +117,9 @@ class EvidenceReader {
   const std::vector<CampaignSummary>& campaign_summaries() const {
     return campaign_summaries_;
   }
+  const std::vector<CampaignCheckpointRecord>& campaign_checkpoints() const {
+    return campaign_checkpoints_;
+  }
 
   std::uint64_t record_count() const { return record_count_; }
   std::uint64_t chain_hash() const { return chain_hash_; }
@@ -135,6 +150,7 @@ class EvidenceReader {
   std::vector<RunMeta> run_metas_;
   std::vector<HealthSummary> health_summaries_;
   std::vector<CampaignSummary> campaign_summaries_;
+  std::vector<CampaignCheckpointRecord> campaign_checkpoints_;
 
   std::uint64_t record_count_ = 0;
   std::uint64_t chain_hash_ = 0;

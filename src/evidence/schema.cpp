@@ -120,6 +120,12 @@ const SchemaRegistry& SchemaRegistry::builtin() {
             {FT::kU64, "faults_injected"},
             {FT::kU64, "fault_opportunities"},
             {FT::kString, "json"}}});
+    r.add({kSchemaCampaignCheckpoint, 1, "campaign_checkpoint",
+           {{FT::kString, "name"},
+            {FT::kU64, "config_hash"},
+            {FT::kU64, "total_runs"},
+            {FT::kU64, "watermark"},
+            {FT::kBytes, "state"}}});
     return r;
   }();
   return registry;

@@ -114,9 +114,9 @@ RunArtifact write_artifact_with_sidecar(const std::string& dir,
 CampaignEvidence write_campaign_evidence(
     const std::string& dir, const fault::CampaignOptions& options,
     const fault::CampaignReport& report) {
-  CampaignEvidence evidence;
   std::filesystem::create_directories(dir);
 
+  std::vector<RunArtifact> runs;
   for (std::size_t i = 0; i < report.per_run.size(); ++i) {
     const std::uint64_t seed =
         fault::CampaignRunner::run_seed(options.seed, i);
@@ -125,9 +125,39 @@ CampaignEvidence write_campaign_evidence(
                                          : nullptr;
     EvidenceWriter writer = build_run_artifact(
         report.name, i, seed, report.per_run[i], health, nullptr);
-    evidence.runs.push_back(write_artifact_with_sidecar(
+    runs.push_back(write_artifact_with_sidecar(
         dir, run_filename(i), writer, report.name, i, seed));
   }
+  return finish_campaign_evidence(dir, options, report, std::move(runs));
+}
+
+std::string run_artifact_filename(std::uint64_t index) {
+  return run_filename(index);
+}
+
+bool describe_artifact_file(const std::string& dir,
+                            const std::string& filename, RunArtifact& out) {
+  const std::string path = (std::filesystem::path(dir) / filename).string();
+  EvidenceReader reader;
+  if (reader.parse_file(path) != Status::kOk) return false;
+  std::error_code ec;
+  const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  out.filename = filename;
+  out.bytes = bytes;
+  out.records = reader.record_count();
+  out.chain_hash = reader.chain_hash();
+  out.sha256_hex = reader.sha256_hex();
+  return true;
+}
+
+CampaignEvidence finish_campaign_evidence(const std::string& dir,
+                                          const fault::CampaignOptions& options,
+                                          const fault::CampaignReport& report,
+                                          std::vector<RunArtifact> runs) {
+  CampaignEvidence evidence;
+  std::filesystem::create_directories(dir);
+  evidence.runs = std::move(runs);
 
   // Merged artifact: campaign summary + merged metrics/health.
   {

@@ -65,6 +65,27 @@ CampaignEvidence write_campaign_evidence(const std::string& dir,
                                          const fault::CampaignOptions& options,
                                          const fault::CampaignReport& report);
 
+/// Canonical per-run artifact filename within a campaign directory
+/// (`run_%04llu.evd` — what write_campaign_evidence uses).
+std::string run_artifact_filename(std::uint64_t index);
+
+/// Re-describes an artifact already on disk (the campaign resume path):
+/// parses and validates \p dir / \p filename, filling \p out with the
+/// exact descriptor its original write produced.  False when the file is
+/// missing or does not verify.
+bool describe_artifact_file(const std::string& dir,
+                            const std::string& filename, RunArtifact& out);
+
+/// Seals a campaign whose per-run artifacts are ALREADY on disk (the
+/// streaming engine writes them run by run): writes the merged artifact
+/// and the manifest from the supplied per-run descriptors (index order).
+/// The manifest bytes are identical to write_campaign_evidence's for the
+/// same report — locked by the engine/runner identity tests.
+CampaignEvidence finish_campaign_evidence(const std::string& dir,
+                                          const fault::CampaignOptions& options,
+                                          const fault::CampaignReport& report,
+                                          std::vector<RunArtifact> runs);
+
 /// Same shape for a plain sweep: per-run artifacts from
 /// exec::SweepRunner::Result::per_run (+ per_run_health when present) and
 /// a manifest.  \p seed_of maps a run index to the seed recorded in its

@@ -1,130 +1,70 @@
 #include "exec/sweep.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
-
-#include "util/thread_pool.hpp"
+#include <utility>
 
 namespace iecd::exec {
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
+campaign::StreamOptions SweepRunner::stream_options(std::size_t batch) const {
+  campaign::StreamOptions so;
+  so.threads = options_.threads;
+  so.batch = batch;
+  so.window = options_.window;
+  so.chunk = options_.chunk;
+  so.stealing = options_.stealing;
+  so.placement = options_.contiguous ? campaign::Placement::kContiguous
+                                     : campaign::Placement::kCyclic;
+  so.progress = options_.progress;
+  return so;
+}
+
+namespace {
+
+/// The one fold everything funnels through: called by the StreamRunner's
+/// reorder fold strictly in run-index order (serialized), so the merged
+/// registry/health are byte-identical for any thread count, batch width,
+/// chunk size and steal schedule.  Retention moves the group buffers into
+/// the preallocated per-run slots instead of copying.
+campaign::StreamRunner::SinkFn make_sink(SweepRunner::Result& result,
+                                         bool with_health, bool retain) {
+  return [&result, with_health, retain](campaign::GroupResult& group) {
+    for (std::size_t k = 0; k < group.metrics.size(); ++k) {
+      const std::size_t index = group.first + k;
+      result.merged.merge(group.metrics[k]);
+      if (with_health) result.health.merge(group.health[k]);
+      if (retain) {
+        result.per_run[index] = std::move(group.metrics[k]);
+        if (with_health) {
+          result.per_run_health[index] = std::move(group.health[k]);
+        }
+      }
+    }
+  };
+}
+
+}  // namespace
+
 SweepRunner::Result SweepRunner::run(std::size_t runs,
                                      const Scenario& scenario) const {
   Result result;
   result.runs = runs;
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, std::max<std::size_t>(1, runs));
-  result.threads_used = threads;
-  if (runs == 0) return result;
-
-  const auto start = std::chrono::steady_clock::now();
-  // Registries are preallocated so worker threads touch disjoint elements;
-  // no locking, no allocation races, no dependence on completion order.
-  result.per_run.resize(runs);
-  if (threads == 1) {
-    for (std::size_t i = 0; i < runs; ++i) scenario(i, result.per_run[i]);
-  } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(
-        runs, [&](std::size_t i) { scenario(i, result.per_run[i]); });
-  }
-  // Deterministic fold: index order, independent of thread interleaving.
-  for (const auto& registry : result.per_run) {
-    result.merged.merge(registry);
-  }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  return result;
-}
-
-SweepRunner::Result SweepRunner::run(std::size_t runs,
-                                     const BatchScenario& scenario) const {
-  Result result;
-  result.runs = runs;
-  const std::size_t batch = std::max<std::size_t>(1, options_.batch);
-  const std::size_t groups = runs == 0 ? 0 : (runs + batch - 1) / batch;
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, std::max<std::size_t>(1, groups));
-  result.threads_used = threads;
-  if (runs == 0) return result;
-
-  const auto start = std::chrono::steady_clock::now();
-  result.per_run.resize(runs);
-  // Group g covers run indices [g*batch, min(runs, (g+1)*batch)): the
-  // scenario sees a subspan of the preallocated per-run registries, so the
-  // batched execution shares the scalar path's isolation and the merge
-  // below stays the untouched index-order fold.
-  auto run_group = [&](std::size_t g) {
-    const std::size_t first = g * batch;
-    const std::size_t count = std::min(runs - first, batch);
-    scenario(first,
-             std::span<trace::MetricsRegistry>(result.per_run)
-                 .subspan(first, count));
-  };
-  if (threads == 1) {
-    for (std::size_t g = 0; g < groups; ++g) run_group(g);
-  } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(groups, run_group);
-  }
-  for (const auto& registry : result.per_run) {
-    result.merged.merge(registry);
-  }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  return result;
-}
-
-SweepRunner::Result SweepRunner::run(
-    std::size_t runs, const BatchHealthScenario& scenario) const {
-  Result result;
-  result.runs = runs;
-  const std::size_t batch = std::max<std::size_t>(1, options_.batch);
-  const std::size_t groups = runs == 0 ? 0 : (runs + batch - 1) / batch;
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, std::max<std::size_t>(1, groups));
-  result.threads_used = threads;
-  if (runs == 0) return result;
-
-  const auto start = std::chrono::steady_clock::now();
-  result.per_run.resize(runs);
-  result.per_run_health.resize(runs);
-  auto run_group = [&](std::size_t g) {
-    const std::size_t first = g * batch;
-    const std::size_t count = std::min(runs - first, batch);
-    scenario(first,
-             std::span<trace::MetricsRegistry>(result.per_run)
-                 .subspan(first, count),
-             std::span<obs::HealthReport>(result.per_run_health)
-                 .subspan(first, count));
-  };
-  if (threads == 1) {
-    for (std::size_t g = 0; g < groups; ++g) run_group(g);
-  } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(groups, run_group);
-  }
-  result.health.runs = 0;
-  for (std::size_t i = 0; i < runs; ++i) {
-    result.merged.merge(result.per_run[i]);
-    result.health.merge(result.per_run_health[i]);
-  }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  const bool retain = options_.retain_per_run;
+  if (retain) result.per_run.resize(runs);
+  campaign::StreamRunner stream(stream_options(1));
+  result.sched = stream.run(
+      runs,
+      [&scenario](std::size_t first,
+                  std::span<trace::MetricsRegistry> metrics,
+                  std::span<obs::HealthReport> /*health*/) {
+        for (std::size_t k = 0; k < metrics.size(); ++k) {
+          scenario(first + k, metrics[k]);
+        }
+      },
+      make_sink(result, /*with_health=*/false, retain));
+  result.threads_used = result.sched.threads_used;
+  result.wall_ms = result.sched.wall_ms;
   return result;
 }
 
@@ -132,38 +72,72 @@ SweepRunner::Result SweepRunner::run(std::size_t runs,
                                      const HealthScenario& scenario) const {
   Result result;
   result.runs = runs;
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const bool retain = options_.retain_per_run;
+  if (retain) {
+    result.per_run.resize(runs);
+    result.per_run_health.resize(runs);
   }
-  threads = std::min(threads, std::max<std::size_t>(1, runs));
-  result.threads_used = threads;
-  if (runs == 0) return result;
-
-  const auto start = std::chrono::steady_clock::now();
-  result.per_run.resize(runs);
-  result.per_run_health.resize(runs);
-  if (threads == 1) {
-    for (std::size_t i = 0; i < runs; ++i) {
-      scenario(i, result.per_run[i], result.per_run_health[i]);
-    }
-  } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(runs, [&](std::size_t i) {
-      scenario(i, result.per_run[i], result.per_run_health[i]);
-    });
-  }
-  // Index-order fold for both the metrics and the health reports: the
-  // merged percentiles come from bin-wise histogram adds, so they are
-  // identical for any thread count.
+  // Result::health counts folded sweep points, not the default single run.
   result.health.runs = 0;
-  for (std::size_t i = 0; i < runs; ++i) {
-    result.merged.merge(result.per_run[i]);
-    result.health.merge(result.per_run_health[i]);
+  campaign::StreamRunner stream(stream_options(1));
+  result.sched = stream.run(
+      runs,
+      [&scenario](std::size_t first,
+                  std::span<trace::MetricsRegistry> metrics,
+                  std::span<obs::HealthReport> health) {
+        for (std::size_t k = 0; k < metrics.size(); ++k) {
+          scenario(first + k, metrics[k], health[k]);
+        }
+      },
+      make_sink(result, /*with_health=*/true, retain));
+  result.threads_used = result.sched.threads_used;
+  result.wall_ms = result.sched.wall_ms;
+  return result;
+}
+
+SweepRunner::Result SweepRunner::run(std::size_t runs,
+                                     const BatchScenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  const bool retain = options_.retain_per_run;
+  if (retain) result.per_run.resize(runs);
+  campaign::StreamRunner stream(
+      stream_options(std::max<std::size_t>(1, options_.batch)));
+  result.sched = stream.run(
+      runs,
+      [&scenario](std::size_t first,
+                  std::span<trace::MetricsRegistry> metrics,
+                  std::span<obs::HealthReport> /*health*/) {
+        scenario(first, metrics);
+      },
+      make_sink(result, /*with_health=*/false, retain));
+  result.threads_used = result.sched.threads_used;
+  result.wall_ms = result.sched.wall_ms;
+  return result;
+}
+
+SweepRunner::Result SweepRunner::run(
+    std::size_t runs, const BatchHealthScenario& scenario) const {
+  Result result;
+  result.runs = runs;
+  const bool retain = options_.retain_per_run;
+  if (retain) {
+    result.per_run.resize(runs);
+    result.per_run_health.resize(runs);
   }
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  result.health.runs = 0;
+  campaign::StreamRunner stream(
+      stream_options(std::max<std::size_t>(1, options_.batch)));
+  result.sched = stream.run(
+      runs,
+      [&scenario](std::size_t first,
+                  std::span<trace::MetricsRegistry> metrics,
+                  std::span<obs::HealthReport> health) {
+        scenario(first, metrics, health);
+      },
+      make_sink(result, /*with_health=*/true, retain));
+  result.threads_used = result.sched.threads_used;
+  result.wall_ms = result.sched.wall_ms;
   return result;
 }
 

@@ -1,7 +1,7 @@
 /// \file sweep.hpp
 /// First-class parallel scenario fan-out.  A SweepRunner executes N
 /// independent scenarios (World/MIL/PIL runs, parameter-sweep points)
-/// across the host thread pool and merges each run's MetricsRegistry
+/// across worker threads and merges each run's MetricsRegistry
 /// deterministically.
 ///
 /// Determinism contract: each scenario writes only into the registry it is
@@ -12,13 +12,20 @@
 /// sequential run, for any thread count.  The determinism suite
 /// (tests/determinism_test.cpp) locks this property in.
 ///
+/// Execution engine: runs ride on campaign::StreamRunner — a work-stealing
+/// scheduler (per-worker chunk deques, steal-half) feeding a windowed
+/// index-order fold.  Heterogeneous run costs no longer idle threads the
+/// way static tiling did, and the fold is streaming: per-run registries are
+/// folded the moment all lower indices are folded, so memory is
+/// O(sites + window) unless per-run retention is requested
+/// (SweepOptions::retain_per_run, on by default for compatibility).
+///
 /// Batched execution: with SweepOptions::batch = N, runs are tiled into
 /// ceil(runs / N) contiguous lane groups and a BatchScenario advances each
 /// group in lockstep (typically through the SoA engines in src/batch/).
-/// The merge is untouched — still a fold over per-run registries in index
-/// order — so a batched sweep's report is byte-identical to the scalar
-/// sweep whenever each lane's scenario is (the batch engines' determinism
-/// contract makes that hold bit-for-bit).
+/// The merge is untouched — still a fold in index order — so a batched
+/// sweep's report is byte-identical to the scalar sweep whenever each
+/// lane's scenario is.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "campaign/stream.hpp"
 #include "obs/health_report.hpp"
 #include "trace/metrics.hpp"
 
@@ -40,6 +48,23 @@ struct SweepOptions {
   /// run per item (the scalar tiling).  Ignored by the scalar Scenario
   /// overloads.
   std::size_t batch = 1;
+  /// Reorder window in runs for the streaming fold (0 = auto); bounds
+  /// buffered out-of-order state.  See campaign::StreamOptions::window.
+  std::size_t window = 0;
+  /// Scheduler placement chunk in groups (0 = auto).
+  std::size_t chunk = 0;
+  /// Work stealing between worker deques (on by default).  Off plus
+  /// contiguous placement reproduces classic static tiling — the measured
+  /// baseline, not the shipping configuration.
+  bool stealing = true;
+  /// Contiguous (static-tiling) placement instead of the default cyclic
+  /// deal; see campaign::Placement.
+  bool contiguous = false;
+  /// Keep Result::per_run / per_run_health populated (O(runs) memory).
+  /// Campaign-scale callers turn this off and consume the merged fold.
+  bool retain_per_run = true;
+  /// Optional live progress counters shared with an observer.
+  obs::CampaignProgress* progress = nullptr;
 };
 
 class SweepRunner {
@@ -73,6 +98,7 @@ class SweepRunner {
 
   struct Result {
     trace::MetricsRegistry merged;  ///< index-order fold of all runs
+    /// Populated only with SweepOptions::retain_per_run (the default).
     std::vector<trace::MetricsRegistry> per_run;
     /// Merged health report (HealthScenario runs only): same index-order
     /// fold, so histograms/percentiles and anomaly counts are byte-
@@ -82,6 +108,9 @@ class SweepRunner {
     std::size_t runs = 0;
     std::size_t threads_used = 0;
     double wall_ms = 0.0;  ///< wall clock (informational; not merged)
+    /// Scheduler telemetry (steals, window waits, reorder-buffer peak).
+    /// Informational — never folded into merged outputs.
+    campaign::StreamStats sched;
   };
 
   /// Executes \p runs scenario instances and merges their metrics.
@@ -92,16 +121,18 @@ class SweepRunner {
   /// per-run report, so its `runs` counts the sweep points).
   Result run(std::size_t runs, const HealthScenario& scenario) const;
 
-  /// Batched variants: the work items handed to the pool are lane groups
-  /// of SweepOptions::batch consecutive runs.  Per-run registries and the
-  /// index-order merge are identical to the scalar overloads, so thread
-  /// count and batch width never change the merged report.
+  /// Batched variants: the work items handed to the scheduler are lane
+  /// groups of SweepOptions::batch consecutive runs.  Per-run registries
+  /// and the index-order merge are identical to the scalar overloads, so
+  /// thread count and batch width never change the merged report.
   Result run(std::size_t runs, const BatchScenario& scenario) const;
   Result run(std::size_t runs, const BatchHealthScenario& scenario) const;
 
   std::size_t threads() const { return options_.threads; }
 
  private:
+  campaign::StreamOptions stream_options(std::size_t batch) const;
+
   SweepOptions options_;
 };
 

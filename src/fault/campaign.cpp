@@ -51,23 +51,6 @@ void json_histogram(std::ostream& os, const obs::LatencyHistogram& h) {
 constexpr const char kSitePrefix[] = "fault.";
 constexpr const char kInjectedSuffix[] = ".injected";
 
-/// Campaign bookkeeping of one finished run: the fault counters and
-/// campaign.* markers every run records regardless of how it executed.
-/// Shared by the scalar and the batched path so the two produce the same
-/// per-run registries byte for byte.
-void finalize_run(const FaultInjector& injector, bool recovered,
-                  trace::MetricsRegistry& metrics) {
-  injector.export_metrics(metrics);
-  metrics.counter("campaign.runs").increment();
-  if (!recovered) {
-    metrics.counter("campaign.unrecovered").increment();
-  }
-  metrics.counter("campaign.faults_injected").value +=
-      injector.total_injected();
-  metrics.counter("campaign.fault_opportunities").value +=
-      injector.total_opportunities();
-}
-
 CampaignReport assemble_report(const CampaignOptions& opts,
                                const exec::SweepRunner::Result& result) {
   CampaignReport report;
@@ -90,12 +73,30 @@ CampaignReport assemble_report(const CampaignOptions& opts,
   }
   for (std::size_t i = 0; i < report.per_run.size(); ++i) {
     const auto* c = report.per_run[i].find_counter("campaign.unrecovered");
-    if (c && c->value > 0) report.unrecovered_runs.push_back(i);
+    if (c && c->value > 0) {
+      report.unrecovered_runs.push_back(i);
+      if (i < report.per_run_health.size()) {
+        report.unrecovered_health.emplace(i, report.per_run_health[i]);
+      }
+    }
   }
   return report;
 }
 
 }  // namespace
+
+void finalize_run_bookkeeping(const FaultInjector& injector, bool recovered,
+                              trace::MetricsRegistry& metrics) {
+  injector.export_metrics(metrics);
+  metrics.counter("campaign.runs").increment();
+  if (!recovered) {
+    metrics.counter("campaign.unrecovered").increment();
+  }
+  metrics.counter("campaign.faults_injected").value +=
+      injector.total_injected();
+  metrics.counter("campaign.fault_opportunities").value +=
+      injector.total_opportunities();
+}
 
 CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
   exec::SweepRunner runner({options_.threads});
@@ -109,7 +110,7 @@ CampaignReport CampaignRunner::run(const CampaignScenario& scenario) const {
             FaultInjector injector(run_seed(opts.seed, index), opts.plan);
             RunContext ctx{index, injector.seed(), injector, metrics, health};
             const bool recovered = scenario(ctx);
-            finalize_run(injector, recovered, metrics);
+            finalize_run_bookkeeping(injector, recovered, metrics);
           }));
   return assemble_report(opts, result);
 }
@@ -143,7 +144,7 @@ CampaignReport CampaignRunner::run(
             scenario(std::span<RunContext>(lanes),
                      std::span<bool>(rec.get(), width));
             for (std::size_t k = 0; k < width; ++k) {
-              finalize_run(injectors[k], rec[k], metrics[k]);
+              finalize_run_bookkeeping(injectors[k], rec[k], metrics[k]);
             }
           }));
   return assemble_report(opts, result);
@@ -236,8 +237,15 @@ std::string CampaignReport::to_json() const {
   os << ",\"unrecovered_dumps\":[";
   first = true;
   for (std::size_t index : unrecovered_runs) {
-    if (index >= per_run_health.size()) continue;
-    for (const auto& dump : per_run_health[index].dumps) {
+    const obs::HealthReport* hr = nullptr;
+    if (auto hit = unrecovered_health.find(index);
+        hit != unrecovered_health.end()) {
+      hr = &hit->second;
+    } else if (index < per_run_health.size()) {
+      hr = &per_run_health[index];
+    }
+    if (hr == nullptr) continue;
+    for (const auto& dump : hr->dumps) {
       if (!first) os << ",";
       first = false;
       os << "\n{\"run\":" << index << ",\"trigger\":\""

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,6 +64,15 @@ using CampaignScenario = std::function<bool(RunContext&)>;
 using BatchCampaignScenario =
     std::function<void(std::span<RunContext> lanes, std::span<bool> recovered)>;
 
+/// Campaign bookkeeping of one finished run: exports the injector's
+/// per-site counters and records the campaign.* markers
+/// (runs/unrecovered/faults_injected/fault_opportunities) into \p metrics.
+/// Every execution path — scalar, batched, streaming engine — funnels
+/// through this one function so per-run registries are byte-identical
+/// across all of them.
+void finalize_run_bookkeeping(const FaultInjector& injector, bool recovered,
+                              trace::MetricsRegistry& metrics);
+
 struct CampaignReport {
   std::string name;
   std::uint64_t seed = 0;
@@ -75,6 +85,11 @@ struct CampaignReport {
 
   std::uint64_t unrecovered = 0;
   std::vector<std::size_t> unrecovered_runs;  ///< run indices, ascending
+  /// Health reports of the unrecovered runs only, keyed by run index —
+  /// what to_json()'s unrecovered_dumps section reads.  The streaming
+  /// campaign engine retains just these (O(unrecovered), not O(runs));
+  /// the retained runner fills them from per_run_health.
+  std::map<std::size_t, obs::HealthReport> unrecovered_health;
   std::uint64_t faults_injected = 0;
   std::uint64_t fault_opportunities = 0;
 

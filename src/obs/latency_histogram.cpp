@@ -86,6 +86,20 @@ bool LatencyHistogram::merge(const LatencyHistogram& other) {
   return true;
 }
 
+LatencyHistogram LatencyHistogram::from_raw(Config config,
+                                            std::vector<std::uint64_t> counts,
+                                            std::uint64_t count, double sum,
+                                            double min, double max) {
+  LatencyHistogram h(config);
+  if (counts.size() != h.counts_.size()) return h;
+  h.counts_ = std::move(counts);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
 void LatencyHistogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;

@@ -93,6 +93,19 @@ class LatencyHistogram {
   const Config& config() const { return config_; }
   std::size_t bucket_count() const { return counts_.size(); }
 
+  /// Raw bucket counts (campaign checkpoints serialize these; together
+  /// with count()/sum()/min()/max() they are the histogram's full state).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Rebuilds a histogram from raw state previously read off
+  /// bucket_counts()/count()/sum()/min()/max().  A counts vector whose size
+  /// does not match \p config's bucket count yields an empty histogram
+  /// (defensive: checkpoint payloads are untrusted input).
+  static LatencyHistogram from_raw(Config config,
+                                   std::vector<std::uint64_t> counts,
+                                   std::uint64_t count, double sum,
+                                   double min, double max);
+
   /// Upper bound of the worst-case relative quantile error: one sub-bucket
   /// width relative to its octave base.
   double relative_error_bound() const {

@@ -103,6 +103,40 @@ class TimingMonitor {
   /// One-line state snapshot (flight-recorder dumps, reports).
   std::string state_line(const std::string& name) const;
 
+  /// Full serializable state — what a campaign checkpoint needs to rebuild
+  /// the monitor exactly (the jitter seam fields included, so a resumed
+  /// fold is bit-identical to an uninterrupted one).
+  struct RawState {
+    Config config;
+    LatencyHistogram response_us;
+    LatencyHistogram exec_us;
+    LatencyHistogram jitter_us;
+    std::uint64_t activations = 0;
+    std::uint64_t deadline_misses = 0;
+    sim::SimTime last_miss_time = 0;
+    sim::SimTime prev_start = 0;
+    bool have_prev = false;
+  };
+
+  RawState raw() const {
+    return RawState{config_,           response_us_,      exec_us_,
+                    jitter_us_,        activations_,      deadline_misses_,
+                    last_miss_time_,   prev_start_,       have_prev_};
+  }
+
+  static TimingMonitor from_raw(RawState state) {
+    TimingMonitor m(state.config);
+    m.response_us_ = std::move(state.response_us);
+    m.exec_us_ = std::move(state.exec_us);
+    m.jitter_us_ = std::move(state.jitter_us);
+    m.activations_ = state.activations;
+    m.deadline_misses_ = state.deadline_misses;
+    m.last_miss_time_ = state.last_miss_time;
+    m.prev_start_ = state.prev_start;
+    m.have_prev_ = state.have_prev;
+    return m;
+  }
+
  private:
   Config config_;
   LatencyHistogram response_us_;

@@ -34,6 +34,21 @@ class WatermarkMonitor {
     return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
   }
   std::uint64_t samples() const { return samples_; }
+  /// Raw running sum (campaign checkpoints serialize it alongside
+  /// current/peak/low/samples — the monitor's full state).
+  double sum() const { return sum_; }
+
+  /// Rebuilds a monitor from raw state (checkpoint round-trip).
+  static WatermarkMonitor from_raw(double current, double peak, double low,
+                                   double sum, std::uint64_t samples) {
+    WatermarkMonitor m;
+    m.current_ = current;
+    m.peak_ = peak;
+    m.low_ = low;
+    m.sum_ = sum;
+    m.samples_ = samples;
+    return m;
+  }
 
   /// Deterministic fold (sweep merge): peak/low combine, sums add; the
   /// merged `current` keeps this monitor's last observation.

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/fold.hpp"
+#include "campaign/stream.hpp"
 #include "exec/sweep.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/export.hpp"
@@ -145,6 +147,80 @@ TEST(SweepDeterminismTest, RepeatedParallelRunsAgree) {
   const auto a = runner.run(8, scenario_run);
   const auto b = runner.run(8, scenario_run);
   EXPECT_EQ(a.merged.to_csv(), b.merged.to_csv());
+}
+
+TEST(StreamDeterminismTest, RandomizedFoldOrdersYieldSequentialMerge) {
+  // The streaming fold must produce the same merged registry as the
+  // sequential index-order fold no matter what order groups arrive in —
+  // 50 Lcg-randomized permutations of uneven-sized groups.
+  using iecd::campaign::GroupResult;
+  using iecd::campaign::ReorderFold;
+
+  const std::size_t kRuns = 24;
+  iecd::trace::MetricsRegistry expected;
+  for (std::size_t i = 0; i < kRuns; ++i) scenario_run(i, expected);
+
+  // Uneven group tiling of [0, kRuns).
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t first = 0, w = 1; first < kRuns;
+       first += w, w = (w % 5) + 1) {
+    groups.emplace_back(first, std::min(w, kRuns - first));
+  }
+
+  Lcg rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto order = groups;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next(i)]);
+    }
+    iecd::trace::MetricsRegistry merged;
+    ReorderFold fold(0, kRuns, [&merged](GroupResult& g) {
+      for (auto& m : g.metrics) merged.merge(m);
+    });
+    for (const auto& [first, size] : order) {
+      auto g = std::make_unique<GroupResult>();
+      g->first = first;
+      g->metrics.resize(size);
+      g->health.resize(size);
+      for (std::size_t k = 0; k < size; ++k) {
+        scenario_run(first + k, g->metrics[k]);
+      }
+      fold.submit(std::move(g));
+    }
+    ASSERT_EQ(fold.watermark(), kRuns) << "trial " << trial;
+    EXPECT_EQ(merged.to_csv(), expected.to_csv()) << "trial " << trial;
+  }
+}
+
+TEST(StreamDeterminismTest, WorkStealingMergeIsByteIdenticalToSequential) {
+  using iecd::campaign::GroupResult;
+  using iecd::campaign::StreamOptions;
+  using iecd::campaign::StreamRunner;
+
+  const std::size_t kRuns = 24;
+  auto group_fn = [](std::size_t first,
+                     std::span<iecd::trace::MetricsRegistry> metrics,
+                     std::span<iecd::obs::HealthReport>) {
+    for (std::size_t k = 0; k < metrics.size(); ++k) {
+      scenario_run(first + k, metrics[k]);
+    }
+  };
+  auto merged_csv = [&](StreamOptions opts) {
+    iecd::trace::MetricsRegistry merged;
+    StreamRunner runner(opts);
+    runner.run(kRuns, group_fn,
+               [&merged](GroupResult& g) {
+                 for (auto& m : g.metrics) merged.merge(m);
+               });
+    return merged.to_csv();
+  };
+
+  const std::string seq = merged_csv(StreamOptions{.threads = 1});
+  // Steal-heavy (chunk 1) and batched configurations all agree.
+  EXPECT_EQ(merged_csv(StreamOptions{.threads = 4, .chunk = 1}), seq);
+  EXPECT_EQ(merged_csv(StreamOptions{.threads = 3, .batch = 4}), seq);
+  EXPECT_EQ(merged_csv(StreamOptions{.threads = 2, .batch = 5, .window = 11}),
+            seq);
 }
 
 TEST(EventQueueDeterminismTest, MatchesReferenceSchedulerWithTiesAndCancels) {

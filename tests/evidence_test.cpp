@@ -141,7 +141,7 @@ TEST(EvidenceHash, CellHashDeterministicAndSensitive) {
 
 TEST(EvidenceSchema, BuiltinEncodeDecodeRoundTrip) {
   const auto& reg = SchemaRegistry::builtin();
-  EXPECT_EQ(reg.size(), 11u);
+  EXPECT_EQ(reg.size(), 12u);  // + kSchemaCampaignCheckpoint
   for (const auto& [id, schema] : reg.schemas()) {
     std::vector<std::uint8_t> cell;
     SchemaRegistry::encode(schema, cell);

@@ -8,7 +8,13 @@
 //
 // Both sweeps (plus the reference run) fan out through exec::SweepRunner;
 // results are read back per-run in index order, so the tables match a
-// sequential execution byte for byte.
+// sequential execution byte for byte.  The rig itself executes on the
+// co-simulation master (src/cosim/) since the distributed rebase; the
+// regression suite locks its metrics to the monolithic goldens.
+//
+// Workload overrides (bench_util.hpp): --threads=N sets the sweep fan-out
+// width, --runs=N repeats every point N times (throughput measurement —
+// the runs/s column scales accordingly; metrics are identical per repeat).
 #include <cstdio>
 #include <string>
 
@@ -28,6 +34,14 @@ constexpr std::size_t kTrafficCount = std::size(kTrafficRates);
 // Scenario index layout: 0 = reference, then bit rates, then traffic rates.
 constexpr std::size_t kPointCount = 1 + kBitrateCount + kTrafficCount;
 
+// Three MCU nodes share the bus (sensor, controller, actuator) — the
+// summary key the E15 cosim bench scales past.
+constexpr double kNodeCount = 3.0;
+
+std::size_t point_repeats() {
+  return bench::overrides().runs > 0 ? bench::overrides().runs : 1;
+}
+
 core::DistributedConfig base_config() {
   core::DistributedConfig cfg;
   cfg.duration_s = bench::smoke() ? 0.3 : 2.0;
@@ -41,7 +55,17 @@ void run_point(std::size_t index, trace::MetricsRegistry& m) {
   } else if (index > kBitrateCount) {
     cfg.background_frames_per_s = kTrafficRates[index - 1 - kBitrateCount];
   }
-  const auto r = core::run_distributed_servo(cfg);
+  const std::size_t reps = point_repeats();
+  bench::Stopwatch watch;
+  core::DistributedResult r = core::run_distributed_servo(cfg);
+  for (std::size_t rep = 1; rep < reps; ++rep) {
+    r = core::run_distributed_servo(cfg);  // deterministic: identical runs
+  }
+  m.gauge("wall_ms") = watch.elapsed_ms();
+  m.gauge("runs_per_s") = m.gauge("wall_ms") > 0.0
+                              ? 1000.0 * static_cast<double>(reps) /
+                                    m.gauge("wall_ms")
+                              : 0.0;
   m.gauge("iae") = r.iae;
   m.gauge("lat_mean") = r.loop_latency_us_mean;
   m.gauge("lat_max") = r.loop_latency_us_max;
@@ -62,7 +86,11 @@ void print_table() {
   std::printf("E10: distributed servo over CAN (sensor/controller/actuator "
               "nodes)\n\n");
 
-  exec::SweepRunner runner;
+  exec::SweepOptions opts;
+  if (bench::overrides().threads > 0) {
+    opts.threads = bench::overrides().threads;
+  }
+  exec::SweepRunner runner(opts);
   bench::Stopwatch sw;
   const auto res = runner.run(kPointCount, run_point);
   const double wall_ms = sw.elapsed_ms();
@@ -74,27 +102,31 @@ void print_table() {
 
   std::printf("reference (500 kbit/s, idle bus): IAE %.3f, latency %.0f us "
               "mean / %.0f us p99, %.0f/%.0f deadline misses, %.1f "
-              "events/frame\n\n",
+              "events/frame, %.1f runs/s\n\n",
               g(0, "iae"), g(0, "lat_mean"), g(0, "lat_p99"),
-              g(0, "misses"), g(0, "loops"), g(0, "events_per_frame"));
+              g(0, "misses"), g(0, "loops"), g(0, "events_per_frame"),
+              g(0, "runs_per_s"));
+  bench::summarize("nodes", kNodeCount);
   bench::summarize("ref.iae", g(0, "iae"));
   bench::summarize("ref.latency_us", g(0, "lat_mean"));
   bench::summarize("ref.latency_us_p99", g(0, "lat_p99"));
   bench::summarize("ref.deadline_misses", g(0, "misses"));
   bench::summarize("ref.loops", g(0, "loops"));
   bench::summarize("ref.events_per_frame", g(0, "events_per_frame"));
+  bench::summarize("ref.runs_per_s", g(0, "runs_per_s"));
 
   std::printf("(a) bus bit-rate sweep\n\n");
-  std::printf("%-10s | %-10s %-14s %-12s %-8s %-10s %-9s\n", "bitrate",
+  std::printf("%-10s | %-10s %-14s %-12s %-8s %-10s %-9s %-9s\n", "bitrate",
               "IAE", "latency[us]", "bus busy[%]", "misses", "over[%]",
-              "settled");
-  bench::print_rule(82);
+              "settled", "runs/s");
+  bench::print_rule(92);
   for (std::size_t b = 0; b < kBitrateCount; ++b) {
     const std::size_t i = 1 + b;
-    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.2f %s\n",
+    std::printf("%-10u | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.2f "
+                "%-9s %-9.1f\n",
                 kBitrates[b], g(i, "iae"), g(i, "lat_mean"), g(i, "lat_max"),
                 g(i, "busy") * 100.0, g(i, "misses"), g(i, "overshoot"),
-                g(i, "settled") != 0.0 ? "yes" : "NO");
+                g(i, "settled") != 0.0 ? "yes" : "NO", g(i, "runs_per_s"));
     const std::string key = "can." + std::to_string(kBitrates[b]);
     bench::summarize(key + ".iae", g(i, "iae"));
     bench::summarize(key + ".latency_us", g(i, "lat_mean"));
@@ -104,16 +136,18 @@ void print_table() {
 
   std::printf("\n(b) background traffic sweep (higher-priority frames, "
               "500 kbit/s)\n\n");
-  std::printf("%-12s | %-10s %-14s %-12s %-8s %-10s %-9s\n", "frames/s",
+  std::printf("%-12s | %-10s %-14s %-12s %-8s %-10s %-9s %-9s\n", "frames/s",
               "IAE", "latency[us]", "bus busy[%]", "misses", "overruns",
-              "settled");
-  bench::print_rule(84);
+              "settled", "runs/s");
+  bench::print_rule(94);
   for (std::size_t t = 0; t < kTrafficCount; ++t) {
     const std::size_t i = 1 + kBitrateCount + t;
-    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.0f %s\n",
+    std::printf("%-12.0f | %-10.3f %6.0f/%-6.0f %-12.1f %-8.0f %-10.0f "
+                "%-9s %-9.1f\n",
                 kTrafficRates[t], g(i, "iae"), g(i, "lat_mean"),
                 g(i, "lat_max"), g(i, "busy") * 100.0, g(i, "misses"),
-                g(i, "overruns"), g(i, "settled") != 0.0 ? "yes" : "NO");
+                g(i, "overruns"), g(i, "settled") != 0.0 ? "yes" : "NO",
+                g(i, "runs_per_s"));
     const std::string key =
         "traffic." + std::to_string(static_cast<int>(kTrafficRates[t]));
     bench::summarize(key + ".iae", g(i, "iae"));

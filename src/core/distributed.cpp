@@ -4,7 +4,10 @@
 #include <cmath>
 #include <map>
 #include <numbers>
+#include <optional>
 
+#include "cosim/master.hpp"
+#include "cosim/nodes.hpp"
 #include "util/statistics.hpp"
 
 namespace iecd::core {
@@ -24,14 +27,33 @@ std::uint16_t get_u16(const sim::CanPayload& data, std::size_t offset) {
 
 }  // namespace
 
+// The rig runs on the co-simulation master (src/cosim/) as a 2-component
+// topology plus background chatter:
+//
+//   plant_rig  : sensor MCU + actuator MCU + motor + encoder + probe (the
+//                tightly coupled physical side stays in ONE world, so the
+//                PWM->motor and shaft->QDEC couplings never cross a
+//                boundary)
+//   controller : the controller MCU alone
+//   chatter    : lightweight traffic generator (model fidelity)
+//
+// The only cross-component interaction is CAN frames over the shared-bus
+// coupling; the step-negotiation loop advances each component exactly to
+// the global next-event time, so every ISR, frame delivery and probe fires
+// at the same absolute instant as in the former monolithic single-world
+// implementation — the distributed regression test locks the metrics to
+// the monolithic goldens bit-for-bit.
 DistributedResult run_distributed_servo(const DistributedConfig& config) {
-  sim::World world;
-  sim::CanBus bus(world, config.can_bitrate);
+  cosim::SharedCanBus bus("can0", config.can_bitrate);
+  cosim::WorldComponent rig("plant_rig");
+  cosim::WorldComponent ctrl_component("controller");
+  sim::World& rig_world = rig.world();
+  sim::World& ctrl_world = ctrl_component.world();
 
   const auto& derivative = mcu::find_derivative(mcu::kDefaultDerivative);
-  mcu::Mcu sensor_mcu(world, derivative, "sensor_node");
-  mcu::Mcu ctrl_mcu(world, derivative, "controller_node");
-  mcu::Mcu act_mcu(world, derivative, "actuator_node");
+  mcu::Mcu sensor_mcu(rig_world, derivative, "sensor_node");
+  mcu::Mcu ctrl_mcu(ctrl_world, derivative, "controller_node");
+  mcu::Mcu act_mcu(rig_world, derivative, "actuator_node");
 
   // --- Sensor node: QDEC + periodic broadcast -------------------------
   beans::BeanProject sensor_project("sensor");
@@ -49,7 +71,7 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
     throw std::runtime_error("distributed sensor node: " + diags.to_string());
   }
   sensor_project.bind(sensor_mcu);
-  sensor_can.peripheral()->connect(bus);
+  bus.attach_controller(*sensor_can.peripheral());  // bus node 0
 
   // Latency instrumentation (simulation-side, not application code).
   std::map<std::uint8_t, sim::SimTime> sample_sent_at;
@@ -68,7 +90,7 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
     frame.id = DistributedConfig::kSensorFrameId;
     put_u16(frame.data, static_cast<std::uint16_t>(sensor_pos));
     frame.data.push_back(sensor_seq);
-    sample_sent_at[sensor_seq] = world.now();
+    sample_sent_at[sensor_seq] = rig_world.now();
     ++sensor_seq;
     sensor_can.SendFrame(frame);
   };
@@ -86,7 +108,7 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
   }
   ctrl_project.validate();
   ctrl_project.bind(ctrl_mcu);
-  ctrl_can.peripheral()->connect(bus);
+  bus.attach_controller(*ctrl_can.peripheral());  // bus node 1
 
   const double counts_per_rev = config.encoder_lines * 4.0;
   const double speed_gain =
@@ -118,7 +140,7 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
     ++filt_idx;
     const double smoothed = (filt[0] + filt[1] + filt[2] + filt[3]) / 4.0;
 
-    const double t = sim::to_seconds(world.now());
+    const double t = sim::to_seconds(ctrl_world.now());
     const double sp = t >= config.setpoint_time ? config.setpoint : 0.0;
     const double error = sp - smoothed;
     const double unsat = config.kp * error + integral;
@@ -151,7 +173,7 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
   }
   act_project.validate();
   act_project.bind(act_mcu);
-  act_can.peripheral()->connect(bus);
+  bus.attach_controller(*act_can.peripheral());  // bus node 2
   pwm.Enable();
 
   std::uint16_t duty_raw = 0;
@@ -173,66 +195,62 @@ DistributedResult run_distributed_servo(const DistributedConfig& config) {
     pwm.SetRatio16(duty_raw);
     const auto it = sample_sent_at.find(act_seq);
     if (it != sample_sent_at.end()) {
-      loop_latency_us.add(sim::to_microseconds(world.now() - it->second));
+      loop_latency_us.add(sim::to_microseconds(rig_world.now() - it->second));
       sample_sent_at.erase(it);
     }
   };
   act_can.set_event_handler("OnReceive", std::move(act_rx));
 
   // --- Plant: motor on the actuator's PWM, encoder on the sensor ------
-  plant::DcMotorSim motor(world, config.motor);
+  plant::DcMotorSim motor(rig_world, config.motor);
   motor.drive_from_duty(&pwm.peripheral()->average_output());
   plant::IncrementalEncoder encoder(
-      world, motor, *qd.peripheral(),
+      rig_world, motor, *qd.peripheral(),
       {config.encoder_lines, sim::microseconds(50)});
   encoder.start();
 
   // --- Background chatter (higher-priority frames) --------------------
-  sim::CanBus::NodeId chatter = -1;
-  std::uint64_t background_sent = 0;
+  std::optional<cosim::TrafficGenNode> chatter;
   if (config.background_frames_per_s > 0) {
-    chatter = bus.attach_node("chatter", nullptr);
-    const auto interval =
-        sim::from_seconds(1.0 / config.background_frames_per_s);
-    // Self-rescheduling closure via a shared holder.
-    auto tick = std::make_shared<std::function<void()>>();
-    *tick = [&world, &bus, chatter, interval, &background_sent, tick] {
-      sim::CanFrame noise;
-      noise.id = DistributedConfig::kBackgroundFrameId;
-      noise.data.assign(8, 0xAA);
-      bus.transmit(chatter, noise);
-      ++background_sent;
-      world.queue().schedule_in(interval, *tick);
-    };
-    world.queue().schedule_in(interval, *tick);
+    cosim::TrafficGenNode::Config traffic;
+    traffic.frame_id = DistributedConfig::kBackgroundFrameId;
+    traffic.frames_per_s = config.background_frames_per_s;
+    chatter.emplace("chatter", traffic, bus);  // bus node 3
   }
 
   // --- Probe + run ----------------------------------------------------
   DistributedResult result;
   const sim::SimTime period = sim::from_seconds(config.period_s);
   auto probe = std::make_shared<std::function<void()>>();
-  *probe = [&world, &motor, &result, period, probe] {
-    result.speed.record(sim::to_seconds(world.now()),
-                        motor.speed_at(world.now()));
-    world.queue().schedule_in(period, *probe);
+  *probe = [&rig_world, &motor, &result, period, probe] {
+    result.speed.record(sim::to_seconds(rig_world.now()),
+                        motor.speed_at(rig_world.now()));
+    rig_world.queue().schedule_in(period, *probe);
   };
-  world.queue().schedule_in(period, *probe);
+  rig_world.queue().schedule_in(period, *probe);
 
   timer.Enable();
-  world.run_for(sim::from_seconds(config.duration_s));
+
+  cosim::Master master;
+  master.add_coupling(bus);
+  master.add(rig);
+  master.add(ctrl_component);
+  if (chatter) master.add(*chatter);
+  const cosim::MasterStats stats =
+      master.run_until(sim::from_seconds(config.duration_s));
 
   result.metrics = model::analyze_step(result.speed, config.setpoint,
                                        config.setpoint_time);
   result.iae =
       model::integral_absolute_error(result.speed, config.setpoint);
-  result.events_executed = world.queue().events_executed();
-  result.frames_delivered = bus.stats().frames_delivered;
+  result.events_executed = stats.events_executed;
+  result.frames_delivered = bus.can().stats().frames_delivered;
   result.sensor_frames = sensor_can.peripheral()->frames_sent();
   result.actuator_frames = ctrl_can.peripheral()->frames_sent();
-  result.background_frames = background_sent;
+  result.background_frames = chatter ? chatter->sent() : 0;
   result.controller_rx_overruns = ctrl_can.peripheral()->overruns();
   result.bus_utilisation =
-      bus.stats().utilisation(sim::from_seconds(config.duration_s));
+      bus.can().stats().utilisation(sim::from_seconds(config.duration_s));
   result.loop_latency_us_mean = loop_latency_us.mean();
   result.loop_latency_us_max = loop_latency_us.max();
   result.loop_latency_us_p99 = loop_latency_us.percentile(99.0);

@@ -15,6 +15,14 @@
 /// Every hop inherits CAN arbitration and wire time, so bus bit rate and
 /// background traffic degrade the loop exactly the way the cited
 /// networked-control literature describes.
+///
+/// Since the co-simulation master landed (src/cosim/) the rig executes as
+/// a 2-component topology — plant rig (sensor + actuator MCUs, motor,
+/// encoder) and controller — coupled only by CAN frames over a
+/// SharedCanBus, plus a model-fidelity chatter node.  The step-negotiation
+/// loop reproduces the former monolithic single-world execution exactly;
+/// the regression test in tests/distributed_test.cpp locks the metrics to
+/// the monolithic goldens bit-for-bit.
 #pragma once
 
 #include <memory>

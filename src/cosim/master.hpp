@@ -1,0 +1,68 @@
+/// \file master.hpp
+/// The co-simulation master: composes independently stepped components
+/// (component.hpp) and shared-bus couplings (bus.hpp) and advances them
+/// with a step-negotiation loop, FMI-master style:
+///
+///   1. every component (couplings included) advertises its next event
+///      horizon;
+///   2. the master picks the minimum t*;
+///   3. couplings advance to t* first (so node transmits during this
+///      boundary land on a bus clock that already reads t*), then every
+///      component whose horizon is due advances to exactly t*;
+///   4. couplings exchange: buffered bus deliveries are re-scheduled into
+///      their destination components at the exact delivery time.
+///
+/// Determinism & exactness contract: components execute events only at
+/// negotiated boundaries (advance_to(t*) never runs an event later than
+/// t*, and anything scheduled beyond t* becomes a future horizon), so the
+/// composed system replays the same global event ordering on every run —
+/// independent of component registration order for any components that do
+/// not interact at identical timestamps, and in a fixed, documented order
+/// (couplings first, then components in registration order) when they do.
+/// The master is single-threaded per run; campaign/sweep parallelism
+/// fans out whole masters, one per run, exactly like every other scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cosim/bus.hpp"
+#include "cosim/component.hpp"
+
+namespace iecd::cosim {
+
+struct MasterStats {
+  std::uint64_t negotiations = 0;     ///< boundary iterations executed
+  std::uint64_t component_steps = 0;  ///< advance_to calls that were due
+  std::uint64_t events_executed = 0;  ///< summed over all components
+  sim::SimTime end_time = 0;          ///< final negotiated time
+  /// Largest single negotiated step (diagnostic for the horizon quality).
+  sim::SimTime max_step = 0;
+};
+
+class Master {
+ public:
+  /// Registers a coupling (advanced first each boundary, exchanged last).
+  /// Non-owning, like sim::World::attach — topology builders own parts.
+  void add_coupling(SharedCanBus& bus) { couplings_.push_back(&bus); }
+
+  /// Registers an ordinary component.  Registration order is the (only)
+  /// tie-break for same-boundary execution; keep it fixed per topology.
+  void add(Component& component) { components_.push_back(&component); }
+
+  const std::vector<Component*>& components() const { return components_; }
+  const std::vector<SharedCanBus*>& couplings() const { return couplings_; }
+
+  /// Runs the negotiation loop until every horizon lies beyond \p end,
+  /// then advances everything to exactly \p end.
+  MasterStats run_until(sim::SimTime end);
+
+ private:
+  sim::SimTime min_horizon() const;
+
+  std::vector<SharedCanBus*> couplings_;
+  std::vector<Component*> components_;
+};
+
+}  // namespace iecd::cosim

@@ -1,0 +1,216 @@
+#include "cosim/nodes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "mcu/derivative.hpp"
+#include "util/diagnostics.hpp"
+
+namespace iecd::cosim {
+
+namespace {
+
+void put_u16(sim::CanPayload& data, std::uint16_t v) {
+  data.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  data.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const sim::CanPayload& data, std::size_t offset) {
+  return static_cast<std::uint16_t>(data[offset] | (data[offset + 1] << 8));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- ServoNode
+
+ServoNode::ServoNode(std::string name, std::size_t index,
+                     const ServoNodeConfig& config, SharedCanBus& bus)
+    : WorldComponent(std::move(name)),
+      index_(index),
+      config_(config),
+      mcu_(world(), mcu::find_derivative(mcu::kDefaultDerivative),
+           this->name() + "_mcu"),
+      project_(this->name()) {
+  // A degraded node runs the same firmware on a stretched timer, and its
+  // speed estimate is calibrated from that stretched period — degradation
+  // costs loop bandwidth, not steady-state accuracy.
+  period_s_ = config_.period_s * std::max(1.0, config_.period_factor);
+  const double counts_per_rev = config_.encoder_lines * 4.0;
+  speed_gain_ = 2.0 * std::numbers::pi / (counts_per_rev * period_s_);
+
+  qd_ = &project_.add<beans::QuadDecBean>("QD1");
+  pwm_ = &project_.add<beans::PwmBean>("PWM1");
+  timer_ = &project_.add<beans::TimerIntBean>("TI1");
+  can_ = &project_.add<beans::CanBean>("CAN1");
+  {
+    util::DiagnosticList d;
+    qd_->set_property("encoder_lines",
+                      static_cast<std::int64_t>(config_.encoder_lines), d);
+    timer_->set_property("period_s", period_s_, d);
+    can_->set_property("acceptance_id",
+                       static_cast<std::int64_t>(config_.command_frame_id), d);
+    can_->set_property("acceptance_mask", std::int64_t{0x7FF}, d);
+  }
+  auto diags = project_.validate();
+  if (diags.has_errors()) {
+    throw std::runtime_error(this->name() + ": " + diags.to_string());
+  }
+  project_.bind(mcu_);
+  bus.attach_controller(*can_->peripheral());
+  pwm_->Enable();
+
+  motor_ = std::make_unique<plant::DcMotorSim>(world(), config_.motor);
+  motor_->drive_from_duty(&pwm_->peripheral()->average_output());
+  encoder_ = std::make_unique<plant::IncrementalEncoder>(
+      world(), *motor_, *qd_->peripheral(),
+      plant::EncoderParams{config_.encoder_lines, sim::microseconds(50)},
+      this->name());
+  encoder_->start();
+
+  mcu::IsrHandler tick;
+  tick.name = "ctrl_tick";
+  tick.body = [this]() -> std::uint64_t {
+    release_ += sim::from_seconds(period_s_);
+    body_start_ = world().now();
+    const auto pos = static_cast<std::int16_t>(qd_->GetPosition());
+    const double counts = static_cast<double>(pos);
+    double speed = 0.0;
+    if (have_prev_) {
+      speed = std::remainder(counts - prev_counts_, 65536.0) * speed_gain_;
+    }
+    prev_counts_ = counts;
+    have_prev_ = true;
+    filt_[filt_idx_ & 3] = speed;
+    ++filt_idx_;
+    smoothed_ = (filt_[0] + filt_[1] + filt_[2] + filt_[3]) / 4.0;
+
+    const double error = setpoint_ - smoothed_;
+    const double unsat = config_.kp * error + integral_;
+    duty_cmd_ = std::clamp(unsat, 0.0, 1.0);
+    integral_ += config_.ki * period_s_ *
+                 (error + (duty_cmd_ - unsat) / std::max(config_.kp, 1e-9));
+    return 900;  // read + speed estimate + PI, software floating point
+  };
+  tick.commit = [this] {
+    pwm_->SetRatio16(
+        static_cast<std::uint16_t>(std::lround(duty_cmd_ * 65535.0)));
+    ++control_ticks_;
+    if (config_.status_divider > 0 &&
+        control_ticks_ % static_cast<std::uint64_t>(config_.status_divider) ==
+            0) {
+      sim::CanFrame frame;
+      frame.id = config_.status_frame_base + static_cast<std::uint32_t>(index_);
+      const double bounded = std::clamp(smoothed_, -1000.0, 1000.0);
+      put_u16(frame.data, static_cast<std::uint16_t>(
+                              static_cast<std::int16_t>(
+                                  std::lround(bounded * 16.0))));
+      frame.data.push_back(status_seq_);
+      ++status_seq_;
+      can_->SendFrame(frame);
+      ++status_sent_;
+    }
+    if (monitor_ != nullptr) {
+      monitor_->record(release_, body_start_, world().now());
+    }
+  };
+  timer_->set_event_handler("OnInterrupt", std::move(tick));
+
+  mcu::IsrHandler rx;
+  rx.name = "cmd_rx";
+  rx.body = [this]() -> std::uint64_t {
+    const auto frame = can_->ReadFrame();
+    if (frame && frame->data.size() >= 2) {
+      setpoint_ = static_cast<double>(get_u16(frame->data, 0)) / 256.0;
+      ++commands_seen_;
+    }
+    return 60;
+  };
+  rx.commit = [] {};
+  can_->set_event_handler("OnReceive", std::move(rx));
+
+  timer_->Enable();
+}
+
+void ServoNode::kill_at(sim::SimTime when) {
+  killed_ = true;  // reporting flag; the event below does the damage
+  world().queue().schedule_at(when, [this] {
+    timer_->Disable();
+    pwm_->SetRatio16(0);
+  });
+}
+
+// ----------------------------------------------------------- SupervisorNode
+
+SupervisorNode::SupervisorNode(std::string name, Config config,
+                               SharedCanBus& bus, std::size_t servo_nodes)
+    : name_(std::move(name)), config_(config), bus_(&bus) {
+  port_ = bus.attach_model_port(
+      name_, [this](const sim::CanFrame& frame, sim::SimTime when) {
+        on_status(frame, when);
+      });
+  command_interval_ = sim::from_seconds(config_.command_period_s);
+  next_command_ = command_interval_;
+  last_status_.assign(servo_nodes, 0);
+}
+
+void SupervisorNode::advance_to(sim::SimTime t) {
+  while (next_command_ <= t) {
+    now_ = next_command_;
+    sim::CanFrame frame;
+    frame.id = config_.command_frame_id;
+    const double sp = sim::to_seconds(now_) >= config_.setpoint_time
+                          ? config_.setpoint
+                          : 0.0;
+    put_u16(frame.data,
+            static_cast<std::uint16_t>(std::lround(sp * 256.0)));
+    bus_->can().transmit(port_, frame);
+    ++commands_sent_;
+    next_command_ += command_interval_;
+  }
+  now_ = t;
+}
+
+void SupervisorNode::on_status(const sim::CanFrame& frame, sim::SimTime when) {
+  const std::uint32_t base = config_.status_frame_base;
+  if (frame.id < base || frame.id >= base + last_status_.size()) return;
+  last_status_[frame.id - base] = when;
+  ++statuses_seen_;
+}
+
+std::vector<std::size_t> SupervisorNode::stale_nodes(sim::SimTime now) const {
+  const sim::SimTime timeout = sim::from_seconds(config_.stale_timeout_s);
+  std::vector<std::size_t> stale;
+  for (std::size_t i = 0; i < last_status_.size(); ++i) {
+    if (now - last_status_[i] > timeout) stale.push_back(i);
+  }
+  return stale;
+}
+
+// ----------------------------------------------------------- TrafficGenNode
+
+TrafficGenNode::TrafficGenNode(std::string name, Config config,
+                               SharedCanBus& bus)
+    : name_(std::move(name)), config_(config), bus_(&bus) {
+  // Plain bus node with no receive path — identical wire behaviour to the
+  // monolithic E10 chatter node (null rx callback).
+  port_ = bus.can().attach_node(name_, nullptr);
+  if (config_.frames_per_s > 0.0) {
+    interval_ = sim::from_seconds(1.0 / config_.frames_per_s);
+    next_send_ = interval_;
+  }
+}
+
+void TrafficGenNode::advance_to(sim::SimTime t) {
+  while (next_send_ != sim::kNever && next_send_ <= t) {
+    sim::CanFrame frame;
+    frame.id = config_.frame_id;
+    frame.data.assign(config_.payload_len, config_.fill);
+    bus_->can().transmit(port_, frame);
+    ++sent_;  // per attempt, as in the monolithic chatter node
+    next_send_ += interval_;
+  }
+}
+
+}  // namespace iecd::cosim

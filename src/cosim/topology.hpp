@@ -1,0 +1,55 @@
+/// \file topology.hpp
+/// Declarative topology for the co-simulation master: buses, nodes and
+/// their attachments as plain data.  A builder (farm.hpp) turns a
+/// Topology into live components registered on a Master — construction
+/// order follows the spec order exactly, which fixes bus node indices
+/// (CAN arbitration tie-break) and the master's same-boundary execution
+/// order, so a topology value IS the determinism contract of the runs it
+/// produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cosim/nodes.hpp"
+
+namespace iecd::cosim {
+
+struct BusSpec {
+  std::string name;
+  std::uint32_t bitrate_bps = 500000;
+};
+
+enum class NodeKind {
+  kServo,       ///< full MCU fidelity (ServoNode)
+  kSupervisor,  ///< lightweight model node (SupervisorNode)
+  kTraffic,     ///< background chatter (TrafficGenNode)
+};
+
+struct NodeSpec {
+  std::string name;
+  NodeKind kind = NodeKind::kServo;
+  std::string bus;  ///< attachment: name of the bus this node sits on
+  /// Per-kind controller configuration; only the member matching `kind`
+  /// is consulted.
+  ServoNodeConfig servo;
+  SupervisorNode::Config supervisor;
+  TrafficGenNode::Config traffic;
+};
+
+struct Topology {
+  std::string name = "topology";
+  std::vector<BusSpec> buses;
+  std::vector<NodeSpec> nodes;
+
+  std::size_t count(NodeKind kind) const {
+    std::size_t n = 0;
+    for (const NodeSpec& node : nodes) {
+      if (node.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace iecd::cosim

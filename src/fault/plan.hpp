@@ -45,6 +45,15 @@ struct FaultPlan {
   double torque_pulse_nm = 0.0;       ///< pulse amplitude (random sign)
   double torque_pulse_s = 0.0;        ///< pulse width [s]
 
+  // ------------------------------------- co-sim nodes (per node, per run)
+  /// Probability a farm node dies mid-run (control timer disabled, PWM
+  /// zeroed at a site-drawn time); site "cosim.<node>".
+  double node_kill_rate = 0.0;
+  /// Probability a farm node runs degraded: its control timer is stretched
+  /// by node_degrade_factor (same site, drawn before the kill draw).
+  double node_degrade_rate = 0.0;
+  double node_degrade_factor = 1.0;  ///< period stretch for degraded nodes
+
   /// True when no site would ever fire: the wiring helpers install no
   /// hooks, create no sites, and the run stays bit-identical to one with
   /// no fault subsystem at all.
@@ -55,7 +64,8 @@ struct FaultPlan {
            pil_truncate_rate <= 0.0 && pil_delay_rate <= 0.0 &&
            irq_spike_rate <= 0.0 && task_overrun_rate <= 0.0 &&
            adc_stuck_rate <= 0.0 && adc_noise_rate <= 0.0 &&
-           encoder_glitch_rate <= 0.0 && torque_pulse_rate_hz <= 0.0;
+           encoder_glitch_rate <= 0.0 && torque_pulse_rate_hz <= 0.0 &&
+           node_kill_rate <= 0.0 && node_degrade_rate <= 0.0;
   }
 
   /// Same magnitudes, every rate multiplied by \p factor (campaign
@@ -76,6 +86,8 @@ struct FaultPlan {
     p.adc_noise_rate *= factor;
     p.encoder_glitch_rate *= factor;
     p.torque_pulse_rate_hz *= factor;
+    p.node_kill_rate *= factor;
+    p.node_degrade_rate *= factor;
     return p;
   }
 
@@ -105,6 +117,9 @@ struct FaultPlan {
     p.torque_pulse_rate_hz = 2.0;
     p.torque_pulse_nm = 0.002;
     p.torque_pulse_s = 0.01;
+    p.node_kill_rate = 0.08;
+    p.node_degrade_rate = 0.1;
+    p.node_degrade_factor = 1.5;
     return p;
   }
 };

@@ -17,6 +17,13 @@ void CanController::connect(sim::CanBus& bus) {
   });
 }
 
+void CanController::connect_external(sim::CanBus& bus,
+                                     sim::CanBus::NodeId node) {
+  if (bus_) throw std::logic_error(name() + ": already connected to a bus");
+  bus_ = &bus;
+  node_ = node;
+}
+
 bool CanController::accepts(const sim::CanFrame& frame) const {
   if (config_.acceptance_mask == 0) return true;
   return (frame.id & config_.acceptance_mask) == config_.acceptance_id;

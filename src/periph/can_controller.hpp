@@ -25,6 +25,20 @@ class CanController : public Peripheral {
   /// Joins the bus (once).
   void connect(sim::CanBus& bus);
 
+  /// Joins a bus whose delivery path is mediated externally (the co-sim
+  /// master's shared-bus coupling, src/cosim/): the controller transmits
+  /// into \p bus under \p node, but registers NO receive callback — the
+  /// mediator buffers deliveries at the bus boundary and hands them back
+  /// through deliver() at the negotiated exchange time.
+  void connect_external(sim::CanBus& bus, sim::CanBus::NodeId node);
+
+  /// Delivery entry point for externally mediated buses: runs the exact
+  /// acceptance-filter / rx-buffer / interrupt path a directly connected
+  /// controller runs inside the bus's delivery event.
+  void deliver(const sim::CanFrame& frame, sim::SimTime when) {
+    on_rx(frame, when);
+  }
+
   /// Queues a frame for transmission.  Returns false when disconnected or
   /// the frame is malformed.
   bool send(const sim::CanFrame& frame);

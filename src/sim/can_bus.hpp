@@ -107,6 +107,14 @@ class CanBus : public Component {
   /// Queues a frame for transmission from \p node.  Frames per node go out
   /// in FIFO order; across nodes the identifier arbitrates.  Returns false
   /// if the frame is malformed (dlc > 8).
+  ///
+  /// Arbitration resolution order (deterministic, locked by the CanBus
+  /// suite): whenever the wire goes idle, the heads of all non-empty
+  /// transmit queues compete and the LOWEST identifier wins; when two
+  /// heads carry the SAME identifier, the lowest attach-order node index
+  /// wins.  A transmit onto an idle bus seizes the wire immediately
+  /// (CSMA — no competing head exists yet), so same-priority contention
+  /// only arises between frames queued while the bus was busy.
   bool transmit(NodeId node, CanFrame frame);
 
   /// Queues a whole burst of back-to-back frames; returns frames accepted.

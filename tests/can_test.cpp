@@ -187,6 +187,47 @@ TEST(CanBeanTest, SendReceiveThroughBoundBean) {
   EXPECT_EQ(received, (std::vector<std::uint8_t>{0xDE, 0xAD}));
 }
 
+TEST(CanBus, SamePriorityTieBreaksByAttachOrderDeterministically) {
+  // Two nodes queue frames with the SAME identifier during the same busy
+  // quantum; when the wire goes idle both heads compete and the tie must
+  // resolve by attach-order node index (a before b) — NOT by queueing
+  // time: b queues its frame first below, yet a's wins.  Documented in
+  // sim/can_bus.hpp next to transmit().
+  sim::World world;
+  sim::CanBus bus(world, 500000);
+  std::vector<std::uint8_t> markers;
+  const auto a = bus.attach_node("a", nullptr);
+  const auto b = bus.attach_node("b", nullptr);
+  bus.attach_node("sniffer", [&](const sim::CanFrame& f, sim::SimTime) {
+    if (f.id == 0x100) markers.push_back(f.data[0]);
+  });
+
+  // Seize the wire so the contenders queue behind a busy bus.
+  EXPECT_TRUE(bus.transmit(a, {0x050, {0xFF}}));
+  EXPECT_TRUE(bus.transmit(b, {0x100, {0xBB}}));  // b queues first...
+  EXPECT_TRUE(bus.transmit(a, {0x100, {0xAA}}));  // ...but a wins the tie
+  world.run_for(sim::milliseconds(2));
+
+  ASSERT_EQ(markers.size(), 2u);
+  EXPECT_EQ(markers[0], 0xAA);  // attach-order tie-break: node a first
+  EXPECT_EQ(markers[1], 0xBB);
+
+  // Replay: the resolution order is identical on every run.
+  sim::World world2;
+  sim::CanBus bus2(world2, 500000);
+  std::vector<std::uint8_t> markers2;
+  const auto a2 = bus2.attach_node("a", nullptr);
+  const auto b2 = bus2.attach_node("b", nullptr);
+  bus2.attach_node("sniffer", [&](const sim::CanFrame& f, sim::SimTime) {
+    if (f.id == 0x100) markers2.push_back(f.data[0]);
+  });
+  EXPECT_TRUE(bus2.transmit(a2, {0x050, {0xFF}}));
+  EXPECT_TRUE(bus2.transmit(b2, {0x100, {0xBB}}));
+  EXPECT_TRUE(bus2.transmit(a2, {0x100, {0xAA}}));
+  world2.run_for(sim::milliseconds(2));
+  EXPECT_EQ(markers, markers2);
+}
+
 TEST(CanBeanTest, AutosarVariantIsCanModule) {
   beans::CanBean bean("CAN1");
   EXPECT_EQ(beans::autosar::mcal_module_of(bean), "Can");

@@ -1,0 +1,389 @@
+// Co-simulation master suite (src/cosim/): step-negotiation exactness with
+// scripted components under adversarial registration/readiness orders,
+// shared-bus delivery timing, 16-node farm behaviour (clean, killed,
+// degraded), and campaign/evidence byte-identity across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "cosim/farm.hpp"
+#include "cosim/master.hpp"
+#include "cosim/nodes.hpp"
+#include "cosim/topology.hpp"
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "obs/health_report.hpp"
+#include "obs/monitor.hpp"
+
+namespace iecd::cosim {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  fs::path dir = fs::path("cosim_test_tmp") / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Scripted component: a fixed list of event times; executing an event
+/// appends (name, time) to the shared trace.
+class ScriptedComponent : public Component {
+ public:
+  ScriptedComponent(std::string name, std::vector<sim::SimTime> events,
+                    std::vector<std::pair<std::string, sim::SimTime>>* trace)
+      : name_(std::move(name)), events_(std::move(events)), trace_(trace) {}
+
+  const std::string& name() const override { return name_; }
+  sim::SimTime horizon() const override {
+    return next_ < events_.size() ? events_[next_] : sim::kNever;
+  }
+  void advance_to(sim::SimTime t) override {
+    ++advance_calls_;
+    while (next_ < events_.size() && events_[next_] <= t) {
+      trace_->push_back({name_, events_[next_]});
+      ++next_;
+    }
+    now_ = t;
+  }
+  std::uint64_t events_executed() const override { return next_; }
+
+  sim::SimTime now() const { return now_; }
+  std::uint64_t advance_calls() const { return advance_calls_; }
+
+ private:
+  std::string name_;
+  std::vector<sim::SimTime> events_;
+  std::vector<std::pair<std::string, sim::SimTime>>* trace_;
+  std::size_t next_ = 0;
+  sim::SimTime now_ = 0;
+  std::uint64_t advance_calls_ = 0;
+};
+
+// ------------------------------------------------------------------ master
+
+TEST(CosimMaster, NegotiatesGlobalMinimumHorizon) {
+  std::vector<std::pair<std::string, sim::SimTime>> trace;
+  ScriptedComponent a("a", {10, 30, 50}, &trace);
+  ScriptedComponent b("b", {20, 30, 70}, &trace);
+  Master master;
+  master.add(a);
+  master.add(b);
+  const MasterStats stats = master.run_until(100);
+
+  // Events execute in global time order; the same-boundary tie at t=30
+  // resolves by registration order (a before b).
+  const std::vector<std::pair<std::string, sim::SimTime>> expected = {
+      {"a", 10}, {"b", 20}, {"a", 30}, {"b", 30}, {"a", 50}, {"b", 70}};
+  EXPECT_EQ(trace, expected);
+  EXPECT_EQ(stats.negotiations, 5u);  // boundaries 10, 20, 30, 50, 70
+  EXPECT_EQ(stats.events_executed, 6u);
+  EXPECT_EQ(a.now(), 100);
+  EXPECT_EQ(b.now(), 100);
+}
+
+TEST(CosimMaster, LazySkipOnlyAdvancesDueComponents) {
+  std::vector<std::pair<std::string, sim::SimTime>> trace;
+  ScriptedComponent busy("busy", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, &trace);
+  ScriptedComponent idle("idle", {1000}, &trace);
+  Master master;
+  master.add(busy);
+  master.add(idle);
+  master.run_until(100);
+  // idle was never due inside the loop; its only advance is the end drain.
+  EXPECT_EQ(idle.advance_calls(), 1u);
+  EXPECT_EQ(idle.now(), 100);
+  EXPECT_EQ(busy.advance_calls(), 11u);  // 10 boundaries + drain
+}
+
+TEST(CosimMaster, AdversarialRegistrationOrdersYieldIdenticalTraces) {
+  // Randomized readiness patterns: K trials of 4 components with random
+  // (unique) event times, each executed under every registration
+  // permutation of a random shuffle — the executed trace must be the
+  // global time-ordered event list every time.
+  std::mt19937 rng(20260808u);
+  for (int trial = 0; trial < 12; ++trial) {
+    // Unique times 1..200, partitioned round-robin after a shuffle.
+    std::vector<sim::SimTime> times(200);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      times[i] = static_cast<sim::SimTime>(i + 1);
+    }
+    std::shuffle(times.begin(), times.end(), rng);
+    const std::size_t kComponents = 4;
+    std::vector<std::vector<sim::SimTime>> events(kComponents);
+    const std::size_t per = 8;
+    for (std::size_t c = 0; c < kComponents; ++c) {
+      events[c].assign(times.begin() + static_cast<std::ptrdiff_t>(c * per),
+                       times.begin() +
+                           static_cast<std::ptrdiff_t>((c + 1) * per));
+      std::sort(events[c].begin(), events[c].end());
+    }
+
+    // Reference: the global time-sorted merge (times are unique, so the
+    // order is total and registration cannot matter).
+    std::vector<std::pair<std::string, sim::SimTime>> expected;
+    for (std::size_t c = 0; c < kComponents; ++c) {
+      for (const sim::SimTime t : events[c]) {
+        expected.push_back({"c" + std::to_string(c), t});
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const auto& x, const auto& y) { return x.second < y.second; });
+
+    std::vector<std::size_t> order(kComponents);
+    for (std::size_t i = 0; i < kComponents; ++i) order[i] = i;
+    std::shuffle(order.begin(), order.end(), rng);
+    do {
+      std::vector<std::pair<std::string, sim::SimTime>> trace;
+      std::vector<std::unique_ptr<ScriptedComponent>> comps(kComponents);
+      for (std::size_t c = 0; c < kComponents; ++c) {
+        comps[c] = std::make_unique<ScriptedComponent>(
+            "c" + std::to_string(c), events[c], &trace);
+      }
+      Master master;
+      for (const std::size_t c : order) master.add(*comps[c]);
+      master.run_until(300);
+      ASSERT_EQ(trace, expected) << "trial " << trial;
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+// ------------------------------------------------------------- shared bus
+
+TEST(CosimBus, DeliversAtExactWireTime) {
+  SharedCanBus bus("can0", 500000);
+  std::vector<std::pair<std::uint32_t, sim::SimTime>> deliveries;
+  bus.attach_model_port("sink", [&](const sim::CanFrame& frame,
+                                    sim::SimTime when) {
+    deliveries.push_back({frame.id, when});
+  });
+  TrafficGenNode::Config traffic;
+  traffic.frame_id = 0x123;
+  traffic.frames_per_s = 1000.0;
+  traffic.payload_len = 3;
+  TrafficGenNode gen("gen", traffic, bus);
+
+  Master master;
+  master.add_coupling(bus);
+  master.add(gen);
+  master.run_until(sim::from_seconds(0.0105));
+
+  ASSERT_EQ(deliveries.size(), 10u);
+  const sim::SimTime wire = bus.can().frame_time(3);
+  for (std::size_t k = 0; k < deliveries.size(); ++k) {
+    EXPECT_EQ(deliveries[k].first, 0x123u);
+    // Send at (k+1) ms on an idle bus; delivery exactly one wire time
+    // later, negotiated across the component boundary.
+    EXPECT_EQ(deliveries[k].second,
+              sim::milliseconds(static_cast<sim::SimTime>(k) + 1) + wire)
+        << "frame " << k;
+  }
+  EXPECT_EQ(gen.sent(), 10u);
+  EXPECT_EQ(bus.can().stats().frames_delivered, 10u);
+}
+
+// ------------------------------------------------------------------- farm
+
+FarmConfig small_farm(std::size_t servos, double duration) {
+  FarmConfig cfg;
+  cfg.servo_count = servos;
+  cfg.duration_s = duration;
+  cfg.traffic_frames_per_s = 300.0;
+  return cfg;
+}
+
+TEST(CosimFarm, CleanSixteenNodeFarmSettlesEveryServo) {
+  const FarmConfig cfg = small_farm(15, 0.4);  // 15 servos + supervisor
+  ServoFarm farm(make_farm_topology(cfg),
+                 {cfg.duration_s, cfg.settle_tolerance, nullptr, nullptr});
+  const FarmResult r = farm.run();
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.nodes.size(), 15u);
+  EXPECT_EQ(r.killed_count, 0u);
+  EXPECT_EQ(r.stale_count, 0u);
+  for (const FarmNodeResult& n : r.nodes) {
+    EXPECT_TRUE(n.settled) << n.name << " speed " << n.speed;
+    EXPECT_NEAR(n.speed, 100.0, 5.0) << n.name;
+    EXPECT_GT(n.control_ticks, 300u) << n.name;
+    EXPECT_GT(n.status_frames, 20u) << n.name;
+  }
+  EXPECT_EQ(r.commands_sent, 40u);  // every 10 ms over 0.4 s
+  EXPECT_GT(r.statuses_seen, 400u);
+  EXPECT_GT(r.frames_delivered, 500u);
+  EXPECT_GT(r.bus_utilisation, 0.05);
+}
+
+TEST(CosimFarm, RunIsDeterministic) {
+  const FarmConfig cfg = small_farm(8, 0.3);
+  auto run_once = [&] {
+    ServoFarm farm(make_farm_topology(cfg),
+                   {cfg.duration_s, cfg.settle_tolerance, nullptr, nullptr});
+    return farm.run();
+  };
+  const FarmResult a = run_once();
+  const FarmResult b = run_once();
+  EXPECT_EQ(a.mean_abs_error, b.mean_abs_error);  // bitwise
+  EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.negotiations, b.negotiations);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].speed, b.nodes[i].speed) << a.nodes[i].name;
+    EXPECT_EQ(a.nodes[i].control_ticks, b.nodes[i].control_ticks);
+  }
+}
+
+TEST(CosimFarm, KilledNodesAreDetectedStale) {
+  fault::FaultPlan plan;
+  plan.node_kill_rate = 1.0;  // every node dies mid-run
+  fault::FaultInjector injector(42, plan);
+  const FarmConfig cfg = small_farm(6, 0.4);
+  ServoFarm farm(make_farm_topology(cfg),
+                 {cfg.duration_s, cfg.settle_tolerance, &injector, nullptr});
+  const FarmResult r = farm.run();
+  EXPECT_EQ(r.killed_count, 6u);
+  EXPECT_EQ(r.stale_count, 6u);
+  EXPECT_TRUE(r.recovered);  // all kills detected, no alive node misbehaved
+  for (const FarmNodeResult& n : r.nodes) {
+    EXPECT_TRUE(n.killed) << n.name;
+    EXPECT_TRUE(n.stale) << n.name;
+    // Control stopped partway: strictly fewer ticks than a full run.
+    EXPECT_LT(n.control_ticks, 350u) << n.name;
+  }
+  EXPECT_EQ(injector.find_site("cosim.servo0")->injected(), 1u);
+}
+
+TEST(CosimFarm, DegradedNodesRunSlowerButStillSettle) {
+  fault::FaultPlan plan;
+  plan.node_degrade_rate = 1.0;
+  plan.node_degrade_factor = 2.0;
+  fault::FaultInjector injector(7, plan);
+  const FarmConfig cfg = small_farm(4, 0.6);
+  ServoFarm farm(make_farm_topology(cfg),
+                 {cfg.duration_s, cfg.settle_tolerance, &injector, nullptr});
+  const FarmResult r = farm.run();
+  EXPECT_EQ(r.degraded_count, 4u);
+  EXPECT_EQ(r.killed_count, 0u);
+  EXPECT_TRUE(r.recovered);
+  for (const FarmNodeResult& n : r.nodes) {
+    EXPECT_TRUE(n.degraded) << n.name;
+    EXPECT_TRUE(n.settled) << n.name << " speed " << n.speed;
+    // Doubled period: roughly half the control ticks of a healthy node.
+    EXPECT_LT(n.control_ticks, 350u) << n.name;
+    EXPECT_GT(n.control_ticks, 250u) << n.name;
+  }
+}
+
+TEST(CosimFarm, PerNodeMonitorsFoldIntoHealthReport) {
+  obs::MonitorHub hub;
+  const FarmConfig cfg = small_farm(3, 0.2);
+  ServoFarm farm(make_farm_topology(cfg),
+                 {cfg.duration_s, cfg.settle_tolerance, nullptr, &hub});
+  farm.run();
+  const obs::HealthReport report = hub.report("cosim");
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "cosim.servo" + std::to_string(i) + ".loop";
+    const auto* monitor = hub.find_timing(name);
+    ASSERT_NE(monitor, nullptr) << name;
+    EXPECT_GT(monitor->activations(), 150u) << name;
+    EXPECT_EQ(monitor->deadline_misses(), 0u) << name;
+    EXPECT_TRUE(report.tasks.count(name)) << name;
+  }
+  EXPECT_GT(hub.polls(), 10u);
+}
+
+TEST(CosimTopology, UnknownBusAttachmentThrows) {
+  Topology topo;
+  topo.buses.push_back(BusSpec{"can0", 500000});
+  NodeSpec spec;
+  spec.name = "servo0";
+  spec.kind = NodeKind::kServo;
+  spec.bus = "can9";
+  topo.nodes.push_back(spec);
+  EXPECT_THROW(ServoFarm(topo, {0.1, 0.05, nullptr, nullptr}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- campaigns
+
+TEST(CosimCampaign, DefaultPlanFarmRecoversEveryRun) {
+  const FarmConfig cfg = small_farm(15, 0.3);
+  fault::CampaignOptions options;
+  options.name = "cosim_farm";
+  options.seed = 2026;
+  options.runs = 4;
+  options.threads = 2;
+  options.plan = fault::FaultPlan::defaults();
+  const fault::CampaignReport report =
+      fault::CampaignRunner(options).run(make_farm_scenario(cfg));
+  EXPECT_EQ(report.unrecovered, 0u) << report.summary();
+  EXPECT_GT(report.faults_injected, 0u);
+  // The farm-specific sites appear in the merged per-site counters.
+  EXPECT_TRUE(report.merged.find_counter("fault.can.can0.injected") !=
+                  nullptr ||
+              report.merged.find_counter("fault.can.can0.opportunities") !=
+                  nullptr);
+}
+
+TEST(CosimCampaign, ReportAndEvidenceAreThreadCountInvariant) {
+  const FarmConfig cfg = small_farm(4, 0.2);
+  auto campaign_options = [&](std::size_t threads) {
+    fault::CampaignOptions options;
+    options.name = "cosim_ident";
+    options.seed = 99;
+    options.runs = 6;
+    options.threads = threads;
+    options.plan = fault::FaultPlan::defaults();
+    return options;
+  };
+
+  std::string ref_json;
+  std::string ref_manifest;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    // Runner report.
+    const fault::CampaignReport report =
+        fault::CampaignRunner(campaign_options(threads))
+            .run(make_farm_scenario(cfg));
+    // Engine report + evidence manifest.
+    const fs::path dir = scratch_dir("ident_t" + std::to_string(threads));
+    campaign::EngineOptions eo;
+    eo.campaign = campaign_options(threads);
+    eo.evidence_dir = dir.string();
+    eo.write_run_artifacts = false;
+    campaign::CampaignEngine engine(eo);
+    const campaign::EngineResult er = engine.run(make_farm_scenario(cfg));
+
+    EXPECT_EQ(report.to_json(), er.report.to_json()) << threads;
+    const std::string manifest = slurp(er.evidence.manifest_path);
+    if (threads == 1) {
+      ref_json = report.to_json();
+      ref_manifest = manifest;
+      EXPECT_FALSE(ref_json.empty());
+      EXPECT_FALSE(ref_manifest.empty());
+    } else {
+      EXPECT_EQ(report.to_json(), ref_json)
+          << "campaign JSON differs at threads=" << threads;
+      EXPECT_EQ(manifest, ref_manifest)
+          << "evidence MANIFEST differs at threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iecd::cosim

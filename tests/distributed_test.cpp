@@ -71,5 +71,68 @@ TEST(DistributedServo, DeterministicAcrossRuns) {
   EXPECT_EQ(a.sensor_frames, b.sensor_frames);
 }
 
+// ---------------------------------------------------------------------------
+// Cosim-rebase regression lock: run_distributed_servo now executes on the
+// co-simulation master (src/cosim/) as a 2-component topology.  The golden
+// values below were captured from the former monolithic single-world
+// implementation at full precision; the step-negotiation loop is exact, so
+// every physics/latency metric must match BIT-FOR-BIT.  events_executed is
+// deliberately excluded — cross-world frame deliveries are separate queue
+// events, so the scheduler-pressure counter legitimately differs.
+// ---------------------------------------------------------------------------
+
+TEST(CosimDistributedRegression, HealthyBusMatchesMonolithicGoldens) {
+  const auto r = run_distributed_servo(quick());
+  EXPECT_DOUBLE_EQ(r.iae, 6.4160358474182226);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_mean, 359.70000000000334);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_max, 359.69999999999999);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_p99, 359.69999999999999);
+  EXPECT_DOUBLE_EQ(r.bus_utilisation, 0.34182933333333332);
+  EXPECT_DOUBLE_EQ(r.speed.last_value(), 100.13136283118807);
+  EXPECT_EQ(r.loop_samples, 599u);
+  EXPECT_EQ(r.loop_deadline_misses, 0u);
+  EXPECT_EQ(r.sensor_frames, 599u);
+  EXPECT_EQ(r.actuator_frames, 599u);
+  EXPECT_EQ(r.background_frames, 0u);
+  EXPECT_EQ(r.controller_rx_overruns, 0u);
+  EXPECT_EQ(r.frames_delivered, 1198u);
+  EXPECT_TRUE(r.metrics.settled);
+  EXPECT_GT(r.events_executed, 0u);
+}
+
+TEST(CosimDistributedRegression, SaturatedBusMatchesMonolithicGoldens) {
+  auto cfg = quick();
+  cfg.can_bitrate = 100000;
+  const auto r = run_distributed_servo(cfg);
+  EXPECT_DOUBLE_EQ(r.iae, 96.568588065038554);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_mean, 124385.30000000008);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_max, 253753.30000000002);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_p99, 248761.30000000002);
+  EXPECT_DOUBLE_EQ(r.bus_utilisation, 0.9986666666666667);
+  EXPECT_DOUBLE_EQ(r.speed.last_value(), 469.60362891681223);
+  EXPECT_EQ(r.loop_samples, 101u);
+  EXPECT_EQ(r.loop_deadline_misses, 101u);
+  EXPECT_EQ(r.sensor_frames, 599u);
+  EXPECT_EQ(r.actuator_frames, 598u);
+  EXPECT_EQ(r.frames_delivered, 699u);
+  EXPECT_FALSE(r.metrics.settled);
+}
+
+TEST(CosimDistributedRegression, LoadedBusMatchesMonolithicGoldens) {
+  auto cfg = quick();
+  cfg.background_frames_per_s = 1500.0;
+  const auto r = run_distributed_servo(cfg);
+  EXPECT_DOUBLE_EQ(r.iae, 6.4213876691968856);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_mean, 491.95383973289086);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_max, 624.79899999999998);
+  EXPECT_DOUBLE_EQ(r.loop_latency_us_p99, 624.79302000000007);
+  EXPECT_DOUBLE_EQ(r.bus_utilisation, 0.74218399999999995);
+  EXPECT_DOUBLE_EQ(r.speed.last_value(), 100.10070219549908);
+  EXPECT_EQ(r.loop_samples, 599u);
+  EXPECT_EQ(r.background_frames, 899u);
+  EXPECT_EQ(r.frames_delivered, 2097u);
+  EXPECT_TRUE(r.metrics.settled);
+}
+
 }  // namespace
 }  // namespace iecd::core
